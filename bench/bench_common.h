@@ -1,0 +1,102 @@
+#ifndef DWC_BENCH_BENCH_COMMON_H_
+#define DWC_BENCH_BENCH_COMMON_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+
+#include "core/warehouse_spec.h"
+#include "relational/database.h"
+#include "util/rng.h"
+#include "warehouse/warehouse.h"
+
+namespace dwc {
+namespace bench {
+
+// Benchmarks cannot return Status; die loudly instead.
+inline void Check(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::cerr << "benchmark setup failed (" << what
+              << "): " << status.ToString() << "\n";
+    std::abort();
+  }
+}
+
+template <typename T>
+T Unwrap(Result<T> result, const char* what) {
+  Check(result.status(), what);
+  return std::move(result).value();
+}
+
+// A scaled version of the Figure 1 scenario: Emp (keyed dimension with
+// `dim` clerks) and Sale (fact with `fact` rows referencing clerks),
+// warehouse view Sold = Sale |x| Emp. With `referential` the IND
+// clerk(Sale) <= clerk(Emp) is declared (emptying C_Sale, Example 2.4).
+// Sales reference only the first half of the clerks, so C_Emp (clerks
+// without sales — the paper's Paula) holds about dim/2 tuples.
+struct ScaledFigure1 {
+  std::shared_ptr<Catalog> catalog;
+  Database db;
+  std::vector<ViewDef> views;
+
+  ScaledFigure1(size_t dim, size_t fact, bool referential, uint64_t seed) {
+    catalog = std::make_shared<Catalog>();
+    Check(catalog->AddRelation(
+              "Emp", Schema({{"clerk", ValueType::kInt},
+                             {"age", ValueType::kInt}})),
+          "add Emp");
+    Check(catalog->AddKey("Emp", {"clerk"}), "key Emp");
+    Check(catalog->AddRelation(
+              "Sale", Schema({{"item", ValueType::kInt},
+                              {"clerk", ValueType::kInt}})),
+          "add Sale");
+    if (referential) {
+      Check(catalog->AddInclusion(
+                InclusionDependency{"Sale", {"clerk"}, "Emp", {"clerk"}}),
+            "IND");
+    }
+    db = Database(catalog);
+    Check(db.AddEmptyRelation("Emp", *catalog->FindSchema("Emp")), "emp rel");
+    Check(db.AddEmptyRelation("Sale", *catalog->FindSchema("Sale")),
+          "sale rel");
+    Rng rng(seed);
+    Relation* emp = db.FindMutableRelation("Emp");
+    for (size_t i = 0; i < dim; ++i) {
+      emp->Insert(Tuple({Value::Int(static_cast<int64_t>(i)),
+                         Value::Int(rng.Range(18, 65))}));
+    }
+    Relation* sale = db.FindMutableRelation("Sale");
+    size_t inserted = 0;
+    int64_t referenced = std::max<int64_t>(1, static_cast<int64_t>(dim) / 2);
+    while (inserted < fact) {
+      Tuple tuple({Value::Int(rng.Range(0, 1 << 24)),
+                   Value::Int(rng.Range(0, referenced - 1))});
+      if (sale->Insert(std::move(tuple))) {
+        ++inserted;
+      }
+    }
+    views.push_back(
+        ViewDef{"Sold", Expr::Join(Expr::Base("Sale"), Expr::Base("Emp"))});
+  }
+
+  // A batch of `n` fresh Sale rows referencing existing clerks.
+  UpdateOp MakeInsertBatch(size_t n, Rng* rng) const {
+    const Relation* sale = db.FindRelation("Sale");
+    size_t dim = db.FindRelation("Emp")->size();
+    UpdateOp op;
+    op.relation = "Sale";
+    while (op.inserts.size() < n) {
+      Tuple tuple({Value::Int(rng->Range(0, 1 << 30)),
+                   Value::Int(rng->Range(0, static_cast<int64_t>(dim) - 1))});
+      if (!sale->Contains(tuple)) {
+        op.inserts.push_back(std::move(tuple));
+      }
+    }
+    return op;
+  }
+};
+
+}  // namespace bench
+}  // namespace dwc
+
+#endif  // DWC_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,123 @@
+// B1 / E3 (DESIGN.md): how much auxiliary data a warehouse must store for
+// independence, and how key/inclusion constraints shrink it (Section 2).
+//
+// Each benchmark computes the complement for a scenario and reports:
+//   complement_tuples — total tuples across materialized complement views
+//   trivial_tuples    — the trivial complement (copy all of D)
+//   stored_views      — number of complement views actually materialized
+//   ratio_pct         — complement as % of the trivial copy
+// Wall time measures ComputeComplement itself (Step 1 of Section 5).
+//
+// Expected shape: ratio drops from "most of D" with no view coverage to 0%
+// once constraints apply (Examples 2.3/2.4, star schemata in Section 5).
+
+#include <benchmark/benchmark.h>
+
+#include "algebra/environment.h"
+#include "algebra/evaluator.h"
+#include "bench/bench_common.h"
+#include "core/complement.h"
+#include "core/ordering.h"
+#include "workload/star_schema.h"
+
+namespace dwc {
+namespace bench {
+namespace {
+
+struct Scenario {
+  std::shared_ptr<Catalog> catalog;
+  Database db;
+  std::vector<ViewDef> views;
+};
+
+Scenario MakeFigure1(bool referential) {
+  ScaledFigure1 fig(/*dim=*/512, /*fact=*/4096, referential, /*seed=*/3);
+  return Scenario{fig.catalog, std::move(fig.db), fig.views};
+}
+
+Scenario MakeStar() {
+  StarSchemaConfig config;
+  config.customers = 100;
+  config.suppliers = 30;
+  config.parts = 200;
+  config.locations = 12;
+  config.orders = 800;
+  config.sales = 3000;
+  StarSchema star = Unwrap(BuildStarSchema(config), "star");
+  return Scenario{star.catalog, std::move(star.db), star.views};
+}
+
+void ReportSizes(benchmark::State& state, const Scenario& scenario,
+                 const ComplementResult& complement) {
+  // Materialize views, then complements, and count tuples.
+  Environment env = Environment::FromDatabase(scenario.db);
+  std::vector<std::unique_ptr<Relation>> owned;
+  for (const ViewDef& view : scenario.views) {
+    owned.push_back(std::make_unique<Relation>(
+        Unwrap(EvalExpr(*view.expr, env), "view")));
+    env.Bind(view.name, owned.back().get());
+  }
+  size_t complement_tuples =
+      Unwrap(TotalTuples(complement.complements, env), "sizes");
+  size_t trivial_tuples = 0;
+  for (const auto& [name, rel] : scenario.db.relations()) {
+    (void)name;
+    trivial_tuples += rel.size();
+  }
+  state.counters["complement_tuples"] =
+      static_cast<double>(complement_tuples);
+  state.counters["trivial_tuples"] = static_cast<double>(trivial_tuples);
+  state.counters["stored_views"] =
+      static_cast<double>(complement.complements.size());
+  state.counters["ratio_pct"] =
+      trivial_tuples == 0
+          ? 0.0
+          : 100.0 * static_cast<double>(complement_tuples) /
+                static_cast<double>(trivial_tuples);
+}
+
+void RunScenario(benchmark::State& state, const Scenario& scenario,
+                 bool use_constraints) {
+  ComplementOptions options;
+  options.use_constraints = use_constraints;
+  ComplementResult complement;
+  for (auto _ : state) {
+    complement = Unwrap(
+        ComputeComplement(scenario.views, *scenario.catalog, options),
+        "complement");
+    benchmark::DoNotOptimize(complement);
+  }
+  ReportSizes(state, scenario, complement);
+}
+
+void BM_Figure1_NoConstraints(benchmark::State& state) {
+  Scenario scenario = MakeFigure1(/*referential=*/false);
+  RunScenario(state, scenario, /*use_constraints=*/false);
+}
+void BM_Figure1_WithReferentialIntegrity(benchmark::State& state) {
+  // Example 2.4: the IND empties C_Sale; only C_Emp (clerks without sales)
+  // remains.
+  Scenario scenario = MakeFigure1(/*referential=*/true);
+  RunScenario(state, scenario, /*use_constraints=*/true);
+}
+void BM_Star_NoConstraints(benchmark::State& state) {
+  Scenario scenario = MakeStar();
+  RunScenario(state, scenario, /*use_constraints=*/false);
+}
+void BM_Star_WithConstraints(benchmark::State& state) {
+  // Section 5: foreign keys empty every complement.
+  Scenario scenario = MakeStar();
+  RunScenario(state, scenario, /*use_constraints=*/true);
+}
+
+BENCHMARK(BM_Figure1_NoConstraints)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Figure1_WithReferentialIntegrity)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Star_NoConstraints)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Star_WithConstraints)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace dwc
+
+BENCHMARK_MAIN();

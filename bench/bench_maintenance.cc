@@ -1,0 +1,92 @@
+// B2 (DESIGN.md): warehouse refresh latency per reported update, comparing
+// the paper's complement-based incremental maintenance against the two
+// baselines, across update batch size |Δ| and database scale.
+//
+// Expected shape (the paper's claim, Sections 4-5): incremental ≪ recompute
+// for small |Δ|; all three converge as |Δ| approaches the database size;
+// query-source is the only one whose source-query counter is nonzero.
+//
+// Columns: batch = |Δ| inserts into Sale, fact = |Sale| at load time.
+// Counters: tuples_s = maintained tuples per second,
+//           src_queries = source queries issued per refresh.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+namespace dwc {
+namespace bench {
+namespace {
+
+void RunMaintenance(benchmark::State& state, MaintenanceStrategy strategy) {
+  const size_t batch = static_cast<size_t>(state.range(0));
+  const size_t fact = static_cast<size_t>(state.range(1));
+  const size_t dim = fact / 8 + 4;
+
+  ScaledFigure1 scenario(dim, fact, /*referential=*/true, /*seed=*/7);
+  auto spec = std::make_shared<WarehouseSpec>(Unwrap(
+      SpecifyWarehouse(scenario.catalog, scenario.views), "spec"));
+  Source source(scenario.db);
+  Warehouse warehouse =
+      Unwrap(Warehouse::Load(spec, source.db(), strategy), "load");
+
+  Rng rng(99);
+  size_t refreshes = 0;
+  size_t queries_before = source.query_count();
+  for (auto _ : state) {
+    state.PauseTiming();
+    UpdateOp op = scenario.MakeInsertBatch(batch, &rng);
+    CanonicalDelta delta = Unwrap(source.Apply(op), "apply");
+    state.ResumeTiming();
+
+    Check(warehouse.Integrate(delta, &source), "integrate");
+
+    // Roll the update back (untimed) so every iteration sees the same
+    // database size.
+    state.PauseTiming();
+    UpdateOp undo;
+    undo.relation = "Sale";
+    undo.deletes = op.inserts;
+    CanonicalDelta undo_delta = Unwrap(source.Apply(undo), "undo");
+    Check(warehouse.Integrate(undo_delta, &source), "undo integrate");
+    state.ResumeTiming();
+    ++refreshes;
+  }
+  state.counters["tuples_s"] = benchmark::Counter(
+      static_cast<double>(batch) * static_cast<double>(refreshes),
+      benchmark::Counter::kIsRate);
+  state.counters["src_queries"] =
+      refreshes == 0 ? 0.0
+                     : static_cast<double>(source.query_count() -
+                                           queries_before) /
+                           (2.0 * static_cast<double>(refreshes));
+}
+
+void BM_Incremental(benchmark::State& state) {
+  RunMaintenance(state, MaintenanceStrategy::kIncremental);
+}
+void BM_RecomputeFromInverse(benchmark::State& state) {
+  RunMaintenance(state, MaintenanceStrategy::kRecomputeFromInverse);
+}
+void BM_QuerySource(benchmark::State& state) {
+  RunMaintenance(state, MaintenanceStrategy::kQuerySource);
+}
+
+void Args(benchmark::internal::Benchmark* bench) {
+  for (int64_t fact : {1000, 8000}) {
+    for (int64_t batch : {1, 16, 256}) {
+      bench->Args({batch, fact});
+    }
+  }
+  bench->Unit(benchmark::kMicrosecond);
+}
+
+BENCHMARK(BM_Incremental)->Apply(Args);
+BENCHMARK(BM_RecomputeFromInverse)->Apply(Args);
+BENCHMARK(BM_QuerySource)->Apply(Args);
+
+}  // namespace
+}  // namespace bench
+}  // namespace dwc
+
+BENCHMARK_MAIN();

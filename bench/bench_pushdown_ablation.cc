@@ -1,0 +1,78 @@
+// B7 (ablation, see DESIGN.md): what the evaluator's semijoin pushdown is
+// worth. The same maintenance expression — the Example 4.1 shape
+// Δ+Sold = ins:Sale |x| (C_Emp ∪ π(Sold)) — is evaluated with and without
+// pushdown across database sizes.
+//
+// Expected shape: with pushdown the cost is O(|Δ|) (flat across database
+// sizes); without, every refresh pays an O(|DB|) reconstruction scan. This
+// isolates the mechanism behind B2's incremental-vs-recompute gap.
+
+#include <benchmark/benchmark.h>
+
+#include "algebra/evaluator.h"
+#include "bench/bench_common.h"
+#include "maintenance/plan.h"
+
+namespace dwc {
+namespace bench {
+namespace {
+
+void RunAblation(benchmark::State& state, bool enable_pushdown) {
+  const size_t fact = static_cast<size_t>(state.range(1));
+  const size_t batch = static_cast<size_t>(state.range(0));
+  ScaledFigure1 scenario(fact / 8 + 4, fact, /*referential=*/true, 7);
+  auto spec = std::make_shared<WarehouseSpec>(
+      Unwrap(SpecifyWarehouse(scenario.catalog, scenario.views), "spec"));
+  Source source(scenario.db);
+  Warehouse warehouse = Unwrap(Warehouse::Load(spec, source.db()), "load");
+  MaintenancePlan plan = Unwrap(DeriveMaintenancePlan(*spec), "plan");
+  const DeltaPair* sold_plan = plan.Find("Sold", "Sale");
+  Check(sold_plan == nullptr
+            ? Status::Internal("missing Sold/Sale plan")
+            : Status::Ok(),
+        "plan lookup");
+
+  Rng rng(5);
+  UpdateOp op = scenario.MakeInsertBatch(batch, &rng);
+  CanonicalDelta delta = Unwrap(source.Apply(op), "apply");
+
+  Environment env = warehouse.Env();
+  env.Bind("ins:Sale", &delta.inserts);
+  env.Bind("del:Sale", &delta.deletes);
+  EvaluatorOptions options;
+  options.enable_pushdown = enable_pushdown;
+
+  size_t out = 0;
+  for (auto _ : state) {
+    Evaluator evaluator(&env, options);
+    Relation plus = Unwrap(evaluator.Materialize(*sold_plan->plus), "plus");
+    out = plus.size();
+    benchmark::DoNotOptimize(plus);
+  }
+  state.counters["delta_out"] = static_cast<double>(out);
+}
+
+void BM_WithPushdown(benchmark::State& state) {
+  RunAblation(state, /*enable_pushdown=*/true);
+}
+void BM_WithoutPushdown(benchmark::State& state) {
+  RunAblation(state, /*enable_pushdown=*/false);
+}
+
+void Args(benchmark::internal::Benchmark* bench) {
+  for (int64_t fact : {1000, 8000, 32000}) {
+    for (int64_t batch : {1, 64}) {
+      bench->Args({batch, fact});
+    }
+  }
+  bench->Unit(benchmark::kMicrosecond);
+}
+
+BENCHMARK(BM_WithPushdown)->Apply(Args);
+BENCHMARK(BM_WithoutPushdown)->Apply(Args);
+
+}  // namespace
+}  // namespace bench
+}  // namespace dwc
+
+BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+// B5 / E13 (DESIGN.md): the Section 5 star-schema scenario at benchmark
+// scale — initial load and fact-append refresh throughput across batch
+// sizes, with zero source queries throughout.
+//
+// Expected shape: per-refresh latency grows sub-linearly with batch size
+// (fixed per-refresh overhead amortizes), so tuples/s rises with the batch;
+// load time scales with |Sales|.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "workload/star_schema.h"
+
+namespace dwc {
+namespace bench {
+namespace {
+
+StarSchemaConfig BenchConfig(size_t sales) {
+  StarSchemaConfig config;
+  config.customers = 200;
+  config.suppliers = 50;
+  config.parts = 400;
+  config.locations = 25;
+  config.orders = sales / 4 + 16;
+  config.sales = sales;
+  return config;
+}
+
+void BM_InitialLoad(benchmark::State& state) {
+  size_t sales = static_cast<size_t>(state.range(0));
+  StarSchema star = Unwrap(BuildStarSchema(BenchConfig(sales)), "star");
+  auto spec = std::make_shared<WarehouseSpec>(
+      Unwrap(SpecifyWarehouse(star.catalog, star.views), "spec"));
+  for (auto _ : state) {
+    Warehouse warehouse = Unwrap(Warehouse::Load(spec, star.db), "load");
+    benchmark::DoNotOptimize(warehouse);
+  }
+  state.counters["fact_tuples"] = static_cast<double>(sales);
+}
+
+void BM_SalesAppend(benchmark::State& state) {
+  size_t batch = static_cast<size_t>(state.range(0));
+  StarSchema star = Unwrap(BuildStarSchema(BenchConfig(6000)), "star");
+  auto spec = std::make_shared<WarehouseSpec>(
+      Unwrap(SpecifyWarehouse(star.catalog, star.views), "spec"));
+  Source source(star.db);
+  Warehouse warehouse = Unwrap(Warehouse::Load(spec, source.db()), "load");
+
+  Rng rng(17);
+  size_t refreshes = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    UpdateOp op = Unwrap(GenerateSalesBatch(source.db(), batch, &rng), "gen");
+    CanonicalDelta delta = Unwrap(source.Apply(op), "apply");
+    state.ResumeTiming();
+
+    Check(warehouse.Integrate(delta), "integrate");
+
+    state.PauseTiming();
+    UpdateOp undo;
+    undo.relation = "Sales";
+    undo.deletes = op.inserts;
+    CanonicalDelta undo_delta = Unwrap(source.Apply(undo), "undo");
+    Check(warehouse.Integrate(undo_delta), "undo integrate");
+    state.ResumeTiming();
+    ++refreshes;
+  }
+  state.counters["tuples_s"] = benchmark::Counter(
+      static_cast<double>(batch) * static_cast<double>(refreshes),
+      benchmark::Counter::kIsRate);
+  state.counters["src_queries"] = static_cast<double>(source.query_count());
+}
+
+BENCHMARK(BM_InitialLoad)
+    ->Arg(2000)
+    ->Arg(8000)
+    ->Arg(32000)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_SalesAppend)
+    ->Arg(1)
+    ->Arg(10)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace dwc
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+// B8 (extension): atomic multi-relation transactions vs integrating the
+// same deltas one relation at a time. The transaction path evaluates one
+// simultaneous-update plan; the sequential path evaluates one plan per
+// relation against intermediate states. Both are correct; the question is
+// the overhead of the (cached) multi-base plan machinery.
+//
+// Expected shape: near-parity for small deltas (plan caching amortizes the
+// derivation), with the transaction path saving one round of per-relation
+// bookkeeping as the number of touched relations grows.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+namespace dwc {
+namespace bench {
+namespace {
+
+// A (Sale-insert, Emp-insert) pair touching both relations.
+std::vector<UpdateOp> MakeOps(const ScaledFigure1& scenario, size_t batch,
+                              Rng* rng) {
+  UpdateOp sale = scenario.MakeInsertBatch(batch, rng);
+  UpdateOp emp;
+  emp.relation = "Emp";
+  size_t dim = scenario.db.FindRelation("Emp")->size();
+  for (size_t i = 0; i < batch; ++i) {
+    emp.inserts.push_back(
+        Tuple({Value::Int(static_cast<int64_t>(dim) + rng->Range(0, 1 << 28)),
+               Value::Int(rng->Range(18, 65))}));
+  }
+  return {std::move(sale), std::move(emp)};
+}
+
+void RunTransactions(benchmark::State& state, bool atomic) {
+  const size_t batch = static_cast<size_t>(state.range(0));
+  ScaledFigure1 scenario(1000, 8000, /*referential=*/false, 7);
+  ComplementOptions options;
+  options.use_constraints = false;
+  auto spec = std::make_shared<WarehouseSpec>(Unwrap(
+      SpecifyWarehouse(scenario.catalog, scenario.views, options), "spec"));
+  Source source(scenario.db);
+  Warehouse warehouse = Unwrap(Warehouse::Load(spec, source.db()), "load");
+
+  Rng rng(11);
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<UpdateOp> ops = MakeOps(scenario, batch, &rng);
+    std::vector<CanonicalDelta> deltas =
+        Unwrap(source.ApplyTransaction(ops), "apply");
+    state.ResumeTiming();
+
+    if (atomic) {
+      Check(warehouse.IntegrateTransaction(deltas), "txn");
+    } else {
+      for (const CanonicalDelta& delta : deltas) {
+        Check(warehouse.Integrate(delta), "seq");
+      }
+    }
+
+    state.PauseTiming();
+    // Roll back (untimed) to keep the state size stable.
+    std::vector<UpdateOp> undo;
+    for (const UpdateOp& op : ops) {
+      undo.push_back(UpdateOp{op.relation, {}, op.inserts});
+    }
+    std::vector<CanonicalDelta> undo_deltas =
+        Unwrap(source.ApplyTransaction(undo), "undo");
+    Check(warehouse.IntegrateTransaction(undo_deltas), "undo txn");
+    state.ResumeTiming();
+  }
+  state.counters["src_queries"] = static_cast<double>(source.query_count());
+}
+
+void BM_AtomicTransaction(benchmark::State& state) {
+  RunTransactions(state, /*atomic=*/true);
+}
+void BM_SequentialIntegration(benchmark::State& state) {
+  RunTransactions(state, /*atomic=*/false);
+}
+
+BENCHMARK(BM_AtomicTransaction)
+    ->Arg(1)
+    ->Arg(16)
+    ->Arg(128)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_SequentialIntegration)
+    ->Arg(1)
+    ->Arg(16)
+    ->Arg(128)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace dwc
+
+BENCHMARK_MAIN();

@@ -1,0 +1,125 @@
+// Query rewriter: demonstrates Section 3's automatic translation on the
+// Example 2.3 schema. Given the warehouse definition, every query over the
+// base relations is rewritten (through W^-1) into a query over warehouse
+// views and simplified; the tool prints both forms plus how constraints
+// change the complement.
+//
+// Build & run:  cmake --build build && ./build/examples/query_rewriter
+
+#include <iostream>
+
+#include "core/complement.h"
+#include "core/query_translation.h"
+#include "core/warehouse_spec.h"
+#include "parser/interpreter.h"
+#include "parser/parser.h"
+#include "warehouse/warehouse.h"
+
+namespace {
+
+constexpr char kScript[] = R"(
+CREATE TABLE R1(A INT, B INT, C INT, KEY(A));
+CREATE TABLE R2(A INT, C INT, D INT, KEY(A));
+CREATE TABLE R3(A INT, B INT, KEY(A));
+INCLUSION R3(A, B) SUBSETOF R1(A, B);
+INCLUSION R2(A, C) SUBSETOF R1(A, C);
+
+INSERT INTO R1 VALUES (1, 11, 21), (2, 12, 22), (3, 13, 23), (4, 14, 24);
+INSERT INTO R2 VALUES (1, 21, 31), (2, 22, 32), (4, 24, 34);
+INSERT INTO R3 VALUES (1, 11), (3, 13);
+
+VIEW V1 AS R1 JOIN R2;
+VIEW V2 AS R3;
+VIEW V3 AS PROJECT[A, B](R1);
+VIEW V4 AS PROJECT[A, C](R1);
+)";
+
+int Fail(const dwc::Status& status) {
+  std::cerr << "error: " << status.ToString() << "\n";
+  return 1;
+}
+
+int ShowSpec(const dwc::ScriptContext& context, bool use_constraints) {
+  dwc::ComplementOptions options;
+  options.use_constraints = use_constraints;
+  dwc::Result<dwc::ComplementResult> complement =
+      dwc::ComputeComplement(context.views, *context.catalog, options);
+  if (!complement.ok()) return Fail(complement.status());
+  std::cout << (use_constraints ? "-- with keys and INDs (Theorem 2.2):\n"
+                                : "-- without constraints (Prop. 2.2):\n");
+  for (const dwc::BaseComplementInfo& info : complement->per_base) {
+    std::cout << "  C_" << info.base << " = "
+              << (info.provably_empty ? "(provably empty)"
+                                      : info.complement_def->ToString());
+    if (!info.cover_labels.empty()) {
+      std::cout << "   covers:";
+      for (const auto& cover : info.cover_labels) {
+        std::cout << " {";
+        for (size_t i = 0; i < cover.size(); ++i) {
+          std::cout << (i ? ", " : "") << cover[i];
+        }
+        std::cout << "}";
+      }
+    }
+    std::cout << "\n";
+  }
+  std::cout << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main() {
+  dwc::Result<dwc::ScriptContext> context = dwc::RunScript(kScript);
+  if (!context.ok()) return Fail(context.status());
+
+  std::cout << "== Example 2.3 schema and warehouse ==\n"
+            << context->catalog->ToString() << "\n";
+
+  // How constraints shrink the complement.
+  if (int rc = ShowSpec(*context, /*use_constraints=*/false)) return rc;
+  if (int rc = ShowSpec(*context, /*use_constraints=*/true)) return rc;
+
+  dwc::Result<dwc::WarehouseSpec> spec =
+      dwc::SpecifyWarehouse(context->catalog, context->views);
+  if (!spec.ok()) return Fail(spec.status());
+  auto spec_ptr = std::make_shared<dwc::WarehouseSpec>(std::move(spec).value());
+  dwc::Result<dwc::Warehouse> warehouse =
+      dwc::Warehouse::Load(spec_ptr, context->db);
+  if (!warehouse.ok()) return Fail(warehouse.status());
+
+  std::cout << "== Inverse mapping W^-1 ==\n";
+  for (const auto& [base, inverse] : spec_ptr->inverses()) {
+    std::cout << "  " << base << " = " << inverse->ToString() << "\n";
+  }
+  std::cout << "\n== Query translation ==\n";
+  const char* queries[] = {
+      "R1",
+      "project[A, D](R1 JOIN R2)",
+      "project[A, B](R1) union R3",
+      "rename[B -> B1](R3) join R1",
+      "project[A](R3) minus project[A](R2)",
+      "select[C >= 22 and D != 31](R2)",
+  };
+  for (const char* text : queries) {
+    dwc::Result<dwc::ExprRef> query = dwc::ParseExpr(text);
+    if (!query.ok()) {
+      std::cout << "Q = " << text << "\n  (parse error: "
+                << query.status().ToString() << ")\n\n";
+      continue;
+    }
+    dwc::Result<dwc::ExprRef> translated =
+        dwc::TranslateQuery(*query, *spec_ptr);
+    if (!translated.ok()) return Fail(translated.status());
+    dwc::Result<dwc::Relation> answer = warehouse->AnswerQuery(*query);
+    if (!answer.ok()) return Fail(answer.status());
+    dwc::Result<dwc::Relation> direct = context->Evaluate(*query);
+    if (!direct.ok()) return Fail(direct.status());
+    std::cout << "Q  = " << (*query)->ToString() << "\n"
+              << "Q' = " << (*translated)->ToString() << "\n"
+              << "   -> " << answer->size() << " tuples; matches direct "
+              << "evaluation: "
+              << (answer->SameContentAs(*direct) ? "yes" : "NO") << "\n\n";
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+#ifndef DWC_ALGEBRA_ENVIRONMENT_H_
+#define DWC_ALGEBRA_ENVIRONMENT_H_
+
+#include <map>
+#include <string>
+
+#include "relational/database.h"
+#include "relational/relation.h"
+
+namespace dwc {
+
+// Maps relation names to (non-owning) relation instances for evaluation.
+// Bound relations must outlive the Environment and any evaluation using it.
+//
+// One Environment can mix bindings from several stores — e.g. warehouse views
+// plus the update deltas reported by a source — which is exactly the shape of
+// the paper's maintenance expressions.
+class Environment {
+ public:
+  Environment() = default;
+
+  // Later bindings of the same name win.
+  void Bind(const std::string& name, const Relation* relation) {
+    bindings_[name] = relation;
+  }
+
+  // Binds every relation of `db` under its own name.
+  void BindDatabase(const Database& db) {
+    for (const auto& [name, relation] : db.relations()) {
+      bindings_[name] = &relation;
+    }
+  }
+
+  static Environment FromDatabase(const Database& db) {
+    Environment env;
+    env.BindDatabase(db);
+    return env;
+  }
+
+  // nullptr when unbound.
+  const Relation* Find(const std::string& name) const {
+    auto it = bindings_.find(name);
+    return it == bindings_.end() ? nullptr : it->second;
+  }
+
+  const std::map<std::string, const Relation*>& bindings() const {
+    return bindings_;
+  }
+
+ private:
+  std::map<std::string, const Relation*> bindings_;
+};
+
+}  // namespace dwc
+
+#endif  // DWC_ALGEBRA_ENVIRONMENT_H_

@@ -1,0 +1,101 @@
+#ifndef DWC_ALGEBRA_EVALUATOR_H_
+#define DWC_ALGEBRA_EVALUATOR_H_
+
+#include <memory>
+
+#include "algebra/environment.h"
+#include "algebra/expr.h"
+#include "relational/relation.h"
+#include "util/result.h"
+
+namespace dwc {
+
+// Evaluates relational-algebra expressions against an Environment.
+//
+// Name references resolve to bound relations without copying, so repeatedly
+// evaluating small delta expressions against large materialized views is
+// cheap. Natural joins are hash joins; when one operand is a bound
+// (persistent) relation, the hash index is built — and cached — on that side
+// and the computed side streams through it, which gives delta-maintenance
+// expressions their O(|delta|) behaviour after the first refresh.
+struct EvaluatorOptions {
+  // Disables the semijoin/difference pushdown fast paths (plain bottom-up
+  // evaluation). Exists for the ablation benchmark
+  // (bench/bench_pushdown_ablation.cc) and for debugging.
+  bool enable_pushdown = true;
+};
+
+// Execution counters, EXPLAIN-style: how an evaluation did its work.
+// Retrieved via Evaluator::stats() after one or more evaluations.
+struct EvalStats {
+  // Join nodes evaluated, and how many took the pushdown fast path.
+  size_t joins = 0;
+  size_t pushdown_joins = 0;
+  // Difference nodes evaluated / taking the restricted-right fast path.
+  size_t differences = 0;
+  size_t pushdown_differences = 0;
+  // Index key lookups performed against base relations by pushed filters.
+  size_t index_probes = 0;
+
+  std::string ToString() const;
+};
+
+class Evaluator {
+ public:
+  // `env` must outlive the evaluator and is not owned.
+  explicit Evaluator(const Environment* env,
+                     EvaluatorOptions options = EvaluatorOptions())
+      : env_(env), options_(options) {}
+
+  // Returns a relation that may alias a bound relation (kBase leaves).
+  // The result is invalidated by mutating the aliased relation.
+  Result<std::shared_ptr<const Relation>> Eval(const Expr& expr);
+
+  // Returns an owned copy of the result.
+  Result<Relation> Materialize(const Expr& expr);
+
+  // Counters accumulated across all evaluations by this evaluator.
+  const EvalStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = EvalStats(); }
+
+ private:
+  struct EvalOut {
+    std::shared_ptr<const Relation> rel;
+    // True if `rel` aliases an environment binding (so its index cache
+    // persists across evaluations).
+    bool stable = false;
+  };
+
+  // Key filter for semijoin pushdown: only tuples whose projection onto
+  // `attrs` is in `keys` survive.
+  struct KeyFilter {
+    std::vector<std::string> attrs;
+    const Relation::TupleSet* keys;
+  };
+
+  Result<EvalOut> EvalInternal(const Expr& expr);
+  Result<EvalOut> EvalJoin(const Expr& expr);
+  Result<EvalOut> EvalDifference(const Expr& expr);
+
+  // Evaluates `expr` restricted (exactly) to tuples matching `filter`.
+  // This is what makes delta-maintenance expressions O(|delta|): a small
+  // relation joined or differenced against a big reconstruction expression
+  // pushes its key set through pi/sigma/union/difference/rename down to the
+  // base relations, which are probed via their cached indexes instead of
+  // being scanned.
+  Result<EvalOut> EvalWithFilter(const Expr& expr, const KeyFilter& filter);
+
+  // Crude cardinality estimate used to decide pushdown direction.
+  size_t EstimateSize(const Expr& expr) const;
+
+  const Environment* env_;
+  EvaluatorOptions options_;
+  EvalStats stats_;
+};
+
+// One-shot convenience.
+Result<Relation> EvalExpr(const Expr& expr, const Environment& env);
+
+}  // namespace dwc
+
+#endif  // DWC_ALGEBRA_EVALUATOR_H_

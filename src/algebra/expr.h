@@ -1,0 +1,93 @@
+#ifndef DWC_ALGEBRA_EXPR_H_
+#define DWC_ALGEBRA_EXPR_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "algebra/predicate.h"
+#include "relational/schema.h"
+
+namespace dwc {
+
+class Expr;
+using ExprRef = std::shared_ptr<const Expr>;
+
+// Immutable relational-algebra expression tree. Operators follow the paper:
+// named base relations, selection, projection, natural join, union, set
+// difference, plus rename (footnote 3) and an explicit empty relation (used
+// by the pi_Z(R)-else-empty convention and by simplified complements such as
+// C2 = {} in Example 2.4).
+//
+// Expressions reference relations *by name*; what a name denotes (a source
+// base relation, a materialized warehouse view, or an update delta) is
+// decided by the Environment at evaluation time. This is what makes the
+// paper's substitution steps — "replace every reference to a base relation by
+// its inverse" — plain tree rewrites (see algebra/rewriter.h).
+class Expr {
+ public:
+  enum class Kind {
+    kBase,        // Named relation.
+    kEmpty,       // Constant empty relation with a fixed schema.
+    kSelect,      // sigma_{predicate}(child)
+    kProject,     // pi_{attrs}(child)
+    kJoin,        // left |x| right (natural join)
+    kUnion,       // left U right
+    kDifference,  // left \ right
+    kRename,      // rho_{old->new}(child)
+  };
+
+  static ExprRef Base(std::string name);
+  static ExprRef Empty(Schema schema);
+  static ExprRef Select(PredicateRef predicate, ExprRef child);
+  static ExprRef Project(std::vector<std::string> attrs, ExprRef child);
+  static ExprRef Join(ExprRef left, ExprRef right);
+  static ExprRef Union(ExprRef left, ExprRef right);
+  static ExprRef Difference(ExprRef left, ExprRef right);
+  static ExprRef Rename(std::map<std::string, std::string> renames,
+                        ExprRef child);
+
+  // n-ary conveniences; require at least one operand.
+  static ExprRef JoinAll(const std::vector<ExprRef>& exprs);
+  static ExprRef UnionAll(const std::vector<ExprRef>& exprs);
+
+  Kind kind() const { return kind_; }
+  const std::string& base_name() const { return base_name_; }
+  const Schema& empty_schema() const { return empty_schema_; }
+  const PredicateRef& predicate() const { return predicate_; }
+  const std::vector<std::string>& attrs() const { return attrs_; }
+  const std::map<std::string, std::string>& renames() const { return renames_; }
+  const ExprRef& left() const { return left_; }
+  const ExprRef& right() const { return right_; }
+  // Unary child (select / project / rename).
+  const ExprRef& child() const { return left_; }
+
+  // Names of all referenced relations.
+  void CollectNames(std::set<std::string>* names) const;
+  std::set<std::string> ReferencedNames() const;
+
+  // Structural equality.
+  bool Equals(const Expr& other) const;
+
+  // Compact ASCII rendering, e.g.
+  //   project[clerk, age](Sold)  (Sale join Emp)  (Emp minus C1).
+  std::string ToString() const;
+
+ private:
+  Expr() = default;
+
+  Kind kind_ = Kind::kBase;
+  std::string base_name_;
+  Schema empty_schema_;
+  PredicateRef predicate_;
+  std::vector<std::string> attrs_;
+  std::map<std::string, std::string> renames_;
+  ExprRef left_;
+  ExprRef right_;
+};
+
+}  // namespace dwc
+
+#endif  // DWC_ALGEBRA_EXPR_H_

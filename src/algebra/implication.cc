@@ -1,0 +1,260 @@
+#include "algebra/implication.h"
+
+#include <optional>
+#include <vector>
+
+namespace dwc {
+
+namespace {
+
+// A normalized comparison literal: attr <op> constant, or an opaque
+// predicate matched only syntactically.
+struct Literal {
+  bool is_cmp = false;
+  std::string attr;
+  CmpOp op = CmpOp::kEq;
+  Value constant;
+  PredicateRef opaque;  // Set when !is_cmp.
+};
+
+CmpOp Negate(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return CmpOp::kNe;
+    case CmpOp::kNe:
+      return CmpOp::kEq;
+    case CmpOp::kLt:
+      return CmpOp::kGe;
+    case CmpOp::kLe:
+      return CmpOp::kGt;
+    case CmpOp::kGt:
+      return CmpOp::kLe;
+    case CmpOp::kGe:
+      return CmpOp::kLt;
+  }
+  return op;
+}
+
+// Mirror "const op attr" into "attr op' const".
+CmpOp Mirror(CmpOp op) {
+  switch (op) {
+    case CmpOp::kLt:
+      return CmpOp::kGt;
+    case CmpOp::kLe:
+      return CmpOp::kGe;
+    case CmpOp::kGt:
+      return CmpOp::kLt;
+    case CmpOp::kGe:
+      return CmpOp::kLe;
+    default:
+      return op;  // = and != are symmetric.
+  }
+}
+
+// Normalizes a comparison node into a Literal. `negated` applies NOT.
+Literal MakeLiteral(const Predicate& cmp, bool negated) {
+  Literal literal;
+  if (cmp.lhs().is_attr() && !cmp.rhs().is_attr()) {
+    literal.is_cmp = true;
+    literal.attr = cmp.lhs().attr();
+    literal.op = cmp.op();
+    literal.constant = cmp.rhs().value();
+  } else if (!cmp.lhs().is_attr() && cmp.rhs().is_attr()) {
+    literal.is_cmp = true;
+    literal.attr = cmp.rhs().attr();
+    literal.op = Mirror(cmp.op());
+    literal.constant = cmp.lhs().value();
+  } else {
+    literal.opaque = Predicate::Cmp(cmp.lhs(), cmp.op(), cmp.rhs());
+    if (negated) {
+      literal.opaque = Predicate::Cmp(cmp.lhs(), Negate(cmp.op()), cmp.rhs());
+    }
+    return literal;
+  }
+  if (negated) {
+    literal.op = Negate(literal.op);
+  }
+  return literal;
+}
+
+// Flattens `p` through ANDs into literals. Returns false if `p` contains an
+// OR (caller handles disjunction separately) — out is then unusable.
+bool FlattenConjunction(const PredicateRef& p, bool negated,
+                        std::vector<Literal>* out) {
+  switch (p->kind()) {
+    case Predicate::Kind::kTrue:
+      if (negated) {
+        // NOT true: an unsatisfiable conjunct; encode as opaque.
+        Literal literal;
+        literal.opaque = Predicate::Not(Predicate::True());
+        out->push_back(std::move(literal));
+      }
+      return true;
+    case Predicate::Kind::kCmp:
+      out->push_back(MakeLiteral(*p, negated));
+      return true;
+    case Predicate::Kind::kAnd:
+      if (negated) {
+        return false;  // NOT(a AND b) is a disjunction.
+      }
+      return FlattenConjunction(p->left(), false, out) &&
+             FlattenConjunction(p->right(), false, out);
+    case Predicate::Kind::kOr:
+      if (!negated) {
+        return false;
+      }
+      // NOT(a OR b) = NOT a AND NOT b.
+      return FlattenConjunction(p->left(), true, out) &&
+             FlattenConjunction(p->right(), true, out);
+    case Predicate::Kind::kNot:
+      return FlattenConjunction(p->left(), !negated, out);
+  }
+  return false;
+}
+
+// Does the conjunction `facts` entail the single comparison `goal`?
+bool FactsEntailCmp(const std::vector<Literal>& facts, const Literal& goal) {
+  for (const Literal& fact : facts) {
+    if (!fact.is_cmp || fact.attr != goal.attr) {
+      continue;
+    }
+    const Value& fv = fact.constant;
+    const Value& gv = goal.constant;
+    switch (goal.op) {
+      case CmpOp::kEq:
+        if (fact.op == CmpOp::kEq && fv == gv) {
+          return true;
+        }
+        break;
+      case CmpOp::kNe:
+        if (fact.op == CmpOp::kNe && fv == gv) {
+          return true;
+        }
+        if (fact.op == CmpOp::kEq && fv != gv) {
+          return true;
+        }
+        if (fact.op == CmpOp::kLt && gv >= fv) {
+          return true;  // a < fv and gv >= fv: a != gv.
+        }
+        if (fact.op == CmpOp::kLe && gv > fv) {
+          return true;
+        }
+        if (fact.op == CmpOp::kGt && gv <= fv) {
+          return true;
+        }
+        if (fact.op == CmpOp::kGe && gv < fv) {
+          return true;
+        }
+        break;
+      case CmpOp::kLt:
+        if ((fact.op == CmpOp::kLt && fv <= gv) ||
+            (fact.op == CmpOp::kLe && fv < gv) ||
+            (fact.op == CmpOp::kEq && fv < gv)) {
+          return true;
+        }
+        break;
+      case CmpOp::kLe:
+        if ((fact.op == CmpOp::kLt && fv <= gv) ||
+            (fact.op == CmpOp::kLe && fv <= gv) ||
+            (fact.op == CmpOp::kEq && fv <= gv)) {
+          return true;
+        }
+        break;
+      case CmpOp::kGt:
+        if ((fact.op == CmpOp::kGt && fv >= gv) ||
+            (fact.op == CmpOp::kGe && fv > gv) ||
+            (fact.op == CmpOp::kEq && fv > gv)) {
+          return true;
+        }
+        break;
+      case CmpOp::kGe:
+        if ((fact.op == CmpOp::kGt && fv >= gv) ||
+            (fact.op == CmpOp::kGe && fv >= gv) ||
+            (fact.op == CmpOp::kEq && fv >= gv)) {
+          return true;
+        }
+        break;
+    }
+  }
+  return false;
+}
+
+bool FactsEntailOpaque(const std::vector<Literal>& facts,
+                       const PredicateRef& goal) {
+  for (const Literal& fact : facts) {
+    if (!fact.is_cmp && fact.opaque->Equals(*goal)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// facts |= q, with q decomposed structurally.
+bool FactsEntail(const std::vector<Literal>& facts, const PredicateRef& q) {
+  switch (q->kind()) {
+    case Predicate::Kind::kTrue:
+      return true;
+    case Predicate::Kind::kAnd:
+      return FactsEntail(facts, q->left()) && FactsEntail(facts, q->right());
+    case Predicate::Kind::kOr:
+      return FactsEntail(facts, q->left()) || FactsEntail(facts, q->right());
+    case Predicate::Kind::kCmp: {
+      Literal goal = MakeLiteral(*q, /*negated=*/false);
+      if (goal.is_cmp) {
+        return FactsEntailCmp(facts, goal);
+      }
+      return FactsEntailOpaque(facts, goal.opaque);
+    }
+    case Predicate::Kind::kNot: {
+      // Only the comparison case is handled precisely.
+      if (q->left()->kind() == Predicate::Kind::kCmp) {
+        Literal goal = MakeLiteral(*q->left(), /*negated=*/true);
+        if (goal.is_cmp) {
+          return FactsEntailCmp(facts, goal);
+        }
+        return FactsEntailOpaque(facts, goal.opaque);
+      }
+      // Opaque NOT: literal match.
+      return FactsEntailOpaque(facts, q);
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool Implies(const PredicateRef& p, const PredicateRef& q) {
+  if (q->kind() == Predicate::Kind::kTrue) {
+    return true;
+  }
+  // Case split over p's disjunctions.
+  if (p->kind() == Predicate::Kind::kOr) {
+    return Implies(p->left(), q) && Implies(p->right(), q);
+  }
+  if (p->kind() == Predicate::Kind::kNot &&
+      p->left()->kind() == Predicate::Kind::kAnd) {
+    // NOT(a AND b) = NOT a OR NOT b.
+    return Implies(Predicate::Not(p->left()->left()), q) &&
+           Implies(Predicate::Not(p->left()->right()), q);
+  }
+  if (p->kind() == Predicate::Kind::kAnd) {
+    // Distribute nested ORs: (a OR b) AND c ⇒ q iff (a AND c ⇒ q) etc.
+    // Handle the common shallow case; otherwise flatten below (which bails
+    // to `false` when it meets an OR it cannot place).
+    if (p->left()->kind() == Predicate::Kind::kOr) {
+      return Implies(Predicate::And(p->left()->left(), p->right()), q) &&
+             Implies(Predicate::And(p->left()->right(), p->right()), q);
+    }
+    if (p->right()->kind() == Predicate::Kind::kOr) {
+      return Implies(Predicate::And(p->left(), p->right()->left()), q) &&
+             Implies(Predicate::And(p->left(), p->right()->right()), q);
+    }
+  }
+  std::vector<Literal> facts;
+  if (!FlattenConjunction(p, /*negated=*/false, &facts)) {
+    return false;  // Deeply nested OR shape we do not normalize.
+  }
+  return FactsEntail(facts, q);
+}
+
+}  // namespace dwc

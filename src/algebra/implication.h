@@ -1,0 +1,30 @@
+#ifndef DWC_ALGEBRA_IMPLICATION_H_
+#define DWC_ALGEBRA_IMPLICATION_H_
+
+#include "algebra/predicate.h"
+
+namespace dwc {
+
+// Sufficient syntactic test that `p` implies `q`: every tuple satisfying
+// `p` satisfies `q`. Sound but incomplete — `false` means "could not prove
+// it", not "refuted".
+//
+// Reasoning:
+//  * p is decomposed through AND (conjunct set) and OR (every disjunct must
+//    imply q);
+//  * q is decomposed through AND (every conjunct must follow) and OR (some
+//    disjunct must follow);
+//  * per-attribute interval reasoning over comparisons with constants
+//    (a >= 3 and a < 7 implies a > 1, a != 9, ...), plus literal-match for
+//    attribute-to-attribute comparisons and other opaque conjuncts;
+//  * NOT over comparisons is rewritten to the complementary comparison;
+//    other NOTs are treated as opaque literals.
+//
+// Used to decide when a selection view sigma_Q(R) can answer a query
+// restriction sigma_P(R) locally (P implies Q), raising the warehouse's
+// degree of query independence (Section 6).
+bool Implies(const PredicateRef& p, const PredicateRef& q);
+
+}  // namespace dwc
+
+#endif  // DWC_ALGEBRA_IMPLICATION_H_

@@ -1,0 +1,193 @@
+#include "algebra/optimizer.h"
+
+#include <optional>
+
+namespace dwc {
+
+namespace {
+
+// Splits a predicate into its top-level conjuncts ("true" disappears).
+void CollectConjuncts(const PredicateRef& predicate,
+                      std::vector<PredicateRef>* out) {
+  if (predicate->kind() == Predicate::Kind::kTrue) {
+    return;
+  }
+  if (predicate->kind() == Predicate::Kind::kAnd) {
+    CollectConjuncts(predicate->left(), out);
+    CollectConjuncts(predicate->right(), out);
+    return;
+  }
+  out->push_back(predicate);
+}
+
+PredicateRef AndAll(const std::vector<PredicateRef>& conjuncts) {
+  if (conjuncts.empty()) {
+    return Predicate::True();
+  }
+  PredicateRef result = conjuncts[0];
+  for (size_t i = 1; i < conjuncts.size(); ++i) {
+    result = Predicate::And(result, conjuncts[i]);
+  }
+  return result;
+}
+
+std::optional<AttrSet> AttrsOf(const ExprRef& expr,
+                               const SchemaResolver& resolver) {
+  Result<Schema> schema = InferSchema(*expr, resolver);
+  if (!schema.ok()) {
+    return std::nullopt;
+  }
+  return schema->attr_names();
+}
+
+bool Covers(const AttrSet& attrs, const AttrSet& needed) {
+  for (const std::string& name : needed) {
+    if (attrs.find(name) == attrs.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Pushes sigma_{predicate} into `expr` as far as possible; `predicate` must
+// only reference attributes of `expr`'s output.
+ExprRef PushSelect(PredicateRef predicate, const ExprRef& expr,
+                   const SchemaResolver& resolver);
+
+ExprRef Rewrite(const ExprRef& expr, const SchemaResolver& resolver) {
+  switch (expr->kind()) {
+    case Expr::Kind::kBase:
+    case Expr::Kind::kEmpty:
+      return expr;
+    case Expr::Kind::kSelect: {
+      // Gather stacked selections into one predicate, rewrite the child
+      // first, then push the combined predicate into it.
+      std::vector<PredicateRef> conjuncts;
+      ExprRef node = expr;
+      while (node->kind() == Expr::Kind::kSelect) {
+        CollectConjuncts(node->predicate(), &conjuncts);
+        node = node->child();
+      }
+      ExprRef child = Rewrite(node, resolver);
+      return PushSelect(AndAll(conjuncts), child, resolver);
+    }
+    case Expr::Kind::kProject: {
+      ExprRef child = Rewrite(expr->child(), resolver);
+      return child == expr->child() ? expr
+                                    : Expr::Project(expr->attrs(), child);
+    }
+    case Expr::Kind::kRename: {
+      ExprRef child = Rewrite(expr->child(), resolver);
+      return child == expr->child() ? expr
+                                    : Expr::Rename(expr->renames(), child);
+    }
+    case Expr::Kind::kJoin:
+    case Expr::Kind::kUnion:
+    case Expr::Kind::kDifference: {
+      ExprRef left = Rewrite(expr->left(), resolver);
+      ExprRef right = Rewrite(expr->right(), resolver);
+      if (left == expr->left() && right == expr->right()) {
+        return expr;
+      }
+      switch (expr->kind()) {
+        case Expr::Kind::kJoin:
+          return Expr::Join(left, right);
+        case Expr::Kind::kUnion:
+          return Expr::Union(left, right);
+        default:
+          return Expr::Difference(left, right);
+      }
+    }
+  }
+  return expr;
+}
+
+ExprRef PushSelect(PredicateRef predicate, const ExprRef& expr,
+                   const SchemaResolver& resolver) {
+  if (predicate->kind() == Predicate::Kind::kTrue) {
+    return expr;
+  }
+  switch (expr->kind()) {
+    case Expr::Kind::kBase:
+      return Expr::Select(predicate, expr);
+    case Expr::Kind::kEmpty:
+      return expr;  // sigma over empty is empty.
+    case Expr::Kind::kSelect: {
+      // Merge and push once.
+      std::vector<PredicateRef> conjuncts;
+      CollectConjuncts(predicate, &conjuncts);
+      CollectConjuncts(expr->predicate(), &conjuncts);
+      return PushSelect(AndAll(conjuncts), expr->child(), resolver);
+    }
+    case Expr::Kind::kProject:
+      // p only references projected attributes, all present below.
+      return Expr::Project(expr->attrs(),
+                           PushSelect(predicate, expr->child(), resolver));
+    case Expr::Kind::kRename: {
+      // Map attribute names back through the rename.
+      std::map<std::string, std::string> reverse;
+      for (const auto& [from, to] : expr->renames()) {
+        reverse[to] = from;
+      }
+      PredicateRef inner = predicate->RenameAttrs(reverse);
+      return Expr::Rename(expr->renames(),
+                          PushSelect(inner, expr->child(), resolver));
+    }
+    case Expr::Kind::kUnion:
+      return Expr::Union(PushSelect(predicate, expr->left(), resolver),
+                         PushSelect(predicate, expr->right(), resolver));
+    case Expr::Kind::kDifference:
+      // sigma_p(A \ B) = sigma_p(A) \ B.
+      return Expr::Difference(PushSelect(predicate, expr->left(), resolver),
+                              expr->right());
+    case Expr::Kind::kJoin: {
+      std::optional<AttrSet> left_attrs = AttrsOf(expr->left(), resolver);
+      std::optional<AttrSet> right_attrs = AttrsOf(expr->right(), resolver);
+      if (!left_attrs.has_value() || !right_attrs.has_value()) {
+        return Expr::Select(predicate, expr);  // Cannot scope: stay put.
+      }
+      std::vector<PredicateRef> conjuncts;
+      CollectConjuncts(predicate, &conjuncts);
+      std::vector<PredicateRef> left_push, right_push, keep;
+      for (const PredicateRef& conjunct : conjuncts) {
+        AttrSet needed = conjunct->Attributes();
+        bool left_ok = Covers(*left_attrs, needed);
+        bool right_ok = Covers(*right_attrs, needed);
+        if (left_ok) {
+          left_push.push_back(conjunct);
+        }
+        if (right_ok) {
+          right_push.push_back(conjunct);
+        }
+        if (!left_ok && !right_ok) {
+          keep.push_back(conjunct);
+        }
+        // Conjuncts over shared attributes go to *both* sides (filtering
+        // early on each) and need not be kept on top.
+      }
+      ExprRef left = expr->left();
+      ExprRef right = expr->right();
+      if (!left_push.empty()) {
+        left = PushSelect(AndAll(left_push), left, resolver);
+      }
+      if (!right_push.empty()) {
+        right = PushSelect(AndAll(right_push), right, resolver);
+      }
+      ExprRef joined = Expr::Join(left, right);
+      if (keep.empty()) {
+        return joined;
+      }
+      return Expr::Select(AndAll(keep), joined);
+    }
+  }
+  return Expr::Select(predicate, expr);
+}
+
+}  // namespace
+
+ExprRef PushDownSelections(const ExprRef& expr,
+                           const SchemaResolver& resolver) {
+  return Rewrite(expr, resolver);
+}
+
+}  // namespace dwc

@@ -1,0 +1,30 @@
+#ifndef DWC_ALGEBRA_OPTIMIZER_H_
+#define DWC_ALGEBRA_OPTIMIZER_H_
+
+#include "algebra/expr.h"
+#include "algebra/schema_inference.h"
+
+namespace dwc {
+
+// Logical rewrite: pushes selections toward the leaves so that evaluation
+// filters early (and, for equality conjuncts reaching a base relation, can
+// use the relation's hash indexes — see Evaluator). Semantics preserving:
+//
+//   sigma_p(pi_Z(e))     -> pi_Z(sigma_p(e))           (p only sees Z)
+//   sigma_p(rho_m(e))    -> rho_m(sigma_{m^-1(p)}(e))
+//   sigma_p(e1 U e2)     -> sigma_p(e1) U sigma_p(e2)
+//   sigma_p(e1 \ e2)     -> sigma_p(e1) \ e2
+//   sigma_p(e1 |x| e2)   -> conjuncts of p referencing only one side move
+//                           into that side; the rest stays on top
+//   sigma_p(sigma_q(e))  -> sigma_{p and q}(e), then pushed as one
+//
+// The conjunct split needs attribute scopes, hence the resolver; when a
+// subexpression's schema cannot be resolved the selection stays put (still
+// correct, just unoptimized). Queries translated through W^-1 — big unions
+// of projections — benefit the most: the per-branch selections turn into
+// index probes.
+ExprRef PushDownSelections(const ExprRef& expr, const SchemaResolver& resolver);
+
+}  // namespace dwc
+
+#endif  // DWC_ALGEBRA_OPTIMIZER_H_

@@ -1,0 +1,61 @@
+#include "algebra/rewriter.h"
+
+namespace dwc {
+
+ExprRef SubstituteNames(const ExprRef& expr,
+                        const std::map<std::string, ExprRef>& substitutions) {
+  switch (expr->kind()) {
+    case Expr::Kind::kBase: {
+      auto it = substitutions.find(expr->base_name());
+      return it == substitutions.end() ? expr : it->second;
+    }
+    case Expr::Kind::kEmpty:
+      return expr;
+    case Expr::Kind::kSelect: {
+      ExprRef child = SubstituteNames(expr->child(), substitutions);
+      if (child == expr->child()) {
+        return expr;
+      }
+      return Expr::Select(expr->predicate(), std::move(child));
+    }
+    case Expr::Kind::kProject: {
+      ExprRef child = SubstituteNames(expr->child(), substitutions);
+      if (child == expr->child()) {
+        return expr;
+      }
+      return Expr::Project(expr->attrs(), std::move(child));
+    }
+    case Expr::Kind::kRename: {
+      ExprRef child = SubstituteNames(expr->child(), substitutions);
+      if (child == expr->child()) {
+        return expr;
+      }
+      return Expr::Rename(expr->renames(), std::move(child));
+    }
+    case Expr::Kind::kJoin:
+    case Expr::Kind::kUnion:
+    case Expr::Kind::kDifference: {
+      ExprRef left = SubstituteNames(expr->left(), substitutions);
+      ExprRef right = SubstituteNames(expr->right(), substitutions);
+      if (left == expr->left() && right == expr->right()) {
+        return expr;
+      }
+      switch (expr->kind()) {
+        case Expr::Kind::kJoin:
+          return Expr::Join(std::move(left), std::move(right));
+        case Expr::Kind::kUnion:
+          return Expr::Union(std::move(left), std::move(right));
+        default:
+          return Expr::Difference(std::move(left), std::move(right));
+      }
+    }
+  }
+  return expr;
+}
+
+ExprRef SubstituteName(const ExprRef& expr, const std::string& name,
+                       const ExprRef& replacement) {
+  return SubstituteNames(expr, {{name, replacement}});
+}
+
+}  // namespace dwc

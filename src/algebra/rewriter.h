@@ -1,0 +1,27 @@
+#ifndef DWC_ALGEBRA_REWRITER_H_
+#define DWC_ALGEBRA_REWRITER_H_
+
+#include <map>
+#include <string>
+
+#include "algebra/expr.h"
+
+namespace dwc {
+
+// Replaces every name reference in `expr` that appears in `substitutions`
+// with the mapped expression. This single operation implements both of the
+// paper's translation steps (Section 5):
+//  * query translation — substitute each base relation by its inverse
+//    expression over warehouse views (Step 2);
+//  * maintenance-expression derivation — substitute base relations inside
+//    incremental expressions by their inverses (Step 3).
+ExprRef SubstituteNames(const ExprRef& expr,
+                        const std::map<std::string, ExprRef>& substitutions);
+
+// Replaces references to `name` with `replacement`.
+ExprRef SubstituteName(const ExprRef& expr, const std::string& name,
+                       const ExprRef& replacement);
+
+}  // namespace dwc
+
+#endif  // DWC_ALGEBRA_REWRITER_H_

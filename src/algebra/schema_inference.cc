@@ -1,0 +1,114 @@
+#include "algebra/schema_inference.h"
+
+#include "util/string_util.h"
+
+namespace dwc {
+
+SchemaResolver ResolverFromCatalog(const Catalog& catalog) {
+  return [&catalog](const std::string& name) {
+    return catalog.FindSchema(name);
+  };
+}
+
+SchemaResolver ResolverFromEnvironment(const Environment& env) {
+  return [&env](const std::string& name) -> const Schema* {
+    const Relation* rel = env.Find(name);
+    return rel == nullptr ? nullptr : &rel->schema();
+  };
+}
+
+Result<Schema> InferSchema(const Expr& expr, const SchemaResolver& resolver) {
+  switch (expr.kind()) {
+    case Expr::Kind::kBase: {
+      const Schema* schema = resolver(expr.base_name());
+      if (schema == nullptr) {
+        return Status::NotFound(
+            StrCat("unknown relation '", expr.base_name(), "'"));
+      }
+      return *schema;
+    }
+    case Expr::Kind::kEmpty:
+      return expr.empty_schema();
+    case Expr::Kind::kSelect: {
+      DWC_ASSIGN_OR_RETURN(Schema child, InferSchema(*expr.child(), resolver));
+      for (const std::string& attr : expr.predicate()->Attributes()) {
+        if (!child.Contains(attr)) {
+          return Status::InvalidArgument(
+              StrCat("selection predicate references '", attr,
+                     "' which is not in ", child.ToString()));
+        }
+      }
+      return child;
+    }
+    case Expr::Kind::kProject: {
+      DWC_ASSIGN_OR_RETURN(Schema child, InferSchema(*expr.child(), resolver));
+      std::vector<Attribute> attrs;
+      attrs.reserve(expr.attrs().size());
+      for (const std::string& name : expr.attrs()) {
+        std::optional<size_t> idx = child.IndexOf(name);
+        if (!idx.has_value()) {
+          return Status::InvalidArgument(
+              StrCat("projection attribute '", name, "' not in ",
+                     child.ToString()));
+        }
+        attrs.push_back(child.attribute(*idx));
+      }
+      return Schema::Create(std::move(attrs));
+    }
+    case Expr::Kind::kRename: {
+      DWC_ASSIGN_OR_RETURN(Schema child, InferSchema(*expr.child(), resolver));
+      std::vector<Attribute> attrs;
+      attrs.reserve(child.size());
+      for (const Attribute& attr : child.attributes()) {
+        auto it = expr.renames().find(attr.name);
+        if (it != expr.renames().end()) {
+          attrs.push_back(Attribute{it->second, attr.type});
+        } else {
+          attrs.push_back(attr);
+        }
+      }
+      for (const auto& [from, to] : expr.renames()) {
+        (void)to;
+        if (!child.Contains(from)) {
+          return Status::InvalidArgument(
+              StrCat("rename source '", from, "' not in ", child.ToString()));
+        }
+      }
+      return Schema::Create(std::move(attrs));
+    }
+    case Expr::Kind::kJoin: {
+      DWC_ASSIGN_OR_RETURN(Schema left, InferSchema(*expr.left(), resolver));
+      DWC_ASSIGN_OR_RETURN(Schema right, InferSchema(*expr.right(), resolver));
+      std::vector<Attribute> attrs = left.attributes();
+      for (const Attribute& attr : right.attributes()) {
+        std::optional<size_t> idx = left.IndexOf(attr.name);
+        if (idx.has_value()) {
+          if (left.attribute(*idx).type != attr.type) {
+            return Status::InvalidArgument(
+                StrCat("join attribute '", attr.name,
+                       "' has conflicting types"));
+          }
+        } else {
+          attrs.push_back(attr);
+        }
+      }
+      return Schema::Create(std::move(attrs));
+    }
+    case Expr::Kind::kUnion:
+    case Expr::Kind::kDifference: {
+      DWC_ASSIGN_OR_RETURN(Schema left, InferSchema(*expr.left(), resolver));
+      DWC_ASSIGN_OR_RETURN(Schema right, InferSchema(*expr.right(), resolver));
+      if (!left.SameAttrsAs(right)) {
+        const char* op =
+            expr.kind() == Expr::Kind::kUnion ? "union" : "difference";
+        return Status::InvalidArgument(
+            StrCat(op, " operands have different schemas: ", left.ToString(),
+                   " vs ", right.ToString()));
+      }
+      return left;
+    }
+  }
+  return Status::Internal("unknown expression kind");
+}
+
+}  // namespace dwc

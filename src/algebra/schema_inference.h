@@ -1,0 +1,32 @@
+#ifndef DWC_ALGEBRA_SCHEMA_INFERENCE_H_
+#define DWC_ALGEBRA_SCHEMA_INFERENCE_H_
+
+#include <functional>
+#include <string>
+
+#include "algebra/environment.h"
+#include "algebra/expr.h"
+#include "relational/catalog.h"
+#include "relational/schema.h"
+#include "util/result.h"
+
+namespace dwc {
+
+// Resolves a relation name to its schema; returns nullptr for unknown names.
+using SchemaResolver = std::function<const Schema*(const std::string&)>;
+
+SchemaResolver ResolverFromCatalog(const Catalog& catalog);
+SchemaResolver ResolverFromEnvironment(const Environment& env);
+
+// Computes the output schema of `expr`, statically checking the tree:
+//  * base names must resolve;
+//  * projections must target existing attributes;
+//  * selection predicates may only mention attributes of their input;
+//  * union/difference operands must have identical attribute sets and types;
+//  * natural-join common attributes must agree on type;
+//  * renames must not collide.
+Result<Schema> InferSchema(const Expr& expr, const SchemaResolver& resolver);
+
+}  // namespace dwc
+
+#endif  // DWC_ALGEBRA_SCHEMA_INFERENCE_H_

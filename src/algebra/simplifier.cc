@@ -1,0 +1,158 @@
+#include "algebra/simplifier.h"
+
+namespace dwc {
+
+namespace {
+
+bool IsEmptyNode(const ExprRef& expr) {
+  return expr->kind() == Expr::Kind::kEmpty;
+}
+
+// Schema of `expr` via the resolver; nullopt if unavailable.
+std::optional<Schema> TrySchema(const ExprRef& expr,
+                                const SchemaResolver* resolver) {
+  if (resolver == nullptr) {
+    return std::nullopt;
+  }
+  Result<Schema> schema = InferSchema(*expr, *resolver);
+  if (!schema.ok()) {
+    return std::nullopt;
+  }
+  return std::move(schema).value();
+}
+
+}  // namespace
+
+ExprRef Simplify(const ExprRef& expr, const SchemaResolver* resolver) {
+  switch (expr->kind()) {
+    case Expr::Kind::kBase:
+    case Expr::Kind::kEmpty:
+      return expr;
+    case Expr::Kind::kSelect: {
+      ExprRef child = Simplify(expr->child(), resolver);
+      if (IsEmptyNode(child)) {
+        return child;
+      }
+      if (expr->predicate()->kind() == Predicate::Kind::kTrue) {
+        return child;
+      }
+      if (child->kind() == Expr::Kind::kSelect) {
+        return Expr::Select(
+            Predicate::And(expr->predicate(), child->predicate()),
+            child->child());
+      }
+      return child == expr->child() ? expr
+                                    : Expr::Select(expr->predicate(), child);
+    }
+    case Expr::Kind::kProject: {
+      ExprRef child = Simplify(expr->child(), resolver);
+      if (IsEmptyNode(child)) {
+        // Empty projects to an empty relation over the projected attributes.
+        std::vector<Attribute> attrs;
+        for (const std::string& name : expr->attrs()) {
+          std::optional<size_t> idx = child->empty_schema().IndexOf(name);
+          if (!idx.has_value()) {
+            return expr;  // Ill-typed; leave for the evaluator to report.
+          }
+          attrs.push_back(child->empty_schema().attribute(*idx));
+        }
+        Result<Schema> schema = Schema::Create(std::move(attrs));
+        if (!schema.ok()) {
+          return expr;
+        }
+        return Expr::Empty(std::move(schema).value());
+      }
+      if (child->kind() == Expr::Kind::kProject) {
+        return Simplify(Expr::Project(expr->attrs(), child->child()),
+                        resolver);
+      }
+      // Identity projection: same attribute list, same order as the child.
+      std::optional<Schema> child_schema = TrySchema(child, resolver);
+      if (child_schema.has_value() &&
+          child_schema->size() == expr->attrs().size()) {
+        bool identity = true;
+        for (size_t i = 0; i < expr->attrs().size(); ++i) {
+          if (child_schema->attribute(i).name != expr->attrs()[i]) {
+            identity = false;
+            break;
+          }
+        }
+        if (identity) {
+          return child;
+        }
+      }
+      return child == expr->child() ? expr : Expr::Project(expr->attrs(), child);
+    }
+    case Expr::Kind::kRename: {
+      ExprRef child = Simplify(expr->child(), resolver);
+      bool trivial = true;
+      for (const auto& [from, to] : expr->renames()) {
+        if (from != to) {
+          trivial = false;
+          break;
+        }
+      }
+      if (trivial) {
+        return child;
+      }
+      return child == expr->child() ? expr
+                                    : Expr::Rename(expr->renames(), child);
+    }
+    case Expr::Kind::kJoin: {
+      ExprRef left = Simplify(expr->left(), resolver);
+      ExprRef right = Simplify(expr->right(), resolver);
+      if (IsEmptyNode(left) || IsEmptyNode(right)) {
+        ExprRef joined = Expr::Join(left, right);
+        std::optional<Schema> schema = TrySchema(joined, resolver);
+        if (schema.has_value()) {
+          return Expr::Empty(std::move(*schema));
+        }
+        return joined;
+      }
+      if (left == expr->left() && right == expr->right()) {
+        return expr;
+      }
+      return Expr::Join(left, right);
+    }
+    case Expr::Kind::kUnion: {
+      ExprRef left = Simplify(expr->left(), resolver);
+      ExprRef right = Simplify(expr->right(), resolver);
+      if (IsEmptyNode(left)) {
+        return right;
+      }
+      if (IsEmptyNode(right)) {
+        return left;
+      }
+      if (left->Equals(*right)) {
+        return left;
+      }
+      if (left == expr->left() && right == expr->right()) {
+        return expr;
+      }
+      return Expr::Union(left, right);
+    }
+    case Expr::Kind::kDifference: {
+      ExprRef left = Simplify(expr->left(), resolver);
+      ExprRef right = Simplify(expr->right(), resolver);
+      if (IsEmptyNode(left)) {
+        return left;
+      }
+      if (IsEmptyNode(right)) {
+        return left;
+      }
+      if (left->Equals(*right)) {
+        std::optional<Schema> schema = TrySchema(left, resolver);
+        if (schema.has_value()) {
+          return Expr::Empty(std::move(*schema));
+        }
+      }
+      if (left == expr->left() && right == expr->right()) {
+        return expr;
+      }
+      return Expr::Difference(left, right);
+    }
+  }
+  return expr;
+}
+
+}  // namespace dwc

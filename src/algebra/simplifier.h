@@ -1,0 +1,25 @@
+#ifndef DWC_ALGEBRA_SIMPLIFIER_H_
+#define DWC_ALGEBRA_SIMPLIFIER_H_
+
+#include "algebra/expr.h"
+#include "algebra/schema_inference.h"
+
+namespace dwc {
+
+// Applies semantics-preserving cleanup rules bottom-up:
+//   select[true](e) -> e            select(empty) -> empty
+//   select[p](select[q](e)) -> select[p and q](e)
+//   project over project collapses; identity projections vanish
+//   joins/unions/differences with the empty relation collapse
+//   union/difference of structurally equal operands collapse
+//   rename with an empty map vanishes
+//
+// Some rules need output schemas (e.g. `e join empty -> empty` must know the
+// join schema); those only fire when `resolver` is non-null and succeeds.
+// Translated queries (Q over W^-1) shrink considerably under these rules when
+// constraints have made complements empty — see Example 2.4.
+ExprRef Simplify(const ExprRef& expr, const SchemaResolver* resolver = nullptr);
+
+}  // namespace dwc
+
+#endif  // DWC_ALGEBRA_SIMPLIFIER_H_

@@ -1,0 +1,20 @@
+#ifndef DWC_ALGEBRA_VIEW_H_
+#define DWC_ALGEBRA_VIEW_H_
+
+#include <string>
+
+#include "algebra/expr.h"
+
+namespace dwc {
+
+// A named view definition: the pair <name, relational expression>. Warehouses
+// are sets of these (the paper's V = {V1, ..., Vk}), and so are the computed
+// complements C = {C1, ..., Cl}.
+struct ViewDef {
+  std::string name;
+  ExprRef expr;
+};
+
+}  // namespace dwc
+
+#endif  // DWC_ALGEBRA_VIEW_H_

@@ -1,0 +1,87 @@
+#include "core/covers.h"
+
+#include <algorithm>
+#include <set>
+
+namespace dwc {
+
+namespace {
+
+// True if removing any single member of `cover` leaves `target` uncovered.
+bool IsMinimalCover(const std::vector<CoverCandidate>& candidates,
+                    const Cover& cover, const AttrSet& target) {
+  for (size_t skip : cover) {
+    AttrSet covered;
+    for (size_t idx : cover) {
+      if (idx == skip) {
+        continue;
+      }
+      covered.insert(candidates[idx].attrs.begin(),
+                     candidates[idx].attrs.end());
+    }
+    bool still_covers = true;
+    for (const std::string& attr : target) {
+      if (covered.find(attr) == covered.end()) {
+        still_covers = false;
+        break;
+      }
+    }
+    if (still_covers) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<Cover> EnumerateMinimalCovers(
+    const std::vector<CoverCandidate>& candidates, const AttrSet& target,
+    size_t max_covers) {
+  std::vector<Cover> covers;
+  std::set<Cover> seen;
+
+  // Branch on the first uncovered attribute: every cover must contain some
+  // candidate providing it. This visits every minimal cover (possibly some
+  // non-minimal ones, filtered below).
+  std::vector<size_t> chosen;
+  auto recurse = [&](auto&& self, const AttrSet& uncovered) -> void {
+    if (covers.size() >= max_covers) {
+      return;
+    }
+    if (uncovered.empty()) {
+      Cover cover = chosen;
+      std::sort(cover.begin(), cover.end());
+      if (IsMinimalCover(candidates, cover, target) &&
+          seen.insert(cover).second) {
+        covers.push_back(std::move(cover));
+      }
+      return;
+    }
+    const std::string& attr = *uncovered.begin();
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (covers.size() >= max_covers) {
+        return;
+      }
+      if (std::find(chosen.begin(), chosen.end(), i) != chosen.end()) {
+        continue;
+      }
+      if (candidates[i].attrs.find(attr) == candidates[i].attrs.end()) {
+        continue;
+      }
+      AttrSet remaining;
+      for (const std::string& a : uncovered) {
+        if (candidates[i].attrs.find(a) == candidates[i].attrs.end()) {
+          remaining.insert(a);
+        }
+      }
+      chosen.push_back(i);
+      self(self, remaining);
+      chosen.pop_back();
+    }
+  };
+  recurse(recurse, target);
+  return covers;
+}
+
+}  // namespace dwc

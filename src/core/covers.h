@@ -1,0 +1,42 @@
+#ifndef DWC_CORE_COVERS_H_
+#define DWC_CORE_COVERS_H_
+
+#include <string>
+#include <vector>
+
+#include "algebra/expr.h"
+#include "relational/schema.h"
+
+namespace dwc {
+
+// One member of V^ind_{K_j}: either a warehouse view containing R_j's key, or
+// an inclusion-dependency-derived fragment pi_X(R_i) (Theorem 2.2).
+struct CoverCandidate {
+  // Display label, e.g. "V1" or "project[A, B](R3)".
+  std::string label;
+  // The candidate's expression. For view candidates this is the view name
+  // reference; for IND candidates pi_X(R_i) over the *base* name (the
+  // complement machinery substitutes R_i's inverse when building W^-1).
+  ExprRef expr;
+  // The attributes of R_j this candidate contributes (already intersected
+  // with attr(R_j)).
+  AttrSet attrs;
+  // True for pi_X(R_i) candidates derived from an inclusion dependency.
+  bool from_ind = false;
+};
+
+// A cover: indices into the candidate vector.
+using Cover = std::vector<size_t>;
+
+// Enumerates the covers of `target` (Theorem 2.2): subsets Y of `candidates`
+// such that every attribute of `target` appears in some member of Y, and Y
+// is minimal with that property. Enumeration stops after `max_covers`
+// results (the count can be exponential; bench/bench_covers.cc measures it).
+// Returns covers with ascending indices, deduplicated.
+std::vector<Cover> EnumerateMinimalCovers(
+    const std::vector<CoverCandidate>& candidates, const AttrSet& target,
+    size_t max_covers);
+
+}  // namespace dwc
+
+#endif  // DWC_CORE_COVERS_H_

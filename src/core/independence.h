@@ -1,0 +1,67 @@
+#ifndef DWC_CORE_INDEPENDENCE_H_
+#define DWC_CORE_INDEPENDENCE_H_
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "algebra/expr.h"
+#include "core/warehouse_spec.h"
+#include "util/result.h"
+
+namespace dwc {
+
+// Section 6 raises the "degree of query independence" obtained when the
+// warehouse stores *less* than a full complement — e.g. when some C_i is
+// cheap to recompute at the source and is left virtual. This analysis
+// answers: with only a subset of the warehouse relations materialized,
+// which base relations stay reconstructible, and is a given query still
+// answerable locally?
+struct IndependenceReport {
+  // The warehouse relations assumed materialized.
+  std::set<std::string> available;
+  // base relation -> whether its inverse uses only available relations.
+  std::map<std::string, bool> base_reconstructible;
+  // True iff every base relation is reconstructible (full query
+  // independence, Theorem 3.1's setting).
+  bool fully_query_independent = false;
+
+  std::string ToString() const;
+};
+
+// Computes the report for `available` (names must be warehouse relations of
+// `spec`; unknown names are ignored). Pass all of
+// spec.AllWarehouseViews()'s names to describe the full warehouse.
+IndependenceReport AnalyzeIndependence(const WarehouseSpec& spec,
+                                       const std::set<std::string>& available);
+
+// Convenience: the full-warehouse report.
+IndependenceReport AnalyzeFullIndependence(const WarehouseSpec& spec);
+
+// Sufficient test that `query` (over base relations and/or warehouse
+// relations) is answerable from the available relations: every referenced
+// base relation must be reconstructible and every referenced warehouse
+// relation available. (Completeness would need view-based query answering
+// — Levy et al. [16] — which is beyond the paper's construction; a `false`
+// here means "not answerable by inverse substitution", not "provably
+// unanswerable".)
+bool QueryAnswerable(const Expr& query, const WarehouseSpec& spec,
+                     const IndependenceReport& report);
+
+// Goes one step beyond inverse substitution: rewrites `query` over the
+// available relations, answering sigma_P(R) restrictions of a
+// non-reconstructible base R from an available selection view sigma_Q(R)
+// whenever P implies Q (algebra/implication.h):
+//     sigma_P(R)  ->  sigma_P(V)        since P ⇒ Q makes the view lossless
+//                                       for this restriction.
+// Reconstructible bases use their inverses as usual. Fails with
+// FailedPrecondition when some base reference cannot be covered either way.
+// This realizes a concrete slice of Section 6's "degree of query
+// independence" question.
+Result<ExprRef> RewriteOverAvailable(const ExprRef& query,
+                                     const WarehouseSpec& spec,
+                                     const IndependenceReport& report);
+
+}  // namespace dwc
+
+#endif  // DWC_CORE_INDEPENDENCE_H_

@@ -1,0 +1,55 @@
+#ifndef DWC_CORE_MINIMIZER_H_
+#define DWC_CORE_MINIMIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "algebra/view.h"
+#include "relational/catalog.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace dwc {
+
+// Section 6 lists as future work the relaxation that complements need not
+// carry base-relation schemas: Example 2.2 exhibits a smaller complement
+// for a warehouse of projection fragments. This module implements that
+// construction for the shape the paper demonstrates — a single base
+// relation R covered by two projection fragments pi_{Y1}(R), pi_{Y2}(R)
+// (with Y1 ∪ Y2 = attr(R)) plus any number of selection views sigma_P(R):
+//
+//   C' = (R |x| pi_{Y1}((F1 |x| F2) \ R)) \ (S1 ∪ ... ∪ Sm)
+//   R  = C' ∪ S* ∪ ((F1 \ pi_{Y1}(C' ∪ S*)) |x| (F2 \ pi_{Y2}(C' ∪ S*)))
+//
+// where S* = S1 ∪ ... ∪ Sm (empty union ⇒ the empty relation).
+//
+// REPRODUCTION FINDING (see EXPERIMENTS.md): the paper's recomputation
+// identity is *refutable as stated*. On
+//   R = {(1,1,1), (2,0,1), (2,0,2), (2,1,1), (3,0,1)}   (V3: B = 1)
+// the spurious join tuple (3,0,2) puts (3,0,1) into C'; the reconstruction
+// then removes the shared BC-fragment (0,1) from V2 and loses (2,0,1),
+// which is unambiguous but shares a fragment with a C' tuple. The identity
+// *does* hold when the fragment overlap Y1 ∩ Y2 is a declared key of R
+// (lossless join: no spurious tuples, and shared fragments imply equal
+// tuples). The construction is therefore returned together with the result
+// of randomized validation — the caller decides what to trust.
+struct ReducedComplement {
+  // The reduced complement C' (expression over {R} ∪ view names).
+  ViewDef complement;
+  // Reconstruction of R over {C'.name} ∪ view names.
+  ExprRef reconstruction;
+  // True if no refuting state was found in `validation_rounds` random
+  // states (which respect R's declared key, if any).
+  bool validated = false;
+  // A printable refuting state when !validated.
+  std::string counterexample;
+};
+
+Result<ReducedComplement> TryProjectionFragmentComplement(
+    const std::vector<ViewDef>& views, const Catalog& catalog,
+    const std::string& complement_name, Rng* rng,
+    int validation_rounds = 200);
+
+}  // namespace dwc
+
+#endif  // DWC_CORE_MINIMIZER_H_

@@ -1,0 +1,65 @@
+#include "core/ordering.h"
+
+#include "util/string_util.h"
+
+namespace dwc {
+
+Result<bool> ViewLeqOnState(const ExprRef& u, const ExprRef& v,
+                            const Environment& env) {
+  Evaluator evaluator(&env);
+  DWC_ASSIGN_OR_RETURN(std::shared_ptr<const Relation> ur, evaluator.Eval(*u));
+  DWC_ASSIGN_OR_RETURN(std::shared_ptr<const Relation> vr, evaluator.Eval(*v));
+  if (!ur->schema().SameAttrsAs(vr->schema())) {
+    return Status::InvalidArgument(
+        StrCat("view ordering requires equal schemas: ",
+               ur->schema().ToString(), " vs ", vr->schema().ToString()));
+  }
+  if (ur->size() > vr->size()) {
+    return false;
+  }
+  if (ur->schema() == vr->schema()) {
+    for (const Tuple& tuple : ur->tuples()) {
+      if (!vr->Contains(tuple)) {
+        return false;
+      }
+    }
+    return true;
+  }
+  DWC_ASSIGN_OR_RETURN(Relation aligned, vr->AlignTo(ur->schema()));
+  for (const Tuple& tuple : ur->tuples()) {
+    if (!aligned.Contains(tuple)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<bool> ViewsLeqOnState(const std::vector<ViewDef>& u,
+                             const std::vector<ViewDef>& v,
+                             const Environment& env) {
+  if (u.size() != v.size()) {
+    return Status::InvalidArgument(
+        "view lists must have equal length for pairwise comparison");
+  }
+  for (size_t i = 0; i < u.size(); ++i) {
+    DWC_ASSIGN_OR_RETURN(bool leq, ViewLeqOnState(u[i].expr, v[i].expr, env));
+    if (!leq) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<size_t> TotalTuples(const std::vector<ViewDef>& views,
+                           const Environment& env) {
+  Evaluator evaluator(&env);
+  size_t total = 0;
+  for (const ViewDef& view : views) {
+    DWC_ASSIGN_OR_RETURN(std::shared_ptr<const Relation> rel,
+                         evaluator.Eval(*view.expr));
+    total += rel->size();
+  }
+  return total;
+}
+
+}  // namespace dwc

@@ -1,0 +1,35 @@
+#ifndef DWC_CORE_ORDERING_H_
+#define DWC_CORE_ORDERING_H_
+
+#include <vector>
+
+#include "algebra/environment.h"
+#include "algebra/evaluator.h"
+#include "algebra/view.h"
+#include "util/result.h"
+
+namespace dwc {
+
+// Extensional view ordering on one database state (Definition 2.1 is a
+// for-all-states property; these helpers decide it per state, and the
+// property tests quantify over generated states).
+
+// U(d) subseteq V(d)?
+Result<bool> ViewLeqOnState(const ExprRef& u, const ExprRef& v,
+                            const Environment& env);
+
+// Pairwise comparison of two equally long view lists (the sets are compared
+// under the given alignment, which for complements is the per-base pairing).
+// Returns true iff U_i(d) subseteq V_i(d) for all i.
+Result<bool> ViewsLeqOnState(const std::vector<ViewDef>& u,
+                             const std::vector<ViewDef>& v,
+                             const Environment& env);
+
+// Total number of tuples across all views on this state; the size measure
+// used by the complement-size benchmarks.
+Result<size_t> TotalTuples(const std::vector<ViewDef>& views,
+                           const Environment& env);
+
+}  // namespace dwc
+
+#endif  // DWC_CORE_ORDERING_H_

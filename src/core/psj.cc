@@ -1,0 +1,152 @@
+#include "core/psj.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace dwc {
+
+bool PsjView::InvolvesBase(const std::string& base) const {
+  return std::find(bases.begin(), bases.end(), base) != bases.end();
+}
+
+namespace {
+
+// Collects the join tree below the project/select prefix: base relations
+// joined in any shape, with selections allowed around any subtree (they
+// commute up over natural joins). Appends bases and conjoins predicates.
+Status CollectJoinTree(const ExprRef& expr, const Catalog& catalog,
+                       std::vector<std::string>* bases,
+                       PredicateRef* predicate) {
+  switch (expr->kind()) {
+    case Expr::Kind::kBase: {
+      const std::string& name = expr->base_name();
+      if (!catalog.HasRelation(name)) {
+        return Status::NotFound(
+            StrCat("PSJ view references '", name,
+                   "' which is not a base relation of D"));
+      }
+      if (std::find(bases->begin(), bases->end(), name) != bases->end()) {
+        return Status::Unimplemented(
+            StrCat("base relation '", name,
+                   "' joined twice; self-joins need rename support which the "
+                   "paper's construction excludes"));
+      }
+      bases->push_back(name);
+      return Status::Ok();
+    }
+    case Expr::Kind::kSelect: {
+      *predicate = Predicate::And(*predicate, expr->predicate());
+      return CollectJoinTree(expr->child(), catalog, bases, predicate);
+    }
+    case Expr::Kind::kJoin: {
+      DWC_RETURN_IF_ERROR(
+          CollectJoinTree(expr->left(), catalog, bases, predicate));
+      return CollectJoinTree(expr->right(), catalog, bases, predicate);
+    }
+    default:
+      return Status::InvalidArgument(
+          StrCat("expression is not a PSJ view: unexpected ",
+                 expr->ToString(), " below the join tree"));
+  }
+}
+
+}  // namespace
+
+Result<PsjView> AnalyzePsj(const ViewDef& view, const Catalog& catalog) {
+  PsjView result;
+  result.name = view.name;
+  result.expr = view.expr;
+  result.predicate = Predicate::True();
+
+  // Walk the project/select prefix. The outermost projection determines Z;
+  // deeper projections only matter through it (they must be supersets for
+  // the expression to type-check at all).
+  ExprRef node = view.expr;
+  bool have_projection = false;
+  AttrSet projection;
+  while (true) {
+    if (node->kind() == Expr::Kind::kProject) {
+      AttrSet attrs(node->attrs().begin(), node->attrs().end());
+      if (!have_projection) {
+        projection = std::move(attrs);
+        have_projection = true;
+      }
+      // Inner projections below an outer one must not hide attributes the
+      // outer one needs; schema inference catches that. Nothing to record.
+      node = node->child();
+    } else if (node->kind() == Expr::Kind::kSelect) {
+      result.predicate = Predicate::And(result.predicate, node->predicate());
+      node = node->child();
+    } else {
+      break;
+    }
+  }
+
+  DWC_RETURN_IF_ERROR(
+      CollectJoinTree(node, catalog, &result.bases, &result.predicate));
+  if (result.bases.empty()) {
+    return Status::InvalidArgument(
+        StrCat("view '", view.name, "' joins no base relations"));
+  }
+
+  // Full attribute set of the join.
+  AttrSet full;
+  for (const std::string& base : result.bases) {
+    const Schema* schema = catalog.FindSchema(base);
+    AttrSet names = schema->attr_names();
+    full.insert(names.begin(), names.end());
+  }
+
+  if (have_projection) {
+    for (const std::string& attr : projection) {
+      if (full.find(attr) == full.end()) {
+        return Status::InvalidArgument(
+            StrCat("view '", view.name, "' projects unknown attribute '",
+                   attr, "'"));
+      }
+    }
+    result.attrs = std::move(projection);
+  } else {
+    result.attrs = full;
+  }
+  result.is_sj = result.attrs == full;
+
+  // Predicate attributes must be visible in the join (they may be projected
+  // away afterwards only if the selection sits below the projection, which
+  // the prefix walk already ordered correctly; here we only check the join).
+  for (const std::string& attr : result.predicate->Attributes()) {
+    if (full.find(attr) == full.end()) {
+      return Status::InvalidArgument(
+          StrCat("view '", view.name, "' selects on unknown attribute '",
+                 attr, "'"));
+    }
+  }
+  return result;
+}
+
+Result<std::vector<PsjView>> AnalyzeAllPsj(const std::vector<ViewDef>& views,
+                                           const Catalog& catalog) {
+  std::vector<PsjView> analyzed;
+  analyzed.reserve(views.size());
+  for (const ViewDef& view : views) {
+    DWC_ASSIGN_OR_RETURN(PsjView psj, AnalyzePsj(view, catalog));
+    analyzed.push_back(std::move(psj));
+  }
+  return analyzed;
+}
+
+ExprRef ProjectOntoSchema(const ExprRef& source, const AttrSet& source_attrs,
+                          const Schema& rel_schema) {
+  std::vector<std::string> names;
+  names.reserve(rel_schema.size());
+  for (const Attribute& attr : rel_schema.attributes()) {
+    if (source_attrs.find(attr.name) == source_attrs.end()) {
+      return Expr::Empty(rel_schema);
+    }
+    names.push_back(attr.name);
+  }
+  return Expr::Project(std::move(names), source);
+}
+
+}  // namespace dwc

@@ -1,0 +1,59 @@
+#ifndef DWC_CORE_PSJ_H_
+#define DWC_CORE_PSJ_H_
+
+#include <string>
+#include <vector>
+
+#include "algebra/expr.h"
+#include "algebra/predicate.h"
+#include "algebra/view.h"
+#include "relational/catalog.h"
+#include "relational/schema.h"
+#include "util/result.h"
+
+namespace dwc {
+
+// The normal form the paper assumes for warehouse views:
+//   V = pi_Z( sigma_P( R_{i1} |x| ... |x| R_{ik} ) )
+// over base relations of D. AnalyzePsj() recognizes expressions of this
+// shape (also accepting selections pushed below joins, missing projections,
+// missing selections and stacked project/select prefixes, all of which
+// normalize into it) and extracts the parts.
+struct PsjView {
+  std::string name;
+  // The original definition as written.
+  ExprRef expr;
+  // Base relations joined, in join order. Each base occurs at most once
+  // (self-joins would need rename support, which the paper excludes).
+  std::vector<std::string> bases;
+  // Z: the visible attributes. Equal to the full join schema for SJ views.
+  AttrSet attrs;
+  // P: conjunction of all selection conditions (True when absent).
+  PredicateRef predicate;
+  // True if the final projection keeps every attribute (an "SJ view",
+  // Theorem 2.1's minimality case).
+  bool is_sj = false;
+
+  bool InvolvesBase(const std::string& base) const;
+};
+
+// Validates and decomposes `view` against `catalog`. Fails if the expression
+// uses operators outside PSJ (union, difference, rename), references unknown
+// relations, joins a base twice, or nests projections under joins.
+Result<PsjView> AnalyzePsj(const ViewDef& view, const Catalog& catalog);
+
+// Convenience: analyzes all views, failing on the first offender.
+Result<std::vector<PsjView>> AnalyzeAllPsj(const std::vector<ViewDef>& views,
+                                           const Catalog& catalog);
+
+// The paper's pi_{R}(V) convention: the projection of `source` (an
+// expression whose output attributes are `source_attrs`) onto the schema of
+// base relation `rel_schema` if all its attributes are visible, and the
+// empty relation over that schema otherwise. Projection order follows
+// `rel_schema`.
+ExprRef ProjectOntoSchema(const ExprRef& source, const AttrSet& source_attrs,
+                          const Schema& rel_schema);
+
+}  // namespace dwc
+
+#endif  // DWC_CORE_PSJ_H_

@@ -1,0 +1,34 @@
+#include "core/query_translation.h"
+
+#include "algebra/optimizer.h"
+#include "algebra/rewriter.h"
+#include "algebra/simplifier.h"
+#include "util/string_util.h"
+
+namespace dwc {
+
+Result<ExprRef> TranslateQueryRaw(const ExprRef& query,
+                                  const WarehouseSpec& spec) {
+  for (const std::string& name : query->ReferencedNames()) {
+    if (spec.FindInverse(name) == nullptr &&
+        spec.FindWarehouseSchema(name) == nullptr) {
+      return Status::NotFound(
+          StrCat("query references '", name,
+                 "', which is neither a base relation nor a warehouse view"));
+    }
+  }
+  return SubstituteNames(query, spec.inverses());
+}
+
+Result<ExprRef> TranslateQuery(const ExprRef& query,
+                               const WarehouseSpec& spec) {
+  DWC_ASSIGN_OR_RETURN(ExprRef translated, TranslateQueryRaw(query, spec));
+  SchemaResolver resolver = spec.WarehouseResolver();
+  translated = Simplify(translated, &resolver);
+  // Push selections toward the leaves so the evaluator can probe indexes
+  // inside the (often large) inverse reconstructions.
+  translated = PushDownSelections(translated, resolver);
+  return Simplify(translated, &resolver);
+}
+
+}  // namespace dwc

@@ -1,0 +1,26 @@
+#ifndef DWC_CORE_QUERY_TRANSLATION_H_
+#define DWC_CORE_QUERY_TRANSLATION_H_
+
+#include "algebra/expr.h"
+#include "core/warehouse_spec.h"
+#include "util/result.h"
+
+namespace dwc {
+
+// Translates a query Q over the base relations D into the query
+// Q̄ = Q ∘ W^-1 over the warehouse W = V ∪ C (Section 3, Steps 3-4):
+// every base-relation reference is replaced by its inverse expression and
+// the result is simplified. Theorem 3.1 guarantees Q(d) = Q̄(W(d)).
+//
+// Fails if Q references a relation that is neither a base relation with an
+// inverse nor a warehouse relation.
+Result<ExprRef> TranslateQuery(const ExprRef& query, const WarehouseSpec& spec);
+
+// As above, without the final simplification pass (useful for inspecting the
+// raw substitution).
+Result<ExprRef> TranslateQueryRaw(const ExprRef& query,
+                                  const WarehouseSpec& spec);
+
+}  // namespace dwc
+
+#endif  // DWC_CORE_QUERY_TRANSLATION_H_

@@ -1,0 +1,72 @@
+#ifndef DWC_CORE_WAREHOUSE_SPEC_H_
+#define DWC_CORE_WAREHOUSE_SPEC_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algebra/schema_inference.h"
+#include "algebra/view.h"
+#include "core/complement.h"
+#include "relational/catalog.h"
+#include "util/result.h"
+
+namespace dwc {
+
+// The output of Step 1 of the Section 5 algorithm: a warehouse definition
+// W = V ∪ C together with the inverse mapping W^-1 and the schemas of all
+// warehouse relations. Query translation (Section 3) and maintenance-plan
+// derivation (Section 4) build on this.
+class WarehouseSpec {
+ public:
+  WarehouseSpec(std::shared_ptr<const Catalog> catalog,
+                std::vector<ViewDef> views, ComplementResult complement,
+                std::map<std::string, Schema> warehouse_schemas);
+
+  const Catalog& catalog() const { return *catalog_; }
+  std::shared_ptr<const Catalog> catalog_ptr() const { return catalog_; }
+
+  // The user-defined warehouse views V.
+  const std::vector<ViewDef>& views() const { return views_; }
+  // The computed complement C (provably empty members omitted).
+  const std::vector<ViewDef>& complements() const {
+    return complement_.complements;
+  }
+  // V ∪ C: everything the warehouse materializes.
+  std::vector<ViewDef> AllWarehouseViews() const;
+
+  const ComplementResult& complement() const { return complement_; }
+
+  // W^-1: base relation name -> expression over warehouse view names.
+  const std::map<std::string, ExprRef>& inverses() const {
+    return complement_.inverses;
+  }
+  // nullptr when `base` is not a catalog relation.
+  const ExprRef* FindInverse(const std::string& base) const;
+
+  // Schema of a materialized warehouse relation; nullptr if unknown.
+  const Schema* FindWarehouseSchema(const std::string& name) const;
+  // Resolves warehouse relation names to schemas (for simplification and
+  // validation of translated queries).
+  SchemaResolver WarehouseResolver() const;
+
+  std::string ToString() const;
+
+ private:
+  std::shared_ptr<const Catalog> catalog_;
+  std::vector<ViewDef> views_;
+  ComplementResult complement_;
+  std::map<std::string, Schema> warehouse_schemas_;
+};
+
+// Runs PSJ analysis, complement computation and schema inference, yielding a
+// ready-to-use spec. `views` must be PSJ views over `catalog`.
+Result<WarehouseSpec> SpecifyWarehouse(std::shared_ptr<const Catalog> catalog,
+                                       std::vector<ViewDef> views,
+                                       const ComplementOptions& options =
+                                           ComplementOptions());
+
+}  // namespace dwc
+
+#endif  // DWC_CORE_WAREHOUSE_SPEC_H_

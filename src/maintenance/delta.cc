@@ -1,0 +1,110 @@
+#include "maintenance/delta.h"
+
+#include "util/string_util.h"
+
+namespace dwc {
+
+std::string DeltaInsName(const std::string& base) { return "ins:" + base; }
+std::string DeltaDelName(const std::string& base) { return "del:" + base; }
+
+bool DeltaDeriver::Touches(const Expr& expr) const {
+  for (const std::string& name : expr.ReferencedNames()) {
+    if (updated_bases_.find(name) != updated_bases_.end()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Result<Schema> DeltaDeriver::SchemaOf(const ExprRef& expr) const {
+  return InferSchema(*expr, resolver_);
+}
+
+ExprRef DeltaDeriver::NewState(const ExprRef& expr) const {
+  std::map<std::string, ExprRef> substitutions;
+  for (const std::string& base : updated_bases_) {
+    substitutions[base] = Expr::Difference(
+        Expr::Union(Expr::Base(base), Expr::Base(DeltaInsName(base))),
+        Expr::Base(DeltaDelName(base)));
+  }
+  return SubstituteNames(expr, substitutions);
+}
+
+Result<DeltaPair> DeltaDeriver::Derive(const ExprRef& expr) {
+  if (!Touches(*expr)) {
+    DWC_ASSIGN_OR_RETURN(Schema schema, SchemaOf(expr));
+    return DeltaPair{Expr::Empty(schema), Expr::Empty(schema)};
+  }
+  switch (expr->kind()) {
+    case Expr::Kind::kBase: {
+      // Touched, so this is an updated base. Deltas are canonical: inserts
+      // disjoint from the base, deletes contained in it.
+      return DeltaPair{Expr::Base(DeltaInsName(expr->base_name())),
+                       Expr::Base(DeltaDelName(expr->base_name()))};
+    }
+    case Expr::Kind::kEmpty: {
+      return DeltaPair{expr, expr};  // Unreachable (not touched), for safety.
+    }
+    case Expr::Kind::kSelect: {
+      DWC_ASSIGN_OR_RETURN(DeltaPair child, Derive(expr->child()));
+      return DeltaPair{Expr::Select(expr->predicate(), child.plus),
+                       Expr::Select(expr->predicate(), child.minus)};
+    }
+    case Expr::Kind::kProject: {
+      DWC_ASSIGN_OR_RETURN(DeltaPair child, Derive(expr->child()));
+      ExprRef old_proj = expr;
+      ExprRef new_proj =
+          Expr::Project(expr->attrs(), NewState(expr->child()));
+      return DeltaPair{
+          Expr::Difference(Expr::Project(expr->attrs(), child.plus),
+                           old_proj),
+          Expr::Difference(Expr::Project(expr->attrs(), child.minus),
+                           new_proj)};
+    }
+    case Expr::Kind::kRename: {
+      DWC_ASSIGN_OR_RETURN(DeltaPair child, Derive(expr->child()));
+      return DeltaPair{Expr::Rename(expr->renames(), child.plus),
+                       Expr::Rename(expr->renames(), child.minus)};
+    }
+    case Expr::Kind::kJoin: {
+      DWC_ASSIGN_OR_RETURN(DeltaPair left, Derive(expr->left()));
+      DWC_ASSIGN_OR_RETURN(DeltaPair right, Derive(expr->right()));
+      ExprRef new_left = NewState(expr->left());
+      ExprRef new_right = NewState(expr->right());
+      // Δ+ = (Δ+L |x| new R) U (new L |x| Δ+R); the two sides are disjoint
+      // from the old join by construction, so no correction term is needed.
+      ExprRef plus = Expr::Union(Expr::Join(left.plus, new_right),
+                                 Expr::Join(new_left, right.plus));
+      // Δ- = (Δ-L |x| R) U (L |x| Δ-R).
+      ExprRef minus = Expr::Union(Expr::Join(left.minus, expr->right()),
+                                  Expr::Join(expr->left(), right.minus));
+      return DeltaPair{std::move(plus), std::move(minus)};
+    }
+    case Expr::Kind::kUnion: {
+      DWC_ASSIGN_OR_RETURN(DeltaPair left, Derive(expr->left()));
+      DWC_ASSIGN_OR_RETURN(DeltaPair right, Derive(expr->right()));
+      ExprRef new_union =
+          Expr::Union(NewState(expr->left()), NewState(expr->right()));
+      ExprRef plus =
+          Expr::Difference(Expr::Union(left.plus, right.plus), expr);
+      ExprRef minus =
+          Expr::Difference(Expr::Union(left.minus, right.minus), new_union);
+      return DeltaPair{std::move(plus), std::move(minus)};
+    }
+    case Expr::Kind::kDifference: {
+      DWC_ASSIGN_OR_RETURN(DeltaPair left, Derive(expr->left()));
+      DWC_ASSIGN_OR_RETURN(DeltaPair right, Derive(expr->right()));
+      ExprRef new_left = NewState(expr->left());
+      ExprRef new_right = NewState(expr->right());
+      // Natural join of equal schemas is intersection.
+      ExprRef plus = Expr::Union(Expr::Difference(left.plus, new_right),
+                                 Expr::Join(new_left, right.minus));
+      ExprRef minus = Expr::Union(Expr::Difference(left.minus, expr->right()),
+                                  Expr::Join(expr->left(), right.plus));
+      return DeltaPair{std::move(plus), std::move(minus)};
+    }
+  }
+  return Status::Internal("unknown expression kind");
+}
+
+}  // namespace dwc

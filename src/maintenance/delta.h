@@ -1,0 +1,75 @@
+#ifndef DWC_MAINTENANCE_DELTA_H_
+#define DWC_MAINTENANCE_DELTA_H_
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "algebra/expr.h"
+#include "algebra/rewriter.h"
+#include "algebra/schema_inference.h"
+#include "util/result.h"
+
+namespace dwc {
+
+// Conventional names under which a reported source update is bound in the
+// evaluation environment: "ins:R" / "del:R" hold the inserted and deleted
+// tuple sets of base relation R. The runtime canonicalizes them before
+// binding (inserts disjoint from R, deletes a subset of R), which the delta
+// rules below assume.
+std::string DeltaInsName(const std::string& base);
+std::string DeltaDelName(const std::string& base);
+
+// A pair of expressions computing the exact insert / delete sets of some
+// expression under an update.
+struct DeltaPair {
+  ExprRef plus;
+  ExprRef minus;
+};
+
+// Derives exact set-semantics change-propagation expressions (after
+// Griffin/Libkin, Qian/Wiederhold):
+//
+//   base R (updated)     Δ+ = ins:R                Δ- = del:R
+//   base R (untouched)   Δ+ = Δ- = empty
+//   sigma_p(E)           Δ+ = sigma_p(Δ+E)         Δ- = sigma_p(Δ-E)
+//   pi_Z(E)              Δ+ = pi_Z(Δ+E) \ pi_Z(E)  Δ- = pi_Z(Δ-E) \ pi_Z(new E)
+//   E1 |x| E2            Δ+ = (Δ+E1 |x| new E2) U (new E1 |x| Δ+E2)
+//                        Δ- = (Δ-E1 |x| E2) U (E1 |x| Δ-E2)
+//   E1 U E2              Δ+ = (Δ+E1 U Δ+E2) \ (E1 U E2)
+//                        Δ- = (Δ-E1 U Δ-E2) \ (new E1 U new E2)
+//   E1 \ E2              Δ+ = (Δ+E1 \ new E2) U (new E1 ∩ Δ-E2)
+//                        Δ- = (Δ-E1 \ E2) U (E1 ∩ Δ+E2)
+//   rho(E)               Δ+ = rho(Δ+E)             Δ- = rho(Δ-E)
+//
+// where `new E` is E with every updated base R replaced by
+// (R U ins:R) \ del:R, and ∩ is spelled as a natural join of equal schemas.
+// Subtrees not touching an updated base collapse to empty deltas.
+class DeltaDeriver {
+ public:
+  // `updated_bases` lists the base relations with pending deltas. `resolver`
+  // must know every relation name appearing in derived expressions (bases
+  // and views) so empty-relation nodes get correct schemas.
+  DeltaDeriver(std::set<std::string> updated_bases, SchemaResolver resolver)
+      : updated_bases_(std::move(updated_bases)),
+        resolver_(std::move(resolver)) {}
+
+  // Exact deltas of `expr` under the update.
+  Result<DeltaPair> Derive(const ExprRef& expr);
+
+  // `expr` evaluated on the post-update state (bases rewritten).
+  ExprRef NewState(const ExprRef& expr) const;
+
+  // True if `expr` references an updated base.
+  bool Touches(const Expr& expr) const;
+
+ private:
+  Result<Schema> SchemaOf(const ExprRef& expr) const;
+
+  std::set<std::string> updated_bases_;
+  SchemaResolver resolver_;
+};
+
+}  // namespace dwc
+
+#endif  // DWC_MAINTENANCE_DELTA_H_

@@ -1,0 +1,51 @@
+#ifndef DWC_PARSER_INTERPRETER_H_
+#define DWC_PARSER_INTERPRETER_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "algebra/expr.h"
+#include "algebra/view.h"
+#include "parser/statement.h"
+#include "relational/catalog.h"
+#include "relational/database.h"
+#include "relational/relation.h"
+#include "util/result.h"
+
+namespace dwc {
+
+// The outcome of running a DSL script: a catalog with constraints, a
+// populated database state, the declared views (in order), and the results
+// of QUERY statements (in order).
+struct ScriptContext {
+  std::shared_ptr<Catalog> catalog;
+  Database db;
+  std::vector<ViewDef> views;
+  // SUMMARY definitions, validated but not materialized (they live at the
+  // warehouse layer: pass them to Warehouse::AddAggregateView).
+  std::vector<AggregateViewDef> summaries;
+  std::vector<Relation> query_results;
+
+  ScriptContext()
+      : catalog(std::make_shared<Catalog>()), db(catalog) {}
+
+  // Finds a declared view by name; nullptr when absent.
+  const ViewDef* FindView(const std::string& name) const;
+
+  // Evaluates `expr` against the database state with all declared views
+  // materialized on the fly.
+  Result<Relation> Evaluate(const ExprRef& expr) const;
+};
+
+// Parses and executes `script`. View definitions are type-checked against
+// the catalog; inserts/deletes are checked against relation schemas; QUERY
+// results are collected. Constraint *declarations* are validated, but state
+// validation (keys/INDs actually holding) is the caller's choice via
+// ScriptContext::db.ValidateConstraints().
+Result<ScriptContext> RunScript(std::string_view script);
+
+}  // namespace dwc
+
+#endif  // DWC_PARSER_INTERPRETER_H_

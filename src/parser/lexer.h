@@ -1,0 +1,19 @@
+#ifndef DWC_PARSER_LEXER_H_
+#define DWC_PARSER_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "parser/token.h"
+#include "util/result.h"
+
+namespace dwc {
+
+// Tokenizes a DSL script. `--` starts a line comment. Keywords are returned
+// as kIdentifier; the parser matches them case-insensitively.
+Result<std::vector<Token>> Tokenize(std::string_view input);
+
+}  // namespace dwc
+
+#endif  // DWC_PARSER_LEXER_H_

@@ -1,0 +1,474 @@
+#include "parser/parser.h"
+
+#include <set>
+#include "parser/lexer.h"
+#include "util/string_util.h"
+
+namespace dwc {
+
+namespace {
+
+// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<std::vector<Statement>> Program() {
+    std::vector<Statement> statements;
+    while (!AtEnd()) {
+      DWC_ASSIGN_OR_RETURN(Statement stmt, ParseStatement());
+      statements.push_back(std::move(stmt));
+      DWC_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon, ";"));
+    }
+    return statements;
+  }
+
+  Result<ExprRef> SingleExpr() {
+    DWC_ASSIGN_OR_RETURN(ExprRef expr, ParseExpression());
+    DWC_RETURN_IF_ERROR(ExpectEnd());
+    return expr;
+  }
+
+  Result<PredicateRef> SinglePredicate() {
+    DWC_ASSIGN_OR_RETURN(PredicateRef pred, ParsePred());
+    DWC_RETURN_IF_ERROR(ExpectEnd());
+    return pred;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool AtEnd() const { return Peek().kind == TokenKind::kEnd; }
+
+  bool PeekKeyword(std::string_view keyword) const {
+    return Peek().kind == TokenKind::kIdentifier &&
+           ToLower(Peek().text) == keyword;
+  }
+  bool MatchKeyword(std::string_view keyword) {
+    if (PeekKeyword(keyword)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  bool Match(TokenKind kind) {
+    if (Peek().kind == kind) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  Status ErrorHere(std::string_view message) const {
+    return Status::InvalidArgument(StrCat(message, " at line ", Peek().line,
+                                          ", column ", Peek().column,
+                                          " (near '", Peek().text, "')"));
+  }
+
+  Status Expect(TokenKind kind, std::string_view what) {
+    if (!Match(kind)) {
+      return ErrorHere(StrCat("expected '", what, "'"));
+    }
+    return Status::Ok();
+  }
+
+  Status ExpectKeyword(std::string_view keyword) {
+    if (!MatchKeyword(keyword)) {
+      return ErrorHere(StrCat("expected keyword '", keyword, "'"));
+    }
+    return Status::Ok();
+  }
+
+  Status ExpectEnd() {
+    if (!AtEnd()) {
+      return ErrorHere("expected end of input");
+    }
+    return Status::Ok();
+  }
+
+  Result<std::string> ExpectName() {
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return Status::InvalidArgument(StrCat("expected a name at line ",
+                                            Peek().line, ", column ",
+                                            Peek().column));
+    }
+    return Advance().text;
+  }
+
+  Result<Statement> ParseStatement() {
+    if (MatchKeyword("create")) {
+      DWC_RETURN_IF_ERROR(ExpectKeyword("table"));
+      return ParseCreateTable();
+    }
+    if (MatchKeyword("inclusion")) {
+      return ParseInclusion();
+    }
+    if (MatchKeyword("view")) {
+      DWC_ASSIGN_OR_RETURN(std::string name, ExpectName());
+      DWC_RETURN_IF_ERROR(ExpectKeyword("as"));
+      DWC_ASSIGN_OR_RETURN(ExprRef expr, ParseExpression());
+      return Statement(ViewStmt{std::move(name), std::move(expr)});
+    }
+    if (MatchKeyword("insert")) {
+      DWC_RETURN_IF_ERROR(ExpectKeyword("into"));
+      DWC_ASSIGN_OR_RETURN(std::string name, ExpectName());
+      DWC_RETURN_IF_ERROR(ExpectKeyword("values"));
+      DWC_ASSIGN_OR_RETURN(std::vector<Tuple> tuples, ParseTupleList());
+      return Statement(InsertStmt{std::move(name), std::move(tuples)});
+    }
+    if (MatchKeyword("delete")) {
+      DWC_RETURN_IF_ERROR(ExpectKeyword("from"));
+      DWC_ASSIGN_OR_RETURN(std::string name, ExpectName());
+      DWC_RETURN_IF_ERROR(ExpectKeyword("values"));
+      DWC_ASSIGN_OR_RETURN(std::vector<Tuple> tuples, ParseTupleList());
+      return Statement(DeleteStmt{std::move(name), std::move(tuples)});
+    }
+    if (MatchKeyword("query")) {
+      DWC_ASSIGN_OR_RETURN(ExprRef expr, ParseExpression());
+      return Statement(QueryStmt{std::move(expr)});
+    }
+    if (MatchKeyword("summary")) {
+      return ParseSummary();
+    }
+    return ErrorHere("expected a statement");
+  }
+
+  Result<Statement> ParseSummary() {
+    AggregateViewDef def;
+    DWC_ASSIGN_OR_RETURN(def.name, ExpectName());
+    DWC_RETURN_IF_ERROR(ExpectKeyword("as"));
+    DWC_RETURN_IF_ERROR(ExpectKeyword("select"));
+    std::vector<std::string> plain;
+    do {
+      if (MatchKeyword("count")) {
+        DWC_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "("));
+        DWC_RETURN_IF_ERROR(Expect(TokenKind::kRParen, ")"));
+        DWC_RETURN_IF_ERROR(ExpectKeyword("as"));
+        AggSpec spec;
+        spec.func = AggFunc::kCount;
+        DWC_ASSIGN_OR_RETURN(spec.out_name, ExpectName());
+        def.aggregates.push_back(std::move(spec));
+      } else if (PeekKeyword("sum") || PeekKeyword("min") ||
+                 PeekKeyword("max")) {
+        AggSpec spec;
+        if (MatchKeyword("sum")) {
+          spec.func = AggFunc::kSum;
+        } else if (MatchKeyword("min")) {
+          spec.func = AggFunc::kMin;
+        } else {
+          DWC_RETURN_IF_ERROR(ExpectKeyword("max"));
+          spec.func = AggFunc::kMax;
+        }
+        DWC_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "("));
+        DWC_ASSIGN_OR_RETURN(spec.attr, ExpectName());
+        DWC_RETURN_IF_ERROR(Expect(TokenKind::kRParen, ")"));
+        DWC_RETURN_IF_ERROR(ExpectKeyword("as"));
+        DWC_ASSIGN_OR_RETURN(spec.out_name, ExpectName());
+        def.aggregates.push_back(std::move(spec));
+      } else {
+        DWC_ASSIGN_OR_RETURN(std::string name, ExpectName());
+        plain.push_back(std::move(name));
+      }
+    } while (Match(TokenKind::kComma));
+    DWC_RETURN_IF_ERROR(ExpectKeyword("from"));
+    DWC_ASSIGN_OR_RETURN(def.source, ParseExpression());
+    DWC_RETURN_IF_ERROR(ExpectKeyword("group"));
+    DWC_RETURN_IF_ERROR(ExpectKeyword("by"));
+    DWC_ASSIGN_OR_RETURN(def.group_by, ParseNameList());
+    // The plain select items must be exactly the group-by attributes.
+    std::set<std::string> group_set(def.group_by.begin(), def.group_by.end());
+    std::set<std::string> plain_set(plain.begin(), plain.end());
+    if (group_set != plain_set) {
+      return Status::InvalidArgument(
+          StrCat("SUMMARY ", def.name,
+                 ": the non-aggregated select items must equal the GROUP BY "
+                 "attributes"));
+    }
+    return Statement(SummaryStmt{std::move(def)});
+  }
+
+  Result<ValueType> ParseType() {
+    if (MatchKeyword("int")) {
+      return ValueType::kInt;
+    }
+    if (MatchKeyword("double")) {
+      return ValueType::kDouble;
+    }
+    if (MatchKeyword("string")) {
+      return ValueType::kString;
+    }
+    return ErrorHere("expected a type (INT, DOUBLE, STRING)");
+  }
+
+  Result<Statement> ParseCreateTable() {
+    DWC_ASSIGN_OR_RETURN(std::string name, ExpectName());
+    DWC_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "("));
+    std::vector<Attribute> attrs;
+    std::optional<AttrSet> key;
+    while (true) {
+      if (MatchKeyword("key")) {
+        DWC_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "("));
+        AttrSet key_attrs;
+        do {
+          DWC_ASSIGN_OR_RETURN(std::string attr, ExpectName());
+          key_attrs.insert(std::move(attr));
+        } while (Match(TokenKind::kComma));
+        DWC_RETURN_IF_ERROR(Expect(TokenKind::kRParen, ")"));
+        key = std::move(key_attrs);
+      } else {
+        DWC_ASSIGN_OR_RETURN(std::string attr, ExpectName());
+        DWC_ASSIGN_OR_RETURN(ValueType type, ParseType());
+        attrs.push_back(Attribute{std::move(attr), type});
+      }
+      if (!Match(TokenKind::kComma)) {
+        break;
+      }
+    }
+    DWC_RETURN_IF_ERROR(Expect(TokenKind::kRParen, ")"));
+    DWC_ASSIGN_OR_RETURN(Schema schema, Schema::Create(std::move(attrs)));
+    return Statement(
+        CreateTableStmt{std::move(name), std::move(schema), std::move(key)});
+  }
+
+  Result<std::vector<std::string>> ParseNameList() {
+    std::vector<std::string> names;
+    do {
+      DWC_ASSIGN_OR_RETURN(std::string name, ExpectName());
+      names.push_back(std::move(name));
+    } while (Match(TokenKind::kComma));
+    return names;
+  }
+
+  Result<Statement> ParseInclusion() {
+    InclusionDependency ind;
+    DWC_ASSIGN_OR_RETURN(ind.lhs_relation, ExpectName());
+    DWC_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "("));
+    DWC_ASSIGN_OR_RETURN(ind.lhs_attrs, ParseNameList());
+    DWC_RETURN_IF_ERROR(Expect(TokenKind::kRParen, ")"));
+    DWC_RETURN_IF_ERROR(ExpectKeyword("subsetof"));
+    DWC_ASSIGN_OR_RETURN(ind.rhs_relation, ExpectName());
+    DWC_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "("));
+    DWC_ASSIGN_OR_RETURN(ind.rhs_attrs, ParseNameList());
+    DWC_RETURN_IF_ERROR(Expect(TokenKind::kRParen, ")"));
+    return Statement(InclusionStmt{std::move(ind)});
+  }
+
+  Result<Value> ParseValue() {
+    const Token& token = Peek();
+    switch (token.kind) {
+      case TokenKind::kInt:
+        Advance();
+        return Value::Int(token.int_value);
+      case TokenKind::kDouble:
+        Advance();
+        return Value::Double(token.double_value);
+      case TokenKind::kString:
+        Advance();
+        return Value::String(token.text);
+      case TokenKind::kIdentifier:
+        if (MatchKeyword("null")) {
+          return Value::Null();
+        }
+        return ErrorHere("expected a literal value");
+      default:
+        return ErrorHere("expected a literal value");
+    }
+  }
+
+  Result<std::vector<Tuple>> ParseTupleList() {
+    std::vector<Tuple> tuples;
+    do {
+      DWC_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "("));
+      std::vector<Value> values;
+      do {
+        DWC_ASSIGN_OR_RETURN(Value value, ParseValue());
+        values.push_back(std::move(value));
+      } while (Match(TokenKind::kComma));
+      DWC_RETURN_IF_ERROR(Expect(TokenKind::kRParen, ")"));
+      tuples.push_back(Tuple(std::move(values)));
+    } while (Match(TokenKind::kComma));
+    return tuples;
+  }
+
+  Result<ExprRef> ParseExpression() {
+    DWC_ASSIGN_OR_RETURN(ExprRef expr, ParseTerm());
+    while (true) {
+      if (MatchKeyword("join")) {
+        DWC_ASSIGN_OR_RETURN(ExprRef rhs, ParseTerm());
+        expr = Expr::Join(std::move(expr), std::move(rhs));
+      } else if (MatchKeyword("union")) {
+        DWC_ASSIGN_OR_RETURN(ExprRef rhs, ParseTerm());
+        expr = Expr::Union(std::move(expr), std::move(rhs));
+      } else if (MatchKeyword("minus")) {
+        DWC_ASSIGN_OR_RETURN(ExprRef rhs, ParseTerm());
+        expr = Expr::Difference(std::move(expr), std::move(rhs));
+      } else {
+        return expr;
+      }
+    }
+  }
+
+  Result<ExprRef> ParseTerm() {
+    if (Match(TokenKind::kLParen)) {
+      DWC_ASSIGN_OR_RETURN(ExprRef expr, ParseExpression());
+      DWC_RETURN_IF_ERROR(Expect(TokenKind::kRParen, ")"));
+      return expr;
+    }
+    if (MatchKeyword("project")) {
+      DWC_RETURN_IF_ERROR(Expect(TokenKind::kLBracket, "["));
+      DWC_ASSIGN_OR_RETURN(std::vector<std::string> attrs, ParseNameList());
+      DWC_RETURN_IF_ERROR(Expect(TokenKind::kRBracket, "]"));
+      DWC_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "("));
+      DWC_ASSIGN_OR_RETURN(ExprRef child, ParseExpression());
+      DWC_RETURN_IF_ERROR(Expect(TokenKind::kRParen, ")"));
+      return Expr::Project(std::move(attrs), std::move(child));
+    }
+    if (MatchKeyword("select")) {
+      DWC_RETURN_IF_ERROR(Expect(TokenKind::kLBracket, "["));
+      DWC_ASSIGN_OR_RETURN(PredicateRef pred, ParsePred());
+      DWC_RETURN_IF_ERROR(Expect(TokenKind::kRBracket, "]"));
+      DWC_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "("));
+      DWC_ASSIGN_OR_RETURN(ExprRef child, ParseExpression());
+      DWC_RETURN_IF_ERROR(Expect(TokenKind::kRParen, ")"));
+      return Expr::Select(std::move(pred), std::move(child));
+    }
+    if (MatchKeyword("rename")) {
+      DWC_RETURN_IF_ERROR(Expect(TokenKind::kLBracket, "["));
+      std::map<std::string, std::string> renames;
+      do {
+        DWC_ASSIGN_OR_RETURN(std::string from, ExpectName());
+        DWC_RETURN_IF_ERROR(Expect(TokenKind::kArrow, "->"));
+        DWC_ASSIGN_OR_RETURN(std::string to, ExpectName());
+        renames[std::move(from)] = std::move(to);
+      } while (Match(TokenKind::kComma));
+      DWC_RETURN_IF_ERROR(Expect(TokenKind::kRBracket, "]"));
+      DWC_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "("));
+      DWC_ASSIGN_OR_RETURN(ExprRef child, ParseExpression());
+      DWC_RETURN_IF_ERROR(Expect(TokenKind::kRParen, ")"));
+      return Expr::Rename(std::move(renames), std::move(child));
+    }
+    if (MatchKeyword("empty")) {
+      DWC_RETURN_IF_ERROR(Expect(TokenKind::kLBracket, "["));
+      std::vector<Attribute> attrs;
+      do {
+        DWC_ASSIGN_OR_RETURN(std::string name, ExpectName());
+        DWC_ASSIGN_OR_RETURN(ValueType type, ParseType());
+        attrs.push_back(Attribute{std::move(name), type});
+      } while (Match(TokenKind::kComma));
+      DWC_RETURN_IF_ERROR(Expect(TokenKind::kRBracket, "]"));
+      DWC_ASSIGN_OR_RETURN(Schema schema, Schema::Create(std::move(attrs)));
+      return Expr::Empty(std::move(schema));
+    }
+    DWC_ASSIGN_OR_RETURN(std::string name, ExpectName());
+    return Expr::Base(std::move(name));
+  }
+
+  Result<PredicateRef> ParsePred() {
+    DWC_ASSIGN_OR_RETURN(PredicateRef pred, ParseAnd());
+    while (MatchKeyword("or")) {
+      DWC_ASSIGN_OR_RETURN(PredicateRef rhs, ParseAnd());
+      pred = Predicate::Or(std::move(pred), std::move(rhs));
+    }
+    return pred;
+  }
+
+  Result<PredicateRef> ParseAnd() {
+    DWC_ASSIGN_OR_RETURN(PredicateRef pred, ParseUnary());
+    while (MatchKeyword("and")) {
+      DWC_ASSIGN_OR_RETURN(PredicateRef rhs, ParseUnary());
+      pred = Predicate::And(std::move(pred), std::move(rhs));
+    }
+    return pred;
+  }
+
+  Result<PredicateRef> ParseUnary() {
+    if (MatchKeyword("not")) {
+      DWC_ASSIGN_OR_RETURN(PredicateRef child, ParseUnary());
+      return Predicate::Not(std::move(child));
+    }
+    if (MatchKeyword("true")) {
+      return Predicate::True();
+    }
+    if (Match(TokenKind::kLParen)) {
+      DWC_ASSIGN_OR_RETURN(PredicateRef pred, ParsePred());
+      DWC_RETURN_IF_ERROR(Expect(TokenKind::kRParen, ")"));
+      return pred;
+    }
+    DWC_ASSIGN_OR_RETURN(Operand lhs, ParseOperand());
+    CmpOp op;
+    switch (Peek().kind) {
+      case TokenKind::kEq:
+        op = CmpOp::kEq;
+        break;
+      case TokenKind::kNe:
+        op = CmpOp::kNe;
+        break;
+      case TokenKind::kLt:
+        op = CmpOp::kLt;
+        break;
+      case TokenKind::kLe:
+        op = CmpOp::kLe;
+        break;
+      case TokenKind::kGt:
+        op = CmpOp::kGt;
+        break;
+      case TokenKind::kGe:
+        op = CmpOp::kGe;
+        break;
+      default:
+        return ErrorHere("expected a comparison operator");
+    }
+    Advance();
+    DWC_ASSIGN_OR_RETURN(Operand rhs, ParseOperand());
+    return Predicate::Cmp(std::move(lhs), op, std::move(rhs));
+  }
+
+  Result<Operand> ParseOperand() {
+    const Token& token = Peek();
+    switch (token.kind) {
+      case TokenKind::kIdentifier:
+        if (PeekKeyword("null")) {
+          Advance();
+          return Operand::Const(Value::Null());
+        }
+        Advance();
+        return Operand::Attr(token.text);
+      case TokenKind::kInt:
+        Advance();
+        return Operand::Const(Value::Int(token.int_value));
+      case TokenKind::kDouble:
+        Advance();
+        return Operand::Const(Value::Double(token.double_value));
+      case TokenKind::kString:
+        Advance();
+        return Operand::Const(Value::String(token.text));
+      default:
+        return ErrorHere("expected an operand");
+    }
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::vector<Statement>> ParseProgram(std::string_view input) {
+  DWC_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
+  Parser parser(std::move(tokens));
+  return parser.Program();
+}
+
+Result<ExprRef> ParseExpr(std::string_view input) {
+  DWC_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
+  Parser parser(std::move(tokens));
+  return parser.SingleExpr();
+}
+
+Result<PredicateRef> ParsePredicate(std::string_view input) {
+  DWC_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
+  Parser parser(std::move(tokens));
+  return parser.SinglePredicate();
+}
+
+}  // namespace dwc

@@ -1,0 +1,44 @@
+#ifndef DWC_PARSER_PARSER_H_
+#define DWC_PARSER_PARSER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "algebra/expr.h"
+#include "algebra/predicate.h"
+#include "parser/statement.h"
+#include "util/result.h"
+
+namespace dwc {
+
+// Parses a semicolon-separated DSL script. The grammar (case-insensitive
+// keywords):
+//
+//   stmt  := CREATE TABLE name '(' attr TYPE {',' attr TYPE} [',' KEY '(' attrs ')'] ')'
+//          | INCLUSION name '(' attrs ')' SUBSETOF name '(' attrs ')'
+//          | VIEW name AS expr
+//          | INSERT INTO name VALUES tuple {',' tuple}
+//          | DELETE FROM name VALUES tuple {',' tuple}
+//          | QUERY expr
+//   expr  := term {(JOIN | UNION | MINUS) term}          (left associative)
+//   term  := name
+//          | '(' expr ')'
+//          | PROJECT '[' attrs ']' '(' expr ')'
+//          | SELECT '[' pred ']' '(' expr ')'
+//          | RENAME '[' name '->' name {',' name '->' name} ']' '(' expr ')'
+//          | EMPTY '[' attr TYPE {',' attr TYPE} ']'
+//   pred  := andp {OR andp}
+//   andp  := unary {AND unary}
+//   unary := NOT unary | TRUE | '(' pred ')' | operand op operand
+//   op    := '=' | '!=' | '<>' | '<' | '<=' | '>' | '>='
+//
+// Values: integers, doubles, 'strings' (with '' escape), NULL.
+Result<std::vector<Statement>> ParseProgram(std::string_view input);
+
+// Parses a single algebra expression / predicate (no trailing semicolon).
+Result<ExprRef> ParseExpr(std::string_view input);
+Result<PredicateRef> ParsePredicate(std::string_view input);
+
+}  // namespace dwc
+
+#endif  // DWC_PARSER_PARSER_H_

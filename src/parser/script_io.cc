@@ -1,0 +1,112 @@
+#include "parser/script_io.h"
+
+#include "util/string_util.h"
+
+namespace dwc {
+
+namespace {
+
+std::string SchemaAttrsToScript(const Schema& schema) {
+  std::vector<std::string> parts;
+  for (const Attribute& attr : schema.attributes()) {
+    parts.push_back(StrCat(attr.name, " ", ValueTypeName(attr.type)));
+  }
+  return Join(parts, ", ");
+}
+
+}  // namespace
+
+std::string ExprToScript(const Expr& expr) {
+  switch (expr.kind()) {
+    case Expr::Kind::kBase:
+      return expr.base_name();
+    case Expr::Kind::kEmpty:
+      return StrCat("empty[", SchemaAttrsToScript(expr.empty_schema()), "]");
+    case Expr::Kind::kSelect:
+      return StrCat("select[", expr.predicate()->ToString(), "](",
+                    ExprToScript(*expr.child()), ")");
+    case Expr::Kind::kProject:
+      return StrCat("project[", Join(expr.attrs(), ", "), "](",
+                    ExprToScript(*expr.child()), ")");
+    case Expr::Kind::kRename: {
+      std::vector<std::string> parts;
+      for (const auto& [from, to] : expr.renames()) {
+        parts.push_back(StrCat(from, " -> ", to));
+      }
+      return StrCat("rename[", Join(parts, ", "), "](",
+                    ExprToScript(*expr.child()), ")");
+    }
+    case Expr::Kind::kJoin:
+      return StrCat("(", ExprToScript(*expr.left()), " join ",
+                    ExprToScript(*expr.right()), ")");
+    case Expr::Kind::kUnion:
+      return StrCat("(", ExprToScript(*expr.left()), " union ",
+                    ExprToScript(*expr.right()), ")");
+    case Expr::Kind::kDifference:
+      return StrCat("(", ExprToScript(*expr.left()), " minus ",
+                    ExprToScript(*expr.right()), ")");
+  }
+  return "?";
+}
+
+std::string CatalogToScript(const Catalog& catalog) {
+  std::string out;
+  for (const auto& [name, schema] : catalog.relations()) {
+    out += StrCat("CREATE TABLE ", name, "(", SchemaAttrsToScript(schema));
+    std::optional<KeyConstraint> key = catalog.FindKey(name);
+    if (key.has_value()) {
+      out += StrCat(", KEY(", Join(key->attrs, ", "), ")");
+    }
+    out += ");\n";
+  }
+  for (const InclusionDependency& ind : catalog.inclusions()) {
+    out += StrCat("INCLUSION ", ind.lhs_relation, "(",
+                  Join(ind.lhs_attrs, ", "), ") SUBSETOF ", ind.rhs_relation,
+                  "(", Join(ind.rhs_attrs, ", "), ");\n");
+  }
+  return out;
+}
+
+std::string DatabaseToScript(const Database& db) {
+  std::string out;
+  for (const auto& [name, rel] : db.relations()) {
+    if (rel.empty()) {
+      continue;
+    }
+    std::vector<std::string> rows;
+    for (const Tuple& tuple : rel.SortedTuples()) {
+      rows.push_back(StrCat("(", Join(tuple.values(), ", "), ")"));
+    }
+    out += StrCat("INSERT INTO ", name, " VALUES ", Join(rows, ", "), ";\n");
+  }
+  return out;
+}
+
+std::string ViewToScript(const ViewDef& view) {
+  return StrCat("VIEW ", view.name, " AS ", ExprToScript(*view.expr), ";\n");
+}
+
+std::string SummaryToScript(const AggregateViewDef& def) {
+  std::vector<std::string> items(def.group_by.begin(), def.group_by.end());
+  for (const AggSpec& spec : def.aggregates) {
+    switch (spec.func) {
+      case AggFunc::kCount:
+        items.push_back(StrCat("COUNT() AS ", spec.out_name));
+        break;
+      case AggFunc::kSum:
+        items.push_back(StrCat("SUM(", spec.attr, ") AS ", spec.out_name));
+        break;
+      case AggFunc::kMin:
+        items.push_back(StrCat("MIN(", spec.attr, ") AS ", spec.out_name));
+        break;
+      case AggFunc::kMax:
+        items.push_back(StrCat("MAX(", spec.attr, ") AS ", spec.out_name));
+        break;
+    }
+  }
+  return StrCat("SUMMARY ", def.name, " AS SELECT ", Join(items, ", "),
+                " FROM ", ExprToScript(*def.source), " GROUP BY ",
+                Join(def.group_by, ", "), ";\n");
+}
+
+}  // namespace dwc

@@ -1,0 +1,39 @@
+#ifndef DWC_PARSER_SCRIPT_IO_H_
+#define DWC_PARSER_SCRIPT_IO_H_
+
+#include <string>
+
+#include "aggregate/aggregate_view.h"
+#include "algebra/expr.h"
+#include "algebra/view.h"
+#include "relational/catalog.h"
+#include "relational/database.h"
+
+namespace dwc {
+
+// Serializers back into the DSL (parser/parser.h): everything written here
+// re-parses with RunScript / ParseExpr, giving a plain-text persistence
+// format for catalogs, states and warehouse definitions (round-trip tested
+// in tests/parser/script_io_test.cc).
+
+// Expression in DSL syntax. Differs from Expr::ToString only for empty
+// literals, which are emitted with attribute types ("empty[a INT]").
+std::string ExprToScript(const Expr& expr);
+
+// CREATE TABLE + INCLUSION statements for every relation and constraint.
+std::string CatalogToScript(const Catalog& catalog);
+
+// INSERT statements reproducing the current contents of `db` (relations in
+// name order, tuples in deterministic order). Relations must be declared
+// separately (CatalogToScript).
+std::string DatabaseToScript(const Database& db);
+
+// A VIEW statement.
+std::string ViewToScript(const ViewDef& view);
+
+// A SUMMARY statement.
+std::string SummaryToScript(const AggregateViewDef& def);
+
+}  // namespace dwc
+
+#endif  // DWC_PARSER_SCRIPT_IO_H_

@@ -1,0 +1,64 @@
+#ifndef DWC_PARSER_STATEMENT_H_
+#define DWC_PARSER_STATEMENT_H_
+
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "aggregate/aggregate_view.h"
+#include "algebra/expr.h"
+#include "relational/constraints.h"
+#include "relational/schema.h"
+#include "relational/tuple.h"
+
+namespace dwc {
+
+// CREATE TABLE name(attr TYPE, ..., KEY(a, b));
+struct CreateTableStmt {
+  std::string name;
+  Schema schema;
+  std::optional<AttrSet> key;
+};
+
+// INCLUSION R(a, b) SUBSETOF S(a, b);
+struct InclusionStmt {
+  InclusionDependency ind;
+};
+
+// VIEW name AS <expr>;
+struct ViewStmt {
+  std::string name;
+  ExprRef expr;
+};
+
+// INSERT INTO name VALUES (v, ...), (v, ...);
+struct InsertStmt {
+  std::string relation;
+  std::vector<Tuple> tuples;
+};
+
+// DELETE FROM name VALUES (v, ...), (v, ...);
+struct DeleteStmt {
+  std::string relation;
+  std::vector<Tuple> tuples;
+};
+
+// QUERY <expr>;
+struct QueryStmt {
+  ExprRef expr;
+};
+
+// SUMMARY name AS SELECT g1, ..., COUNT() AS n, SUM(a) AS s, ...
+//   FROM <expr> GROUP BY g1, ...;
+// The plain select items must match the GROUP BY list.
+struct SummaryStmt {
+  AggregateViewDef def;
+};
+
+using Statement = std::variant<CreateTableStmt, InclusionStmt, ViewStmt,
+                               InsertStmt, DeleteStmt, QueryStmt, SummaryStmt>;
+
+}  // namespace dwc
+
+#endif  // DWC_PARSER_STATEMENT_H_

@@ -1,0 +1,42 @@
+#ifndef DWC_PARSER_TOKEN_H_
+#define DWC_PARSER_TOKEN_H_
+
+#include <string>
+
+namespace dwc {
+
+enum class TokenKind {
+  kIdentifier,  // relation / attribute names and keywords
+  kInt,         // 42, -7
+  kDouble,      // 3.14
+  kString,      // 'text' with '' escaping
+  kLParen,      // (
+  kRParen,      // )
+  kLBracket,    // [
+  kRBracket,    // ]
+  kComma,       // ,
+  kSemicolon,   // ;
+  kArrow,       // ->
+  kEq,          // =
+  kNe,          // != or <>
+  kLt,          // <
+  kLe,          // <=
+  kGt,          // >
+  kGe,          // >=
+  kEnd,         // end of input
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  // Identifier / literal text (unescaped for strings).
+  std::string text;
+  int64_t int_value = 0;
+  double double_value = 0;
+  // 1-based position for error messages.
+  size_t line = 1;
+  size_t column = 1;
+};
+
+}  // namespace dwc
+
+#endif  // DWC_PARSER_TOKEN_H_

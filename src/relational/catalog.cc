@@ -1,0 +1,179 @@
+#include "relational/catalog.h"
+
+#include <functional>
+#include <set>
+
+#include "util/string_util.h"
+
+namespace dwc {
+
+Status Catalog::AddRelation(const std::string& name, Schema schema) {
+  if (HasRelation(name)) {
+    return Status::AlreadyExists(StrCat("relation '", name, "' already declared"));
+  }
+  relations_.emplace(name, std::move(schema));
+  return Status::Ok();
+}
+
+Status Catalog::AddKey(const std::string& relation, AttrSet attrs) {
+  const Schema* schema = FindSchema(relation);
+  if (schema == nullptr) {
+    return Status::NotFound(StrCat("relation '", relation, "' not declared"));
+  }
+  if (attrs.empty()) {
+    return Status::InvalidArgument("key must have at least one attribute");
+  }
+  if (!schema->ContainsAll(attrs)) {
+    return Status::InvalidArgument(
+        StrCat("key attributes {", Join(attrs, ", "), "} not all in ",
+               relation, schema->ToString()));
+  }
+  if (keys_.find(relation) != keys_.end()) {
+    return Status::AlreadyExists(
+        StrCat("relation '", relation,
+               "' already has a key (the paper allows at most one)"));
+  }
+  keys_.emplace(relation, KeyConstraint{relation, std::move(attrs)});
+  return Status::Ok();
+}
+
+Status Catalog::AddInclusion(InclusionDependency ind) {
+  const Schema* lhs = FindSchema(ind.lhs_relation);
+  const Schema* rhs = FindSchema(ind.rhs_relation);
+  if (lhs == nullptr) {
+    return Status::NotFound(
+        StrCat("relation '", ind.lhs_relation, "' not declared"));
+  }
+  if (rhs == nullptr) {
+    return Status::NotFound(
+        StrCat("relation '", ind.rhs_relation, "' not declared"));
+  }
+  if (ind.lhs_attrs.empty() || ind.lhs_attrs.size() != ind.rhs_attrs.size()) {
+    return Status::InvalidArgument(
+        StrCat("malformed inclusion dependency ", ind.ToString()));
+  }
+  for (size_t i = 0; i < ind.lhs_attrs.size(); ++i) {
+    std::optional<size_t> li = lhs->IndexOf(ind.lhs_attrs[i]);
+    std::optional<size_t> ri = rhs->IndexOf(ind.rhs_attrs[i]);
+    if (!li.has_value() || !ri.has_value()) {
+      return Status::InvalidArgument(
+          StrCat("inclusion dependency ", ind.ToString(),
+                 " references unknown attributes"));
+    }
+    if (lhs->attribute(*li).type != rhs->attribute(*ri).type) {
+      return Status::InvalidArgument(
+          StrCat("inclusion dependency ", ind.ToString(),
+                 " pairs attributes of different types"));
+    }
+  }
+  if (WouldCreateIndCycle(ind)) {
+    return Status::FailedPrecondition(
+        StrCat("inclusion dependency ", ind.ToString(),
+               " would make the IND set cyclic (paper assumes acyclicity)"));
+  }
+  inclusions_.push_back(std::move(ind));
+  return Status::Ok();
+}
+
+const Schema* Catalog::FindSchema(const std::string& name) const {
+  auto it = relations_.find(name);
+  return it == relations_.end() ? nullptr : &it->second;
+}
+
+std::optional<KeyConstraint> Catalog::FindKey(const std::string& relation) const {
+  auto it = keys_.find(relation);
+  if (it == keys_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+std::vector<std::string> Catalog::RelationNames() const {
+  std::vector<std::string> names;
+  names.reserve(relations_.size());
+  for (const auto& [name, schema] : relations_) {
+    (void)schema;
+    names.push_back(name);
+  }
+  return names;
+}
+
+bool Catalog::WouldCreateIndCycle(const InclusionDependency& candidate) const {
+  // Edge direction: lhs -> rhs ("lhs data flows into rhs's domain").
+  // A cycle exists if rhs can already reach lhs.
+  std::set<std::string> visited;
+  std::function<bool(const std::string&)> reaches =
+      [&](const std::string& from) -> bool {
+    if (from == candidate.lhs_relation) {
+      return true;
+    }
+    if (!visited.insert(from).second) {
+      return false;
+    }
+    for (const InclusionDependency& ind : inclusions_) {
+      if (ind.lhs_relation == from && reaches(ind.rhs_relation)) {
+        return true;
+      }
+    }
+    return false;
+  };
+  return reaches(candidate.rhs_relation);
+}
+
+std::vector<std::string> Catalog::IndTopologicalOrder() const {
+  // Kahn's algorithm over edges lhs -> rhs; output lhs before rhs.
+  std::map<std::string, int> in_degree;
+  for (const auto& [name, schema] : relations_) {
+    (void)schema;
+    in_degree[name] = 0;
+  }
+  for (const InclusionDependency& ind : inclusions_) {
+    ++in_degree[ind.rhs_relation];
+  }
+  std::vector<std::string> order;
+  std::set<std::string> emitted;
+  while (order.size() < relations_.size()) {
+    bool progressed = false;
+    for (const auto& [name, degree] : in_degree) {
+      if (degree == 0 && emitted.insert(name).second) {
+        order.push_back(name);
+        progressed = true;
+        for (const InclusionDependency& ind : inclusions_) {
+          if (ind.lhs_relation == name) {
+            --in_degree[ind.rhs_relation];
+          }
+        }
+      }
+    }
+    if (!progressed) {
+      // Unreachable while AddInclusion enforces acyclicity; emit the rest in
+      // name order to stay total.
+      for (const auto& [name, degree] : in_degree) {
+        (void)degree;
+        if (emitted.insert(name).second) {
+          order.push_back(name);
+        }
+      }
+      break;
+    }
+  }
+  return order;
+}
+
+std::string Catalog::ToString() const {
+  std::string out;
+  for (const auto& [name, schema] : relations_) {
+    out += StrCat(name, schema.ToString());
+    auto key = FindKey(name);
+    if (key.has_value()) {
+      out += StrCat("  KEY(", Join(key->attrs, ", "), ")");
+    }
+    out += "\n";
+  }
+  for (const InclusionDependency& ind : inclusions_) {
+    out += StrCat(ind.ToString(), "\n");
+  }
+  return out;
+}
+
+}  // namespace dwc

@@ -1,0 +1,69 @@
+#ifndef DWC_RELATIONAL_CATALOG_H_
+#define DWC_RELATIONAL_CATALOG_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "relational/constraints.h"
+#include "relational/schema.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace dwc {
+
+// The set D = {R1, ..., Rn} of base relation schemata together with the
+// declared key constraints and inclusion dependencies. A Catalog is pure
+// metadata; states over it live in Database.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  // Registers a base relation schema. Fails on duplicate names.
+  Status AddRelation(const std::string& name, Schema schema);
+
+  // Declares `attrs` the key of `relation`. The paper allows at most one key
+  // per relation: declaring a second one fails. All attributes must exist.
+  Status AddKey(const std::string& relation, AttrSet attrs);
+
+  // Declares an inclusion dependency. Attribute lists must be nonempty, of
+  // equal length, exist in their relations with matching types, and the
+  // resulting IND set must remain acyclic (paper assumption, Section 2).
+  Status AddInclusion(InclusionDependency ind);
+
+  bool HasRelation(const std::string& name) const {
+    return relations_.find(name) != relations_.end();
+  }
+  // nullptr when absent.
+  const Schema* FindSchema(const std::string& name) const;
+  // Declared key of `relation`, if any.
+  std::optional<KeyConstraint> FindKey(const std::string& relation) const;
+
+  const std::map<std::string, Schema>& relations() const { return relations_; }
+  std::vector<std::string> RelationNames() const;
+  const std::vector<InclusionDependency>& inclusions() const {
+    return inclusions_;
+  }
+
+  // Relation names in an order where, whenever pi_X(Ri) <= pi_X(Rj), Ri
+  // appears before Rj. With acyclic INDs such an order always exists. The
+  // complement machinery builds inverses in this order so that Ri's inverse
+  // is available when Rj's reconstruction references Ri (Theorem 2.2,
+  // Example 2.3 continued).
+  std::vector<std::string> IndTopologicalOrder() const;
+
+  std::string ToString() const;
+
+ private:
+  // True if adding `candidate` would close a cycle in the IND graph.
+  bool WouldCreateIndCycle(const InclusionDependency& candidate) const;
+
+  std::map<std::string, Schema> relations_;
+  std::map<std::string, KeyConstraint> keys_;
+  std::vector<InclusionDependency> inclusions_;
+};
+
+}  // namespace dwc
+
+#endif  // DWC_RELATIONAL_CATALOG_H_

@@ -1,0 +1,16 @@
+#include "relational/constraints.h"
+
+#include "util/string_util.h"
+
+namespace dwc {
+
+std::string KeyConstraint::ToString() const {
+  return StrCat("KEY ", relation, "(", Join(attrs, ", "), ")");
+}
+
+std::string InclusionDependency::ToString() const {
+  return StrCat(lhs_relation, "(", Join(lhs_attrs, ", "), ") <= ",
+                rhs_relation, "(", Join(rhs_attrs, ", "), ")");
+}
+
+}  // namespace dwc

@@ -1,0 +1,37 @@
+#ifndef DWC_RELATIONAL_CONSTRAINTS_H_
+#define DWC_RELATIONAL_CONSTRAINTS_H_
+
+#include <string>
+#include <vector>
+
+#include "relational/schema.h"
+
+namespace dwc {
+
+// "K is the (only) key for R": no two tuples of R agree on all attributes of
+// K. The paper assumes at most one declared key per relation schema.
+struct KeyConstraint {
+  std::string relation;
+  AttrSet attrs;
+
+  std::string ToString() const;
+};
+
+// An inclusion dependency pi_X(lhs) subseteq pi_X(rhs). The paper's main
+// construction uses the common-attribute form (X named identically on both
+// sides, footnote 3); the general renaming form is representable here and is
+// validated, but Theorem 2.2 machinery requires IsCommonAttrForm().
+struct InclusionDependency {
+  std::string lhs_relation;
+  std::vector<std::string> lhs_attrs;
+  std::string rhs_relation;
+  std::vector<std::string> rhs_attrs;
+
+  bool IsCommonAttrForm() const { return lhs_attrs == rhs_attrs; }
+
+  std::string ToString() const;
+};
+
+}  // namespace dwc
+
+#endif  // DWC_RELATIONAL_CONSTRAINTS_H_

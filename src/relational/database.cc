@@ -1,0 +1,109 @@
+#include "relational/database.h"
+
+#include "util/string_util.h"
+
+namespace dwc {
+
+Database::Database(std::shared_ptr<const Catalog> catalog)
+    : catalog_(std::move(catalog)) {
+  if (catalog_ == nullptr) {
+    catalog_ = std::make_shared<Catalog>();
+  }
+}
+
+Status Database::AddRelation(const std::string& name, Relation relation) {
+  if (HasRelation(name)) {
+    return Status::AlreadyExists(StrCat("relation '", name, "' already present"));
+  }
+  const Schema* declared = catalog_->FindSchema(name);
+  if (declared != nullptr && !(relation.schema() == *declared)) {
+    return Status::InvalidArgument(
+        StrCat("relation '", name, "' schema ", relation.schema().ToString(),
+               " does not match declared ", declared->ToString()));
+  }
+  relations_.emplace(name, std::move(relation));
+  return Status::Ok();
+}
+
+Status Database::AddEmptyRelation(const std::string& name, Schema schema) {
+  return AddRelation(name, Relation(std::move(schema)));
+}
+
+const Relation* Database::FindRelation(const std::string& name) const {
+  auto it = relations_.find(name);
+  return it == relations_.end() ? nullptr : &it->second;
+}
+
+Relation* Database::FindMutableRelation(const std::string& name) {
+  auto it = relations_.find(name);
+  return it == relations_.end() ? nullptr : &it->second;
+}
+
+Status Database::ValidateConstraints() const {
+  // Key constraints: no two tuples agree on the key projection.
+  for (const std::string& name : catalog_->RelationNames()) {
+    auto key = catalog_->FindKey(name);
+    if (!key.has_value()) {
+      continue;
+    }
+    const Relation* rel = FindRelation(name);
+    if (rel == nullptr) {
+      continue;
+    }
+    std::vector<std::string> key_attrs(key->attrs.begin(), key->attrs.end());
+    const Relation::Index& index = rel->GetIndex(key_attrs);
+    for (const auto& [key_tuple, bucket] : index) {
+      if (bucket.size() > 1) {
+        return Status::FailedPrecondition(
+            StrCat("key violation in ", name, ": key ", key_tuple.ToString(),
+                   " shared by ", bucket.size(), " tuples"));
+      }
+    }
+  }
+  // Inclusion dependencies: pi_X(lhs) subseteq pi_X(rhs).
+  for (const InclusionDependency& ind : catalog_->inclusions()) {
+    const Relation* lhs = FindRelation(ind.lhs_relation);
+    const Relation* rhs = FindRelation(ind.rhs_relation);
+    if (lhs == nullptr || rhs == nullptr) {
+      continue;
+    }
+    Result<std::vector<size_t>> lhs_idx =
+        lhs->schema().IndicesOf(ind.lhs_attrs);
+    if (!lhs_idx.ok()) {
+      return lhs_idx.status();
+    }
+    const Relation::Index& rhs_index = rhs->GetIndex(ind.rhs_attrs);
+    for (const Tuple& tuple : lhs->tuples()) {
+      Tuple key = tuple.Project(*lhs_idx);
+      if (rhs_index.find(key) == rhs_index.end()) {
+        return Status::FailedPrecondition(
+            StrCat("inclusion violation ", ind.ToString(), ": ",
+                   key.ToString(), " missing from ", ind.rhs_relation));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+bool Database::SameStateAs(const Database& other) const {
+  if (relations_.size() != other.relations_.size()) {
+    return false;
+  }
+  for (const auto& [name, rel] : relations_) {
+    const Relation* other_rel = other.FindRelation(name);
+    if (other_rel == nullptr || !rel.SameContentAs(*other_rel)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Database::ToString() const {
+  std::string out;
+  for (const auto& [name, rel] : relations_) {
+    out += StrCat(name, " = ", rel.ToString(), "\n");
+  }
+  return out;
+}
+
+}  // namespace dwc

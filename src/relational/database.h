@@ -1,0 +1,58 @@
+#ifndef DWC_RELATIONAL_DATABASE_H_
+#define DWC_RELATIONAL_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "relational/catalog.h"
+#include "relational/relation.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace dwc {
+
+// A database state d = <r1, ..., rn> over a Catalog: one Relation per
+// declared base schema. Also used for arbitrary named relation stores (e.g.
+// warehouse states), in which case the catalog can be empty.
+class Database {
+ public:
+  Database() : catalog_(std::make_shared<Catalog>()) {}
+  explicit Database(std::shared_ptr<const Catalog> catalog);
+
+  const Catalog& catalog() const { return *catalog_; }
+  std::shared_ptr<const Catalog> catalog_ptr() const { return catalog_; }
+
+  // Adds an empty (or given) relation under `name`. For catalog-declared
+  // relations the schema must match the declaration.
+  Status AddRelation(const std::string& name, Relation relation);
+  Status AddEmptyRelation(const std::string& name, Schema schema);
+
+  bool HasRelation(const std::string& name) const {
+    return relations_.find(name) != relations_.end();
+  }
+  // nullptr when absent.
+  const Relation* FindRelation(const std::string& name) const;
+  Relation* FindMutableRelation(const std::string& name);
+
+  const std::map<std::string, Relation>& relations() const {
+    return relations_;
+  }
+
+  // Verifies every declared key and inclusion dependency against the current
+  // state; returns the first violation found.
+  Status ValidateConstraints() const;
+
+  // Structural equality of states: same relation names, same contents.
+  bool SameStateAs(const Database& other) const;
+
+  std::string ToString() const;
+
+ private:
+  std::shared_ptr<const Catalog> catalog_;
+  std::map<std::string, Relation> relations_;
+};
+
+}  // namespace dwc
+
+#endif  // DWC_RELATIONAL_DATABASE_H_

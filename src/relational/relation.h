@@ -1,0 +1,107 @@
+#ifndef DWC_RELATIONAL_RELATION_H_
+#define DWC_RELATIONAL_RELATION_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "relational/schema.h"
+#include "relational/tuple.h"
+#include "util/result.h"
+
+namespace dwc {
+
+// A set-semantics relation: a schema plus an unordered set of tuples.
+//
+// Relations keep lazily-built hash indexes on attribute subsets. Indexes are
+// created on first use (typically by a join probing this relation) and are
+// maintained incrementally on Insert/Erase, which is what makes repeated
+// delta-maintenance rounds cheap: a warehouse view that changes by |Δ| tuples
+// pays O(|Δ|) index upkeep, not an O(|V|) rebuild per refresh.
+class Relation {
+ public:
+  // Tuples equal under TupleHash/== are stored once.
+  using TupleSet = std::unordered_set<Tuple, TupleHash>;
+  // Key: the projection of a tuple onto the indexed attributes.
+  // The pointers reference tuples owned by tuples_ (stable: node-based set).
+  using Index = std::unordered_map<Tuple, std::vector<const Tuple*>, TupleHash>;
+
+  Relation() = default;
+  explicit Relation(Schema schema) : schema_(std::move(schema)) {}
+
+  // Relations are copyable (indexes are dropped on copy) and movable.
+  Relation(const Relation& other)
+      : schema_(other.schema_), tuples_(other.tuples_) {}
+  Relation& operator=(const Relation& other) {
+    if (this != &other) {
+      schema_ = other.schema_;
+      tuples_ = other.tuples_;
+      indexes_.clear();
+    }
+    return *this;
+  }
+  Relation(Relation&&) = default;
+  Relation& operator=(Relation&&) = default;
+
+  const Schema& schema() const { return schema_; }
+  size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+  const TupleSet& tuples() const { return tuples_; }
+
+  bool Contains(const Tuple& tuple) const {
+    return tuples_.find(tuple) != tuples_.end();
+  }
+
+  // Returns true if the tuple was not already present. The tuple must match
+  // the schema arity (checked by assert, it is a programming error otherwise).
+  bool Insert(Tuple tuple);
+  // Returns true if the tuple was present.
+  bool Erase(const Tuple& tuple);
+  void Clear();
+
+  // Returns the (possibly cached) index over `attrs`, which must all belong
+  // to the schema. Lookups use MakeKey(). The reference stays valid until the
+  // relation is destroyed or assigned over.
+  const Index& GetIndex(const std::vector<std::string>& attrs) const;
+
+  // Builds a lookup key for GetIndex(attrs) from any tuple of `from_schema`
+  // that contains all of `attrs`.
+  static Tuple MakeKey(const Tuple& tuple, const std::vector<size_t>& indices) {
+    return tuple.Project(indices);
+  }
+
+  // Tuples in deterministic (lexicographic) order; for printing and tests.
+  std::vector<Tuple> SortedTuples() const;
+
+  // Extensional equality: same attribute names (any column order) and the
+  // same set of tuples.
+  bool SameContentAs(const Relation& other) const;
+
+  // A copy of this relation with columns reordered to `target`, which must
+  // have the same attribute names.
+  Result<Relation> AlignTo(const Schema& target) const;
+
+  // Multi-line rendering: schema header plus sorted tuples.
+  std::string ToString() const;
+
+ private:
+  struct IndexEntry {
+    std::vector<std::string> attrs;
+    std::vector<size_t> indices;
+    Index index;
+  };
+
+  Schema schema_;
+  TupleSet tuples_;
+  // Keyed by comma-joined attribute list. Mutable: building an index does not
+  // change the logical content. Entries are pointer-stable (map of unique_ptr
+  // not needed: std::map nodes are stable).
+  mutable std::map<std::string, IndexEntry> indexes_;
+};
+
+}  // namespace dwc
+
+#endif  // DWC_RELATIONAL_RELATION_H_

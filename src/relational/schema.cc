@@ -1,0 +1,96 @@
+#include "relational/schema.h"
+
+#include <unordered_set>
+
+#include "util/string_util.h"
+
+namespace dwc {
+
+Schema::Schema(std::vector<Attribute> attributes)
+    : attributes_(std::move(attributes)) {}
+
+Result<Schema> Schema::Create(std::vector<Attribute> attributes) {
+  std::unordered_set<std::string> seen;
+  for (const Attribute& attr : attributes) {
+    if (!seen.insert(attr.name).second) {
+      return Status::InvalidArgument(
+          StrCat("duplicate attribute name '", attr.name, "' in schema"));
+    }
+  }
+  return Schema(std::move(attributes));
+}
+
+std::optional<size_t> Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name == name) {
+      return i;
+    }
+  }
+  return std::nullopt;
+}
+
+bool Schema::ContainsAll(const AttrSet& names) const {
+  for (const std::string& name : names) {
+    if (!Contains(name)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+AttrSet Schema::attr_names() const {
+  AttrSet names;
+  for (const Attribute& attr : attributes_) {
+    names.insert(attr.name);
+  }
+  return names;
+}
+
+std::vector<std::string> Schema::CommonWith(const Schema& other) const {
+  std::vector<std::string> common;
+  for (const Attribute& attr : attributes_) {
+    if (other.Contains(attr.name)) {
+      common.push_back(attr.name);
+    }
+  }
+  return common;
+}
+
+Result<std::vector<size_t>> Schema::IndicesOf(
+    const std::vector<std::string>& names) const {
+  std::vector<size_t> indices;
+  indices.reserve(names.size());
+  for (const std::string& name : names) {
+    std::optional<size_t> idx = IndexOf(name);
+    if (!idx.has_value()) {
+      return Status::NotFound(
+          StrCat("attribute '", name, "' not in schema ", ToString()));
+    }
+    indices.push_back(*idx);
+  }
+  return indices;
+}
+
+bool Schema::SameAttrsAs(const Schema& other) const {
+  if (size() != other.size()) {
+    return false;
+  }
+  for (const Attribute& attr : attributes_) {
+    std::optional<size_t> idx = other.IndexOf(attr.name);
+    if (!idx.has_value() || other.attribute(*idx).type != attr.type) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Schema::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(attributes_.size());
+  for (const Attribute& attr : attributes_) {
+    parts.push_back(StrCat(attr.name, " ", ValueTypeName(attr.type)));
+  }
+  return StrCat("(", Join(parts, ", "), ")");
+}
+
+}  // namespace dwc

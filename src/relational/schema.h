@@ -1,0 +1,85 @@
+#ifndef DWC_RELATIONAL_SCHEMA_H_
+#define DWC_RELATIONAL_SCHEMA_H_
+
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "relational/value.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace dwc {
+
+// One named, typed column.
+struct Attribute {
+  std::string name;
+  ValueType type = ValueType::kInt;
+
+  bool operator==(const Attribute& other) const {
+    return name == other.name && type == other.type;
+  }
+};
+
+// The paper works with sets of attribute *names* (natural-join semantics);
+// AttrSet is the corresponding value type, ordered for determinism.
+using AttrSet = std::set<std::string>;
+
+// An ordered list of attributes describing a relation or expression result.
+// Attribute names are unique within a schema. Following the paper, attributes
+// with equal names in different relations denote the same domain, and natural
+// joins match on them.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Attribute> attributes);
+
+  // Fails if a name repeats.
+  static Result<Schema> Create(std::vector<Attribute> attributes);
+
+  size_t size() const { return attributes_.size(); }
+  bool empty() const { return attributes_.empty(); }
+  const Attribute& attribute(size_t i) const { return attributes_[i]; }
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+
+  // Index of `name`, or nullopt.
+  std::optional<size_t> IndexOf(const std::string& name) const;
+  bool Contains(const std::string& name) const {
+    return IndexOf(name).has_value();
+  }
+  // True if every name in `names` is present.
+  bool ContainsAll(const AttrSet& names) const;
+
+  AttrSet attr_names() const;
+
+  // The attributes common to both schemas (natural join keys), in this
+  // schema's order.
+  std::vector<std::string> CommonWith(const Schema& other) const;
+
+  // Positions of `names` in this schema; fails if any is missing. The result
+  // follows the order of `names`.
+  Result<std::vector<size_t>> IndicesOf(
+      const std::vector<std::string>& names) const;
+
+  // Structural equality including order and types.
+  bool operator==(const Schema& other) const {
+    return attributes_ == other.attributes_;
+  }
+  bool operator!=(const Schema& other) const { return !(*this == other); }
+
+  // True if both schemas have the same attribute names and per-name types,
+  // regardless of column order. Set-semantics relation operations (union,
+  // difference) require this.
+  bool SameAttrsAs(const Schema& other) const;
+
+  // "(a INT, b STRING)".
+  std::string ToString() const;
+
+ private:
+  std::vector<Attribute> attributes_;
+};
+
+}  // namespace dwc
+
+#endif  // DWC_RELATIONAL_SCHEMA_H_

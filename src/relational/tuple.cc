@@ -1,0 +1,24 @@
+#include "relational/tuple.h"
+
+#include "util/string_util.h"
+
+namespace dwc {
+
+bool Tuple::operator<(const Tuple& other) const {
+  size_t n = std::min(values_.size(), other.values_.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (values_[i] < other.values_[i]) {
+      return true;
+    }
+    if (other.values_[i] < values_[i]) {
+      return false;
+    }
+  }
+  return values_.size() < other.values_.size();
+}
+
+std::string Tuple::ToString() const {
+  return StrCat("<", Join(values_, ", "), ">");
+}
+
+}  // namespace dwc

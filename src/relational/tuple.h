@@ -1,0 +1,59 @@
+#ifndef DWC_RELATIONAL_TUPLE_H_
+#define DWC_RELATIONAL_TUPLE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "relational/value.h"
+#include "util/hash.h"
+
+namespace dwc {
+
+// A tuple is a positional vector of values, interpreted against a Schema.
+class Tuple {
+ public:
+  Tuple() = default;
+  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
+
+  size_t size() const { return values_.size(); }
+  const Value& at(size_t i) const { return values_[i]; }
+  const std::vector<Value>& values() const { return values_; }
+
+  // The sub-tuple at the given positions, in that order.
+  Tuple Project(const std::vector<size_t>& indices) const {
+    std::vector<Value> projected;
+    projected.reserve(indices.size());
+    for (size_t idx : indices) {
+      projected.push_back(values_[idx]);
+    }
+    return Tuple(std::move(projected));
+  }
+
+  bool operator==(const Tuple& other) const { return values_ == other.values_; }
+  bool operator!=(const Tuple& other) const { return !(*this == other); }
+  // Lexicographic; used only for deterministic printing.
+  bool operator<(const Tuple& other) const;
+
+  size_t Hash() const {
+    size_t h = 0x7A9E;
+    for (const Value& v : values_) {
+      h = HashCombine(h, v.Hash());
+    }
+    return h;
+  }
+
+  // "<v1, v2, ...>".
+  std::string ToString() const;
+
+ private:
+  std::vector<Value> values_;
+};
+
+struct TupleHash {
+  size_t operator()(const Tuple& t) const { return t.Hash(); }
+};
+
+}  // namespace dwc
+
+#endif  // DWC_RELATIONAL_TUPLE_H_

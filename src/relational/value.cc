@@ -1,0 +1,107 @@
+#include "relational/value.h"
+
+#include <functional>
+#include <sstream>
+
+#include "util/hash.h"
+
+namespace dwc {
+
+const char* ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt:
+      return "INT";
+    case ValueType::kDouble:
+      return "DOUBLE";
+    case ValueType::kString:
+      return "STRING";
+  }
+  return "UNKNOWN";
+}
+
+bool Value::operator==(const Value& other) const {
+  // Mixed int/double compare numerically so that generated data with widened
+  // domains still joins correctly.
+  ValueType a = type();
+  ValueType b = other.type();
+  if (a == b) {
+    return data_ == other.data_;
+  }
+  if ((a == ValueType::kInt || a == ValueType::kDouble) &&
+      (b == ValueType::kInt || b == ValueType::kDouble)) {
+    return AsNumber() == other.AsNumber();
+  }
+  return false;
+}
+
+bool Value::operator<(const Value& other) const {
+  ValueType a = type();
+  ValueType b = other.type();
+  bool a_num = a == ValueType::kInt || a == ValueType::kDouble;
+  bool b_num = b == ValueType::kInt || b == ValueType::kDouble;
+  if (a_num && b_num) {
+    return AsNumber() < other.AsNumber();
+  }
+  if (a != b) {
+    return static_cast<int>(a) < static_cast<int>(b);
+  }
+  switch (a) {
+    case ValueType::kNull:
+      return false;
+    case ValueType::kString:
+      return AsString() < other.AsString();
+    default:
+      return false;  // Unreachable: numeric cases handled above.
+  }
+}
+
+size_t Value::Hash() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 0xDA7A;
+    case ValueType::kInt:
+      // Hash ints by their numeric (double-compatible) value so that equal
+      // mixed-type values hash equally.
+      return std::hash<double>{}(static_cast<double>(AsInt()));
+    case ValueType::kDouble:
+      return std::hash<double>{}(AsDouble());
+    case ValueType::kString:
+      return HashCombine(0x5712, std::hash<std::string>{}(AsString()));
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt:
+      return std::to_string(AsInt());
+    case ValueType::kDouble: {
+      std::ostringstream out;
+      out << AsDouble();
+      return out.str();
+    }
+    case ValueType::kString: {
+      std::string out = "'";
+      for (char c : AsString()) {
+        if (c == '\'') {
+          out += "''";
+        } else {
+          out += c;
+        }
+      }
+      out += "'";
+      return out;
+    }
+  }
+  return "?";
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& value) {
+  return os << value.ToString();
+}
+
+}  // namespace dwc

@@ -1,0 +1,16 @@
+#ifndef DWC_UTIL_HASH_H_
+#define DWC_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dwc {
+
+// Mixes `value` into `seed` (boost::hash_combine recipe, 64-bit constant).
+inline size_t HashCombine(size_t seed, size_t value) {
+  return seed ^ (value + 0x9E3779B97F4A7C15ULL + (seed << 6) + (seed >> 2));
+}
+
+}  // namespace dwc
+
+#endif  // DWC_UTIL_HASH_H_

@@ -1,0 +1,77 @@
+#ifndef DWC_UTIL_RESULT_H_
+#define DWC_UTIL_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "util/status.h"
+
+namespace dwc {
+
+// Result<T> holds either a value of type T or a non-OK Status. This is the
+// library's replacement for exceptions (see DESIGN.md): parser, schema and
+// view-analysis errors travel through Result values.
+//
+// Usage:
+//   Result<Schema> schema = InferSchema(expr, catalog);
+//   if (!schema.ok()) return schema.status();
+//   Use(schema.value());
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so `return MakeT();` and `return SomeStatus();`
+  // both work, mirroring absl::StatusOr.
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : data_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(data_).ok() &&
+           "Result must not be constructed from an OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  // Requires ok(). The reference forms allow in-place access and moving out.
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  // Returns the error; an OK status when the result holds a value.
+  Status status() const {
+    if (ok()) {
+      return Status::Ok();
+    }
+    return std::get<Status>(data_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<Status, T> data_;
+};
+
+}  // namespace dwc
+
+// Evaluates `rexpr` (a Result<T>), propagates its error, otherwise moves the
+// value into `lhs`. `lhs` may be a declaration: DWC_ASSIGN_OR_RETURN(auto x, F());
+#define DWC_CONCAT_IMPL_(a, b) a##b
+#define DWC_CONCAT_(a, b) DWC_CONCAT_IMPL_(a, b)
+#define DWC_ASSIGN_OR_RETURN(lhs, rexpr)                        \
+  auto DWC_CONCAT_(dwc_result_tmp_, __LINE__) = (rexpr);        \
+  if (!DWC_CONCAT_(dwc_result_tmp_, __LINE__).ok()) {           \
+    return DWC_CONCAT_(dwc_result_tmp_, __LINE__).status();     \
+  }                                                             \
+  lhs = std::move(DWC_CONCAT_(dwc_result_tmp_, __LINE__)).value()
+
+#endif  // DWC_UTIL_RESULT_H_

@@ -1,0 +1,40 @@
+#ifndef DWC_UTIL_RNG_H_
+#define DWC_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace dwc {
+
+// Deterministic 64-bit PRNG (splitmix64). Used by the workload generators and
+// property tests so that every run of the suite exercises identical data.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, bound); bound must be > 0.
+  uint64_t Below(uint64_t bound) { return Next() % bound; }
+
+  // Uniform in [lo, hi] inclusive; requires lo <= hi.
+  int64_t Range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Below(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  // True with probability p (0 <= p <= 1).
+  bool Chance(double p) {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53 < p;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace dwc
+
+#endif  // DWC_UTIL_RNG_H_

@@ -1,0 +1,45 @@
+#ifndef DWC_UTIL_STRING_UTIL_H_
+#define DWC_UTIL_STRING_UTIL_H_
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dwc {
+
+// Joins the elements of `parts` with `sep` using operator<< for formatting.
+template <typename Container>
+std::string Join(const Container& parts, std::string_view sep) {
+  std::ostringstream out;
+  bool first = true;
+  for (const auto& part : parts) {
+    if (!first) {
+      out << sep;
+    }
+    first = false;
+    out << part;
+  }
+  return out.str();
+}
+
+// Splits `input` on `delim`, trimming nothing; empty pieces are kept.
+std::vector<std::string> Split(std::string_view input, char delim);
+
+// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view input);
+
+// ASCII lower-casing (locale independent).
+std::string ToLower(std::string_view input);
+
+// Concatenates the streamable arguments into one string.
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream out;
+  (out << ... << args);
+  return out.str();
+}
+
+}  // namespace dwc
+
+#endif  // DWC_UTIL_STRING_UTIL_H_

@@ -1,0 +1,105 @@
+#include "warehouse/federation.h"
+
+#include "util/string_util.h"
+
+namespace dwc {
+
+Status Federation::AddSource(const std::string& name, const Database& db,
+                             const std::vector<std::string>& relations) {
+  if (sources_.count(name) > 0) {
+    return Status::AlreadyExists(StrCat("source '", name, "' already added"));
+  }
+  Database slice(db.catalog_ptr());
+  for (const std::string& relation : relations) {
+    const Relation* rel = db.FindRelation(relation);
+    if (rel == nullptr) {
+      return Status::NotFound(
+          StrCat("relation '", relation, "' not in the seed database"));
+    }
+    auto owner = owner_.find(relation);
+    if (owner != owner_.end()) {
+      return Status::AlreadyExists(StrCat("relation '", relation,
+                                          "' already owned by source '",
+                                          owner->second, "'"));
+    }
+    DWC_RETURN_IF_ERROR(slice.AddRelation(relation, *rel));
+  }
+  for (const std::string& relation : relations) {
+    owner_[relation] = name;
+  }
+  sources_.emplace(name, std::make_unique<Source>(std::move(slice)));
+  return Status::Ok();
+}
+
+Source* Federation::FindOwner(const std::string& relation) {
+  auto it = owner_.find(relation);
+  if (it == owner_.end()) {
+    return nullptr;
+  }
+  return sources_.at(it->second).get();
+}
+
+const Source* Federation::FindSource(const std::string& name) const {
+  auto it = sources_.find(name);
+  return it == sources_.end() ? nullptr : it->second.get();
+}
+
+Source* Federation::FindMutableSource(const std::string& name) {
+  auto it = sources_.find(name);
+  return it == sources_.end() ? nullptr : it->second.get();
+}
+
+Result<CanonicalDelta> Federation::Apply(const UpdateOp& op) {
+  Source* owner = FindOwner(op.relation);
+  if (owner == nullptr) {
+    return Status::NotFound(
+        StrCat("no source owns relation '", op.relation, "'"));
+  }
+  return owner->Apply(op);
+}
+
+Result<std::vector<CanonicalDelta>> Federation::ApplyTransaction(
+    const std::vector<UpdateOp>& ops) {
+  // Group ops per owning source (preserving order within a source) and let
+  // each source compose its net deltas.
+  std::map<std::string, std::vector<UpdateOp>> per_source;
+  for (const UpdateOp& op : ops) {
+    auto it = owner_.find(op.relation);
+    if (it == owner_.end()) {
+      return Status::NotFound(
+          StrCat("no source owns relation '", op.relation, "'"));
+    }
+    per_source[it->second].push_back(op);
+  }
+  std::vector<CanonicalDelta> result;
+  for (auto& [name, source_ops] : per_source) {
+    DWC_ASSIGN_OR_RETURN(std::vector<CanonicalDelta> deltas,
+                         sources_.at(name)->ApplyTransaction(source_ops));
+    for (CanonicalDelta& delta : deltas) {
+      result.push_back(std::move(delta));
+    }
+  }
+  return result;
+}
+
+Result<Database> Federation::CombinedState() const {
+  Database combined;
+  for (const auto& [name, source] : sources_) {
+    (void)name;
+    for (const auto& [rel_name, rel] : source->db().relations()) {
+      DWC_RETURN_IF_ERROR(combined.AddRelation(rel_name, rel));
+    }
+  }
+  return combined;
+}
+
+size_t Federation::TotalQueryCount() const {
+  size_t total = 0;
+  for (const auto& [name, source] : sources_) {
+    (void)name;
+    total += source->query_count();
+  }
+  return total;
+}
+
+}  // namespace dwc

@@ -1,0 +1,58 @@
+#ifndef DWC_WAREHOUSE_FEDERATION_H_
+#define DWC_WAREHOUSE_FEDERATION_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "relational/database.h"
+#include "util/result.h"
+#include "warehouse/source.h"
+#include "warehouse/update.h"
+
+namespace dwc {
+
+// Figure 1's architecture, literally: multiple autonomous source databases
+// (the Sales database, the Company database, ...), each owning a disjoint
+// subset of the base relations, all reporting their deltas to one
+// integrator. The federation routes updates to the owning source and keeps
+// per-source query counters so update independence can be asserted per
+// source.
+class Federation {
+ public:
+  // Adds a source owning `relations` (all must exist in `db` and be owned
+  // by no other source). The source receives copies of those relations.
+  Status AddSource(const std::string& name, const Database& db,
+                   const std::vector<std::string>& relations);
+
+  // The source owning `relation`; nullptr if unowned.
+  Source* FindOwner(const std::string& relation);
+  const Source* FindSource(const std::string& name) const;
+  Source* FindMutableSource(const std::string& name);
+
+  // Routes the update to the owning source and returns its canonical delta.
+  Result<CanonicalDelta> Apply(const UpdateOp& op);
+  // Routes every op; composes per-relation net deltas (ops for relations of
+  // different sources simply land at their owners).
+  Result<std::vector<CanonicalDelta>> ApplyTransaction(
+      const std::vector<UpdateOp>& ops);
+
+  // The union of all source states (for consistency checks / ground truth).
+  Result<Database> CombinedState() const;
+
+  // Total ad-hoc queries issued against any source.
+  size_t TotalQueryCount() const;
+
+  const std::map<std::string, std::unique_ptr<Source>>& sources() const {
+    return sources_;
+  }
+
+ private:
+  std::map<std::string, std::unique_ptr<Source>> sources_;
+  std::map<std::string, std::string> owner_;  // relation -> source name.
+};
+
+}  // namespace dwc
+
+#endif  // DWC_WAREHOUSE_FEDERATION_H_

@@ -1,0 +1,100 @@
+#include "warehouse/source.h"
+
+#include <map>
+
+#include "algebra/environment.h"
+#include "algebra/evaluator.h"
+#include "util/string_util.h"
+
+namespace dwc {
+
+Result<CanonicalDelta> Source::Apply(const UpdateOp& op) {
+  Relation* rel = db_.FindMutableRelation(op.relation);
+  if (rel == nullptr) {
+    return Status::NotFound(
+        StrCat("source relation '", op.relation, "' does not exist"));
+  }
+  CanonicalDelta delta;
+  delta.relation = op.relation;
+  delta.inserts = Relation(rel->schema());
+  delta.deletes = Relation(rel->schema());
+  for (const Tuple& tuple : op.deletes) {
+    if (tuple.size() != rel->schema().size()) {
+      return Status::InvalidArgument(
+          StrCat("tuple ", tuple.ToString(), " does not match schema of ",
+                 op.relation));
+    }
+    if (rel->Erase(tuple)) {
+      delta.deletes.Insert(tuple);
+    }
+  }
+  for (const Tuple& tuple : op.inserts) {
+    if (tuple.size() != rel->schema().size()) {
+      return Status::InvalidArgument(
+          StrCat("tuple ", tuple.ToString(), " does not match schema of ",
+                 op.relation));
+    }
+    if (rel->Insert(tuple)) {
+      delta.inserts.Insert(tuple);
+    }
+  }
+  // Cancel delete-then-reinsert pairs: the net effect is no change, and the
+  // maintenance expressions rely on canonical deltas (inserts disjoint from
+  // the old state, deletes contained in it).
+  std::vector<Tuple> cancelled;
+  for (const Tuple& tuple : delta.inserts.tuples()) {
+    if (delta.deletes.Contains(tuple)) {
+      cancelled.push_back(tuple);
+    }
+  }
+  for (const Tuple& tuple : cancelled) {
+    delta.inserts.Erase(tuple);
+    delta.deletes.Erase(tuple);
+  }
+  return delta;
+}
+
+Result<std::vector<CanonicalDelta>> Source::ApplyTransaction(
+    const std::vector<UpdateOp>& ops) {
+  // Net deltas per relation; composition keeps them canonical relative to
+  // the pre-transaction state.
+  std::map<std::string, CanonicalDelta> net;
+  for (const UpdateOp& op : ops) {
+    DWC_ASSIGN_OR_RETURN(CanonicalDelta step, Apply(op));
+    auto it = net.find(step.relation);
+    if (it == net.end()) {
+      std::string relation = step.relation;
+      net.emplace(std::move(relation), std::move(step));
+      continue;
+    }
+    CanonicalDelta& acc = it->second;
+    for (const Tuple& tuple : step.deletes.tuples()) {
+      // Deleting something this transaction inserted cancels; deleting a
+      // pre-transaction tuple records.
+      if (!acc.inserts.Erase(tuple)) {
+        acc.deletes.Insert(tuple);
+      }
+    }
+    for (const Tuple& tuple : step.inserts.tuples()) {
+      if (!acc.deletes.Erase(tuple)) {
+        acc.inserts.Insert(tuple);
+      }
+    }
+  }
+  std::vector<CanonicalDelta> result;
+  for (auto& [relation, delta] : net) {
+    (void)relation;
+    if (!delta.empty()) {
+      result.push_back(std::move(delta));
+    }
+  }
+  return result;
+}
+
+Result<Relation> Source::AnswerQuery(const ExprRef& query) const {
+  ++query_count_;
+  Environment env = Environment::FromDatabase(db_);
+  return EvalExpr(*query, env);
+}
+
+}  // namespace dwc

@@ -1,0 +1,52 @@
+#ifndef DWC_WAREHOUSE_SOURCE_H_
+#define DWC_WAREHOUSE_SOURCE_H_
+
+#include <string>
+#include <vector>
+
+#include "algebra/expr.h"
+#include "relational/database.h"
+#include "util/result.h"
+#include "warehouse/update.h"
+
+namespace dwc {
+
+// Simulates the operational source databases: decoupled from the warehouse,
+// they apply updates locally and *report* canonical deltas. They also expose
+// an ad-hoc query interface — the expensive channel the paper's whole
+// construction exists to avoid — which counts every access so tests and
+// benchmarks can assert (or measure) source traffic.
+class Source {
+ public:
+  explicit Source(Database db) : db_(std::move(db)) {}
+
+  const Database& db() const { return db_; }
+  Database& mutable_db() { return db_; }
+
+  // Applies `op` and returns the canonical delta to report to the
+  // integrator. Fails if the relation is unknown or a tuple is malformed.
+  Result<CanonicalDelta> Apply(const UpdateOp& op);
+
+  // Applies `ops` sequentially as one transaction and returns the *net*
+  // canonical deltas relative to the pre-transaction state, merged to at
+  // most one delta per relation (delete-then-reinsert and
+  // insert-then-delete sequences cancel). Feed the result to
+  // Warehouse::IntegrateTransaction.
+  Result<std::vector<CanonicalDelta>> ApplyTransaction(
+      const std::vector<UpdateOp>& ops);
+
+  // Ad-hoc query service (dashed arrows in Figure 1). Each call increments
+  // query_count(): an update-independent warehouse never triggers it.
+  Result<Relation> AnswerQuery(const ExprRef& query) const;
+
+  size_t query_count() const { return query_count_; }
+  void ResetQueryCount() { query_count_ = 0; }
+
+ private:
+  Database db_;
+  mutable size_t query_count_ = 0;
+};
+
+}  // namespace dwc
+
+#endif  // DWC_WAREHOUSE_SOURCE_H_

@@ -1,0 +1,35 @@
+#ifndef DWC_WAREHOUSE_UPDATE_H_
+#define DWC_WAREHOUSE_UPDATE_H_
+
+#include <string>
+#include <vector>
+
+#include "relational/relation.h"
+#include "relational/tuple.h"
+
+namespace dwc {
+
+// An update against one source base relation: a set of tuples to insert and
+// a set to delete (the paper's updates; modifications are a delete plus an
+// insert, footnote 1).
+struct UpdateOp {
+  std::string relation;
+  std::vector<Tuple> inserts;
+  std::vector<Tuple> deletes;
+};
+
+// What a source reports to the integrator after applying an UpdateOp:
+// canonicalized deltas — `inserts` contains only tuples that were actually
+// new, `deletes` only tuples that were actually present. The maintenance
+// expressions assume this canonical form.
+struct CanonicalDelta {
+  std::string relation;
+  Relation inserts;
+  Relation deletes;
+
+  bool empty() const { return inserts.empty() && deletes.empty(); }
+};
+
+}  // namespace dwc
+
+#endif  // DWC_WAREHOUSE_UPDATE_H_

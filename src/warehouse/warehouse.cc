@@ -1,0 +1,450 @@
+#include "warehouse/warehouse.h"
+
+#include "algebra/evaluator.h"
+#include "algebra/optimizer.h"
+#include "algebra/rewriter.h"
+#include "algebra/simplifier.h"
+#include "util/string_util.h"
+
+namespace dwc {
+
+const char* MaintenanceStrategyName(MaintenanceStrategy strategy) {
+  switch (strategy) {
+    case MaintenanceStrategy::kIncremental:
+      return "incremental";
+    case MaintenanceStrategy::kRecomputeFromInverse:
+      return "recompute-from-inverse";
+    case MaintenanceStrategy::kQuerySource:
+      return "query-source";
+  }
+  return "unknown";
+}
+
+Result<Warehouse> Warehouse::Load(std::shared_ptr<const WarehouseSpec> spec,
+                                  const Database& sources,
+                                  MaintenanceStrategy strategy) {
+  if (spec == nullptr) {
+    return Status::InvalidArgument("spec must not be null");
+  }
+  Warehouse warehouse(std::move(spec), strategy);
+  if (strategy == MaintenanceStrategy::kIncremental) {
+    DWC_ASSIGN_OR_RETURN(warehouse.plan_,
+                         DeriveMaintenancePlan(*warehouse.spec_));
+  }
+  Environment env = Environment::FromDatabase(sources);
+  DWC_RETURN_IF_ERROR(warehouse.MaterializeFrom(env));
+  return warehouse;
+}
+
+Status Warehouse::MaterializeFrom(const Environment& base_env) {
+  // Views may be referenced by complement definitions, so bind them as they
+  // materialize.
+  Environment env = base_env;
+  Database fresh;
+  for (const ViewDef& view : spec_->AllWarehouseViews()) {
+    Evaluator evaluator(&env);
+    Result<Relation> rel = evaluator.Materialize(*view.expr);
+    if (!rel.ok()) {
+      return rel.status();
+    }
+    DWC_RETURN_IF_ERROR(fresh.AddRelation(view.name, std::move(rel).value()));
+    env.Bind(view.name, fresh.FindRelation(view.name));
+  }
+  state_ = std::move(fresh);
+  return Status::Ok();
+}
+
+Status Warehouse::Integrate(const CanonicalDelta& delta,
+                            const Source* source) {
+  switch (strategy_) {
+    case MaintenanceStrategy::kIncremental:
+      return IntegrateIncremental(delta);
+    case MaintenanceStrategy::kRecomputeFromInverse:
+      return IntegrateRecompute({&delta});
+    case MaintenanceStrategy::kQuerySource:
+      if (source == nullptr) {
+        return Status::InvalidArgument(
+            "kQuerySource maintenance needs a live Source");
+      }
+      return IntegrateQuerySource(*source);
+  }
+  return Status::Internal("unknown strategy");
+}
+
+Status Warehouse::IntegrateTransaction(
+    const std::vector<CanonicalDelta>& deltas, const Source* source) {
+  std::vector<const CanonicalDelta*> nonempty;
+  std::set<std::string> bases;
+  for (const CanonicalDelta& delta : deltas) {
+    if (delta.empty()) {
+      continue;
+    }
+    if (!bases.insert(delta.relation).second) {
+      return Status::InvalidArgument(
+          StrCat("transaction carries two deltas for '", delta.relation,
+                 "'; merge them first (Source::ApplyTransaction does)"));
+    }
+    nonempty.push_back(&delta);
+  }
+  if (nonempty.empty()) {
+    return Status::Ok();
+  }
+  switch (strategy_) {
+    case MaintenanceStrategy::kIncremental: {
+      if (nonempty.size() == 1) {
+        return IntegrateIncremental(*nonempty[0]);
+      }
+      std::string key = Join(bases, ",");
+      auto it = transaction_plans_.find(key);
+      if (it == transaction_plans_.end()) {
+        Result<std::map<std::string, DeltaPair>> plan =
+            DeriveTransactionPlan(*spec_, bases);
+        if (!plan.ok()) {
+          return plan.status();
+        }
+        it = transaction_plans_.emplace(key, std::move(plan).value()).first;
+      }
+      return ApplyPlanned(it->second, nonempty);
+    }
+    case MaintenanceStrategy::kRecomputeFromInverse:
+      return IntegrateRecompute(nonempty);
+    case MaintenanceStrategy::kQuerySource:
+      if (source == nullptr) {
+        return Status::InvalidArgument(
+            "kQuerySource maintenance needs a live Source");
+      }
+      return IntegrateQuerySource(*source);
+  }
+  return Status::Internal("unknown strategy");
+}
+
+Status Warehouse::IntegrateIncremental(const CanonicalDelta& delta) {
+  std::map<std::string, DeltaPair> per_relation;
+  for (const auto& [relation, per_base] : plan_.entries()) {
+    auto it = per_base.find(delta.relation);
+    if (it != per_base.end()) {
+      per_relation.emplace(relation, it->second);
+    }
+  }
+  return ApplyPlanned(per_relation, {&delta});
+}
+
+Status Warehouse::ApplyPlanned(
+    const std::map<std::string, DeltaPair>& per_relation_plan,
+    const std::vector<const CanonicalDelta*>& deltas) {
+  // Bind the old warehouse state plus all reported deltas.
+  Environment env = Env();
+  for (const CanonicalDelta* delta : deltas) {
+    env.Bind(DeltaInsName(delta->relation), &delta->inserts);
+    env.Bind(DeltaDelName(delta->relation), &delta->deletes);
+  }
+  Evaluator evaluator(&env);
+
+  // Evaluate all deltas against the *old* state first, then apply.
+  struct Pending {
+    std::string relation;
+    Relation plus;
+    Relation minus;
+  };
+  std::vector<Pending> pending;
+  for (const auto& [relation, pair] : per_relation_plan) {
+    Result<Relation> plus = evaluator.Materialize(*pair.plus);
+    if (!plus.ok()) {
+      return plus.status();
+    }
+    Result<Relation> minus = evaluator.Materialize(*pair.minus);
+    if (!minus.ok()) {
+      return minus.status();
+    }
+    pending.push_back(Pending{relation, std::move(plus).value(),
+                              std::move(minus).value()});
+  }
+
+  // Summary tables: derive (and cache) the exact deltas of each aggregate's
+  // source expression with respect to the changed warehouse relations, and
+  // evaluate them against the old state before applying anything.
+  struct AggregatePending {
+    AggregateView* view;
+    Relation plus;
+    Relation minus;
+  };
+  std::vector<AggregatePending> aggregate_pending;
+  if (!aggregates_.empty()) {
+    std::set<std::string> changed;
+    for (const Pending& p : pending) {
+      if (!p.plus.empty() || !p.minus.empty()) {
+        changed.insert(p.relation);
+      }
+    }
+    if (!changed.empty()) {
+      // Bind ins:/del: for every changed warehouse relation.
+      Environment agg_env = env;
+      for (const Pending& p : pending) {
+        agg_env.Bind(DeltaInsName(p.relation), &p.plus);
+        agg_env.Bind(DeltaDelName(p.relation), &p.minus);
+      }
+      SchemaResolver resolver = spec_->WarehouseResolver();
+      for (auto& [name, view] : aggregates_) {
+        bool touched = false;
+        for (const std::string& ref : view.def().source->ReferencedNames()) {
+          if (changed.count(ref) > 0) {
+            touched = true;
+            break;
+          }
+        }
+        if (!touched) {
+          continue;
+        }
+        std::string cache_key =
+            StrCat(name, "|", Join(changed, ","));
+        auto cached = aggregate_delta_cache_.find(cache_key);
+        if (cached == aggregate_delta_cache_.end()) {
+          DeltaDeriver deriver(changed, resolver);
+          Result<DeltaPair> derived = deriver.Derive(view.def().source);
+          if (!derived.ok()) {
+            return derived.status();
+          }
+          cached = aggregate_delta_cache_
+                       .emplace(cache_key, std::move(derived).value())
+                       .first;
+        }
+        Evaluator agg_evaluator(&agg_env);
+        Result<Relation> plus = agg_evaluator.Materialize(*cached->second.plus);
+        if (!plus.ok()) {
+          return plus.status();
+        }
+        Result<Relation> minus =
+            agg_evaluator.Materialize(*cached->second.minus);
+        if (!minus.ok()) {
+          return minus.status();
+        }
+        aggregate_pending.push_back(AggregatePending{
+            &view, std::move(plus).value(), std::move(minus).value()});
+      }
+    }
+  }
+
+  for (Pending& p : pending) {
+    Relation* rel = state_.FindMutableRelation(p.relation);
+    if (rel == nullptr) {
+      return Status::Internal(
+          StrCat("warehouse relation '", p.relation, "' missing"));
+    }
+    // Apply deletions before insertions: the delta pair is exact, so the
+    // two sets are disjoint and order only matters for storage churn.
+    Result<Relation> minus_aligned = p.minus.AlignTo(rel->schema());
+    if (!minus_aligned.ok()) {
+      return minus_aligned.status();
+    }
+    for (const Tuple& tuple : minus_aligned->tuples()) {
+      rel->Erase(tuple);
+    }
+    Result<Relation> plus_aligned = p.plus.AlignTo(rel->schema());
+    if (!plus_aligned.ok()) {
+      return plus_aligned.status();
+    }
+    for (const Tuple& tuple : plus_aligned->tuples()) {
+      rel->Insert(tuple);
+    }
+  }
+
+  // Fold aggregate deltas against the new state (MIN/MAX group recomputes
+  // read the updated fact views).
+  if (!aggregate_pending.empty()) {
+    Environment new_env = Env();
+    for (AggregatePending& p : aggregate_pending) {
+      DWC_RETURN_IF_ERROR(p.view->ApplyDelta(p.plus, p.minus, new_env));
+    }
+  }
+  return Status::Ok();
+}
+
+Status Warehouse::AddAggregateView(AggregateViewDef def) {
+  if (aggregates_.count(def.name) > 0 ||
+      spec_->FindWarehouseSchema(def.name) != nullptr ||
+      spec_->catalog().HasRelation(def.name)) {
+    return Status::AlreadyExists(
+        StrCat("name '", def.name, "' already in use"));
+  }
+  for (const std::string& ref : def.source->ReferencedNames()) {
+    if (spec_->FindWarehouseSchema(ref) == nullptr) {
+      return Status::InvalidArgument(
+          StrCat("aggregate source references '", ref,
+                 "', which is not a warehouse relation (aggregates sit on "
+                 "top of the maintained views)"));
+    }
+  }
+  std::string name = def.name;
+  SchemaResolver resolver = spec_->WarehouseResolver();
+  Result<AggregateView> view = AggregateView::Create(std::move(def), resolver);
+  if (!view.ok()) {
+    return view.status();
+  }
+  auto [it, inserted] = aggregates_.emplace(name, std::move(view).value());
+  (void)inserted;
+  Environment env = Env();
+  return it->second.Initialize(env);
+}
+
+const AggregateView* Warehouse::FindAggregate(const std::string& name) const {
+  auto it = aggregates_.find(name);
+  return it == aggregates_.end() ? nullptr : &it->second;
+}
+
+Status Warehouse::ReinitializeAggregates() {
+  Environment env = Env();
+  for (auto& [name, view] : aggregates_) {
+    (void)name;
+    DWC_RETURN_IF_ERROR(view.Initialize(env));
+  }
+  return Status::Ok();
+}
+
+Status Warehouse::IntegrateRecompute(
+    const std::vector<const CanonicalDelta*>& deltas) {
+  // Reconstruct the base state through W^-1, apply the deltas, re-derive.
+  Result<Database> bases = ReconstructSources();
+  if (!bases.ok()) {
+    return bases.status();
+  }
+  for (const CanonicalDelta* delta : deltas) {
+    Relation* rel = bases->FindMutableRelation(delta->relation);
+    if (rel == nullptr) {
+      return Status::NotFound(
+          StrCat("unknown base relation '", delta->relation, "'"));
+    }
+    Result<Relation> deletes = delta->deletes.AlignTo(rel->schema());
+    if (!deletes.ok()) {
+      return deletes.status();
+    }
+    for (const Tuple& tuple : deletes->tuples()) {
+      rel->Erase(tuple);
+    }
+    Result<Relation> inserts = delta->inserts.AlignTo(rel->schema());
+    if (!inserts.ok()) {
+      return inserts.status();
+    }
+    for (const Tuple& tuple : inserts->tuples()) {
+      rel->Insert(tuple);
+    }
+  }
+  Environment env = Environment::FromDatabase(*bases);
+  DWC_RETURN_IF_ERROR(MaterializeFrom(env));
+  return ReinitializeAggregates();
+}
+
+Status Warehouse::IntegrateQuerySource(const Source& source) {
+  // The traditional integrator: recompute every view by querying the source
+  // databases (and the complements too, so state stays comparable).
+  Environment env;  // Views bound as they materialize; bases via queries.
+  Database fresh;
+  // Pull every base relation the warehouse definitions mention.
+  std::set<std::string> needed;
+  for (const ViewDef& view : spec_->AllWarehouseViews()) {
+    for (const std::string& name : view.expr->ReferencedNames()) {
+      if (spec_->catalog().HasRelation(name)) {
+        needed.insert(name);
+      }
+    }
+  }
+  Database base_copy;
+  for (const std::string& name : needed) {
+    Result<Relation> rel = source.AnswerQuery(Expr::Base(name));
+    if (!rel.ok()) {
+      return rel.status();
+    }
+    DWC_RETURN_IF_ERROR(base_copy.AddRelation(name, std::move(rel).value()));
+  }
+  env.BindDatabase(base_copy);
+  for (const ViewDef& view : spec_->AllWarehouseViews()) {
+    Evaluator evaluator(&env);
+    Result<Relation> rel = evaluator.Materialize(*view.expr);
+    if (!rel.ok()) {
+      return rel.status();
+    }
+    DWC_RETURN_IF_ERROR(fresh.AddRelation(view.name, std::move(rel).value()));
+    env.Bind(view.name, fresh.FindRelation(view.name));
+  }
+  state_ = std::move(fresh);
+  return ReinitializeAggregates();
+}
+
+Result<Relation> Warehouse::AnswerQuery(const ExprRef& query,
+                                        EvalStats* stats) const {
+  // Like TranslateQuery, but aggregate views are additionally addressable.
+  for (const std::string& name : query->ReferencedNames()) {
+    if (spec_->FindInverse(name) == nullptr &&
+        spec_->FindWarehouseSchema(name) == nullptr &&
+        aggregates_.count(name) == 0) {
+      return Status::NotFound(
+          StrCat("query references '", name,
+                 "', which is neither a base relation, a warehouse view, "
+                 "nor an aggregate view"));
+    }
+  }
+  ExprRef translated = SubstituteNames(query, spec_->inverses());
+  SchemaResolver warehouse_resolver = spec_->WarehouseResolver();
+  auto resolver = [this, &warehouse_resolver](
+                      const std::string& name) -> const Schema* {
+    const Schema* schema = warehouse_resolver(name);
+    if (schema != nullptr) {
+      return schema;
+    }
+    auto it = aggregates_.find(name);
+    return it == aggregates_.end() ? nullptr : &it->second.schema();
+  };
+  SchemaResolver resolver_fn = resolver;
+  translated = Simplify(translated, &resolver_fn);
+  translated = PushDownSelections(translated, resolver_fn);
+  translated = Simplify(translated, &resolver_fn);
+  Environment env = Env();
+  Evaluator evaluator(&env);
+  Result<Relation> result = evaluator.Materialize(*translated);
+  if (stats != nullptr) {
+    *stats = evaluator.stats();
+  }
+  return result;
+}
+
+Result<Database> Warehouse::ReconstructSources() const {
+  Environment env = Env();
+  Evaluator evaluator(&env);
+  Database bases(spec_->catalog_ptr());
+  for (const auto& [base, inverse] : spec_->inverses()) {
+    DWC_ASSIGN_OR_RETURN(Relation rel, evaluator.Materialize(*inverse));
+    const Schema* declared = spec_->catalog().FindSchema(base);
+    if (declared != nullptr && !(rel.schema() == *declared)) {
+      DWC_ASSIGN_OR_RETURN(rel, rel.AlignTo(*declared));
+    }
+    DWC_RETURN_IF_ERROR(bases.AddRelation(base, std::move(rel)));
+  }
+  return bases;
+}
+
+Status CheckConsistency(const Warehouse& warehouse, const Database& sources) {
+  Environment env = Environment::FromDatabase(sources);
+  std::vector<std::unique_ptr<Relation>> materialized;
+  for (const ViewDef& view : warehouse.spec().AllWarehouseViews()) {
+    Evaluator evaluator(&env);
+    Result<Relation> expected = evaluator.Materialize(*view.expr);
+    if (!expected.ok()) {
+      return expected.status();
+    }
+    const Relation* actual = warehouse.FindRelation(view.name);
+    if (actual == nullptr) {
+      return Status::Internal(
+          StrCat("warehouse relation '", view.name, "' missing"));
+    }
+    if (!actual->SameContentAs(*expected)) {
+      return Status::Internal(StrCat(
+          "warehouse relation '", view.name, "' is stale:\n  expected ",
+          expected->ToString(), "\n  actual   ", actual->ToString()));
+    }
+    materialized.push_back(
+        std::make_unique<Relation>(std::move(expected).value()));
+    env.Bind(view.name, materialized.back().get());
+  }
+  return Status::Ok();
+}
+
+}  // namespace dwc

@@ -1,0 +1,144 @@
+#ifndef DWC_WAREHOUSE_WAREHOUSE_H_
+#define DWC_WAREHOUSE_WAREHOUSE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "aggregate/aggregate_view.h"
+#include "algebra/environment.h"
+#include "algebra/evaluator.h"
+#include "core/query_translation.h"
+#include "core/warehouse_spec.h"
+#include "maintenance/plan.h"
+#include "relational/database.h"
+#include "util/result.h"
+#include "warehouse/source.h"
+#include "warehouse/update.h"
+
+namespace dwc {
+
+// How the integrator refreshes the warehouse when a source reports a delta.
+enum class MaintenanceStrategy {
+  // Evaluate the precomputed incremental maintenance expressions against the
+  // old warehouse state plus the delta (the paper's approach; zero source
+  // queries, O(|delta|)-ish work).
+  kIncremental,
+  // Reconstruct all base relations through W^-1, apply the delta, recompute
+  // every warehouse relation from scratch. Still zero source queries (update
+  // independent), but O(|database|) per refresh. The paper's Section 4
+  // "not feasible ... to recompute from scratch" strawman; used as the
+  // second baseline in bench/bench_maintenance.cc.
+  kRecomputeFromInverse,
+  // Recompute the warehouse by querying the sources (the traditional,
+  // non-self-maintainable integrator). Requires a live Source; every refresh
+  // increments its query counter. First baseline in the benchmarks.
+  kQuerySource,
+};
+
+const char* MaintenanceStrategyName(MaintenanceStrategy strategy);
+
+// A running warehouse: the materialized state of W = V ∪ C plus the machinery
+// to answer translated queries and integrate reported source deltas.
+class Warehouse {
+ public:
+  // Materializes all warehouse relations from the initial source state and
+  // (for kIncremental) derives the maintenance plan.
+  static Result<Warehouse> Load(std::shared_ptr<const WarehouseSpec> spec,
+                                const Database& sources,
+                                MaintenanceStrategy strategy =
+                                    MaintenanceStrategy::kIncremental);
+
+  const WarehouseSpec& spec() const { return *spec_; }
+  MaintenanceStrategy strategy() const { return strategy_; }
+  const MaintenancePlan& plan() const { return plan_; }
+
+  // Materialized warehouse relation by name; nullptr when absent.
+  const Relation* FindRelation(const std::string& name) const {
+    return state_.FindRelation(name);
+  }
+  const Database& state() const { return state_; }
+
+  // Integrates one reported delta. `source` is only consulted under
+  // kQuerySource (pass nullptr otherwise).
+  Status Integrate(const CanonicalDelta& delta, const Source* source = nullptr);
+
+  // Integrates a multi-relation transaction atomically: all deltas are
+  // treated as one state transition (maintenance expressions are derived
+  // for the simultaneous update — Theorem 4.1 places no single-relation
+  // restriction on u). Deltas must be canonical relative to the pre-
+  // transaction state and carry at most one entry per relation
+  // (Source::ApplyTransaction produces exactly this form).
+  Status IntegrateTransaction(const std::vector<CanonicalDelta>& deltas,
+                              const Source* source = nullptr);
+
+  // Registers a summary table (Section 5's OLAP layer) over warehouse
+  // relations and materializes it from the current state. Under
+  // kIncremental it is maintained from the exact deltas of its source
+  // expression; under the other strategies it is re-initialized per
+  // refresh. The materialized aggregate is visible to AnswerQuery under its
+  // name.
+  Status AddAggregateView(AggregateViewDef def);
+  // nullptr when absent.
+  const AggregateView* FindAggregate(const std::string& name) const;
+
+  // Answers a query over the *base* relations using warehouse data only
+  // (Theorem 3.1: translate through W^-1, evaluate locally). Queries may
+  // also reference warehouse views and aggregate views by name. When
+  // `stats` is non-null it receives the evaluator's EXPLAIN counters.
+  Result<Relation> AnswerQuery(const ExprRef& query,
+                               EvalStats* stats = nullptr) const;
+
+  // Rebuilds the full base database state through W^-1 (Proposition 2.1's
+  // one-to-one mapping, inverted). Used by consistency checks and tests.
+  Result<Database> ReconstructSources() const;
+
+  // An evaluation environment over the warehouse state (including
+  // materialized aggregate views).
+  Environment Env() const {
+    Environment env = Environment::FromDatabase(state_);
+    for (const auto& [name, view] : aggregates_) {
+      env.Bind(name, &view.materialized());
+    }
+    return env;
+  }
+
+ private:
+  Warehouse(std::shared_ptr<const WarehouseSpec> spec,
+            MaintenanceStrategy strategy)
+      : spec_(std::move(spec)), strategy_(strategy) {}
+
+  Status IntegrateIncremental(const CanonicalDelta& delta);
+  Status IntegrateRecompute(const std::vector<const CanonicalDelta*>& deltas);
+  Status IntegrateQuerySource(const Source& source);
+  // Shared incremental core: evaluates `per_relation_plan` against the old
+  // state with every delta bound, applies the results, then folds summary
+  // tables.
+  Status ApplyPlanned(const std::map<std::string, DeltaPair>& per_relation_plan,
+                      const std::vector<const CanonicalDelta*>& deltas);
+
+  // Materializes all warehouse relations from an environment that binds the
+  // base relations, writing into `state_` (replacing existing relations).
+  Status MaterializeFrom(const Environment& base_env);
+  // Rebuilds every aggregate view from the current state.
+  Status ReinitializeAggregates();
+
+  std::shared_ptr<const WarehouseSpec> spec_;
+  MaintenanceStrategy strategy_;
+  MaintenancePlan plan_;
+  Database state_;
+  std::map<std::string, AggregateView> aggregates_;
+  // Cached source-delta expressions per (aggregate, set of changed
+  // warehouse relations), keyed by "<aggregate>|<rel1>,<rel2>".
+  std::map<std::string, DeltaPair> aggregate_delta_cache_;
+  // Cached transaction plans keyed by the comma-joined sorted base set.
+  std::map<std::string, std::map<std::string, DeltaPair>> transaction_plans_;
+};
+
+// Verifies that every warehouse relation equals its definition evaluated on
+// `sources` (the ground truth): the dashed-arrow check in Figure 3.
+Status CheckConsistency(const Warehouse& warehouse, const Database& sources);
+
+}  // namespace dwc
+
+#endif  // DWC_WAREHOUSE_WAREHOUSE_H_

@@ -1,0 +1,142 @@
+#include "workload/random_db.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace dwc {
+
+namespace {
+
+Value RandomValue(ValueType type, Rng* rng, const RandomDbOptions& options) {
+  switch (type) {
+    case ValueType::kInt:
+      return Value::Int(rng->Range(0, options.int_domain - 1));
+    case ValueType::kDouble:
+      return Value::Double(
+          static_cast<double>(rng->Range(0, options.int_domain - 1)) + 0.5);
+    case ValueType::kString:
+      return Value::String(
+          StrCat("s", rng->Range(0, options.string_domain - 1)));
+    case ValueType::kNull:
+      return Value::Null();
+  }
+  return Value::Null();
+}
+
+// Builds a tuple for `relation`: foreign-constrained attributes sampled from
+// referenced relations (already populated), the rest random.
+Result<Tuple> BuildTuple(const Database& db, const Catalog& catalog,
+                         const std::string& relation, Rng* rng,
+                         const RandomDbOptions& options) {
+  const Schema& schema = *catalog.FindSchema(relation);
+  std::vector<Value> values(schema.size());
+  std::vector<bool> assigned(schema.size(), false);
+
+  for (const InclusionDependency& ind : catalog.inclusions()) {
+    if (ind.lhs_relation != relation) {
+      continue;
+    }
+    const Relation* rhs = db.FindRelation(ind.rhs_relation);
+    if (rhs == nullptr || rhs->empty()) {
+      return Status::FailedPrecondition(
+          StrCat("cannot generate tuple for ", relation, ": referenced ",
+                 ind.rhs_relation, " is empty"));
+    }
+    // Pick a uniformly random tuple of rhs and copy the X values over.
+    // (std::next over the hash set: O(n) pointer chase, but no sort/copy —
+    // this sits on the update-generation hot path.)
+    auto it = rhs->tuples().begin();
+    std::advance(it, rng->Below(rhs->size()));
+    const Tuple& source = *it;
+    DWC_ASSIGN_OR_RETURN(std::vector<size_t> rhs_idx,
+                         rhs->schema().IndicesOf(ind.rhs_attrs));
+    DWC_ASSIGN_OR_RETURN(std::vector<size_t> lhs_idx,
+                         schema.IndicesOf(ind.lhs_attrs));
+    for (size_t k = 0; k < lhs_idx.size(); ++k) {
+      values[lhs_idx[k]] = source.at(rhs_idx[k]);
+      assigned[lhs_idx[k]] = true;
+    }
+  }
+  for (size_t i = 0; i < schema.size(); ++i) {
+    if (!assigned[i]) {
+      values[i] = RandomValue(schema.attribute(i).type, rng, options);
+    }
+  }
+  return Tuple(std::move(values));
+}
+
+// Does inserting `tuple` violate the key of `relation`?
+bool ViolatesKey(const Database& db, const Catalog& catalog,
+                 const std::string& relation, const Tuple& tuple) {
+  auto key = catalog.FindKey(relation);
+  if (!key.has_value()) {
+    return false;
+  }
+  const Relation* rel = db.FindRelation(relation);
+  if (rel == nullptr || rel->empty()) {
+    return false;
+  }
+  std::vector<std::string> key_attrs(key->attrs.begin(), key->attrs.end());
+  const Relation::Index& index = rel->GetIndex(key_attrs);
+  Result<std::vector<size_t>> indices = rel->schema().IndicesOf(key_attrs);
+  if (!indices.ok()) {
+    return true;
+  }
+  return index.find(tuple.Project(*indices)) != index.end();
+}
+
+}  // namespace
+
+Result<Database> GenerateRandomDatabase(std::shared_ptr<const Catalog> catalog,
+                                        Rng* rng,
+                                        const RandomDbOptions& options) {
+  Database db(catalog);
+  for (const std::string& name : catalog->RelationNames()) {
+    DWC_RETURN_IF_ERROR(
+        db.AddEmptyRelation(name, *catalog->FindSchema(name)));
+  }
+  // Reverse topological order: IND right-hand sides first.
+  std::vector<std::string> order = catalog->IndTopologicalOrder();
+  std::reverse(order.begin(), order.end());
+  for (const std::string& name : order) {
+    size_t target = options.min_tuples +
+                    rng->Below(options.max_tuples - options.min_tuples + 1);
+    Relation* rel = db.FindMutableRelation(name);
+    size_t attempts = 0;
+    while (rel->size() < target && attempts < target * 8) {
+      ++attempts;
+      Result<Tuple> tuple = BuildTuple(db, *catalog, name, rng, options);
+      if (!tuple.ok()) {
+        return tuple.status();
+      }
+      if (ViolatesKey(db, *catalog, name, *tuple)) {
+        continue;
+      }
+      rel->Insert(std::move(tuple).value());
+    }
+  }
+  DWC_RETURN_IF_ERROR(db.ValidateConstraints());
+  return db;
+}
+
+Result<Tuple> GenerateInsertableTuple(const Database& db,
+                                      const std::string& relation, Rng* rng,
+                                      const RandomDbOptions& options) {
+  const Catalog& catalog = db.catalog();
+  if (!catalog.HasRelation(relation)) {
+    return Status::NotFound(StrCat("unknown relation '", relation, "'"));
+  }
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    DWC_ASSIGN_OR_RETURN(Tuple tuple,
+                         BuildTuple(db, catalog, relation, rng, options));
+    if (!ViolatesKey(db, catalog, relation, tuple)) {
+      return tuple;
+    }
+  }
+  return Status::NotFound(
+      StrCat("could not generate a key-unique tuple for ", relation,
+             " (domain exhausted?)"));
+}
+
+}  // namespace dwc

@@ -1,0 +1,47 @@
+#ifndef DWC_WORKLOAD_RANDOM_DB_H_
+#define DWC_WORKLOAD_RANDOM_DB_H_
+
+#include <memory>
+
+#include "relational/catalog.h"
+#include "relational/database.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace dwc {
+
+// Knobs for random state generation.
+struct RandomDbOptions {
+  size_t min_tuples = 4;
+  size_t max_tuples = 24;
+  // Integer attributes draw from [0, int_domain).
+  int64_t int_domain = 16;
+  // String attributes draw from "s0" .. "s<domain-1>".
+  int64_t string_domain = 16;
+};
+
+// Generates a random state over `catalog` that satisfies all declared key
+// constraints and inclusion dependencies: relations are generated in
+// reverse IND-topological order so that an IND's right-hand side exists
+// before the left-hand side samples foreign values from it. Overlapping
+// IND attribute sets on one relation may be unsatisfiable together; this
+// generator assumes the usual disjoint-foreign-key shape and validates the
+// result, failing loudly otherwise.
+Result<Database> GenerateRandomDatabase(std::shared_ptr<const Catalog> catalog,
+                                        Rng* rng,
+                                        const RandomDbOptions& options =
+                                            RandomDbOptions());
+
+// Generates one random tuple for `schema`, with foreign attributes (those
+// constrained by an IND whose lhs is `relation`) sampled from the current
+// contents of the referenced relations in `db`, and key uniqueness against
+// the current contents of `relation` (retrying a few times; may return a
+// duplicate-key-free tuple or NotFound if the domain is exhausted).
+Result<Tuple> GenerateInsertableTuple(const Database& db,
+                                      const std::string& relation, Rng* rng,
+                                      const RandomDbOptions& options =
+                                          RandomDbOptions());
+
+}  // namespace dwc
+
+#endif  // DWC_WORKLOAD_RANDOM_DB_H_

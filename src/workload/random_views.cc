@@ -1,0 +1,209 @@
+#include "workload/random_views.h"
+
+#include <algorithm>
+
+#include "algebra/schema_inference.h"
+#include "util/string_util.h"
+
+namespace dwc {
+
+namespace {
+
+// Attribute names shared by `schema` and any schema in `names`.
+bool SharesAttrs(const Catalog& catalog, const std::string& candidate,
+                 const std::vector<std::string>& chosen) {
+  const Schema* cs = catalog.FindSchema(candidate);
+  for (const std::string& name : chosen) {
+    const Schema* schema = catalog.FindSchema(name);
+    for (const Attribute& attr : cs->attributes()) {
+      if (schema->Contains(attr.name)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+Value RandomConstFor(ValueType type, Rng* rng, int64_t domain) {
+  switch (type) {
+    case ValueType::kInt:
+      return Value::Int(rng->Range(0, domain - 1));
+    case ValueType::kDouble:
+      return Value::Double(static_cast<double>(rng->Range(0, domain - 1)) +
+                           0.5);
+    case ValueType::kString:
+      return Value::String(StrCat("s", rng->Range(0, domain - 1)));
+    case ValueType::kNull:
+      return Value::Null();
+  }
+  return Value::Null();
+}
+
+PredicateRef RandomComparison(const Schema& schema, Rng* rng, int64_t domain) {
+  const Attribute& attr =
+      schema.attribute(rng->Below(schema.size()));
+  // Mostly equalities (selective), occasionally ranges on ints.
+  if (attr.type == ValueType::kInt && rng->Chance(0.4)) {
+    CmpOp op = rng->Chance(0.5) ? CmpOp::kLe : CmpOp::kGe;
+    return Predicate::Cmp(Operand::Attr(attr.name), op,
+                          Operand::Const(Value::Int(rng->Range(0, domain - 1))));
+  }
+  return Predicate::AttrEq(attr.name, RandomConstFor(attr.type, rng, domain));
+}
+
+}  // namespace
+
+Result<std::vector<ViewDef>> GenerateRandomPsjViews(
+    const Catalog& catalog, Rng* rng, const RandomViewOptions& options) {
+  std::vector<std::string> relations = catalog.RelationNames();
+  if (relations.empty()) {
+    return Status::InvalidArgument("catalog has no relations");
+  }
+  size_t n_views =
+      options.min_views + rng->Below(options.max_views - options.min_views + 1);
+  std::vector<ViewDef> views;
+  for (size_t v = 0; v < n_views; ++v) {
+    // Grow a connected set of bases.
+    std::vector<std::string> bases;
+    bases.push_back(relations[rng->Below(relations.size())]);
+    size_t want = 1 + rng->Below(options.max_bases_per_view);
+    while (bases.size() < want) {
+      std::vector<std::string> candidates;
+      for (const std::string& name : relations) {
+        if (std::find(bases.begin(), bases.end(), name) != bases.end()) {
+          continue;
+        }
+        if (SharesAttrs(catalog, name, bases)) {
+          candidates.push_back(name);
+        }
+      }
+      if (candidates.empty()) {
+        break;
+      }
+      bases.push_back(candidates[rng->Below(candidates.size())]);
+    }
+
+    std::vector<ExprRef> leaves;
+    leaves.reserve(bases.size());
+    AttrSet full_attrs;
+    for (const std::string& base : bases) {
+      leaves.push_back(Expr::Base(base));
+      AttrSet names = catalog.FindSchema(base)->attr_names();
+      full_attrs.insert(names.begin(), names.end());
+    }
+    ExprRef expr = Expr::JoinAll(leaves);
+
+    if (rng->Chance(options.select_probability)) {
+      // Predicate over the full join schema (any attribute works).
+      std::vector<Attribute> attrs;
+      for (const std::string& base : bases) {
+        for (const Attribute& attr : catalog.FindSchema(base)->attributes()) {
+          if (std::none_of(attrs.begin(), attrs.end(),
+                           [&attr](const Attribute& a) {
+                             return a.name == attr.name;
+                           })) {
+            attrs.push_back(attr);
+          }
+        }
+      }
+      Schema join_schema(attrs);
+      expr = Expr::Select(RandomComparison(join_schema, rng, options.int_domain),
+                          expr);
+    }
+
+    if (rng->Chance(options.project_probability)) {
+      AttrSet keep;
+      if (options.keep_keys) {
+        for (const std::string& base : bases) {
+          auto key = catalog.FindKey(base);
+          if (key.has_value()) {
+            keep.insert(key->attrs.begin(), key->attrs.end());
+          }
+        }
+      }
+      for (const std::string& attr : full_attrs) {
+        if (rng->Chance(options.keep_attr_probability)) {
+          keep.insert(attr);
+        }
+      }
+      if (keep.empty()) {
+        keep.insert(*full_attrs.begin());
+      }
+      if (keep != full_attrs) {
+        expr = Expr::Project(
+            std::vector<std::string>(keep.begin(), keep.end()), expr);
+      }
+    }
+    views.push_back(ViewDef{StrCat("V", v + 1), std::move(expr)});
+  }
+  return views;
+}
+
+Result<ExprRef> GenerateRandomQuery(const Catalog& catalog, Rng* rng,
+                                    const RandomQueryOptions& options) {
+  std::vector<std::string> relations = catalog.RelationNames();
+  if (relations.empty()) {
+    return Status::InvalidArgument("catalog has no relations");
+  }
+  SchemaResolver resolver = ResolverFromCatalog(catalog);
+
+  // Recursive generator; returns a type-correct expression.
+  auto gen = [&](auto&& self, size_t depth) -> Result<ExprRef> {
+    if (depth == 0 || rng->Chance(0.35)) {
+      return Expr::Base(relations[rng->Below(relations.size())]);
+    }
+    switch (rng->Below(5)) {
+      case 0: {  // select
+        DWC_ASSIGN_OR_RETURN(ExprRef child, self(self, depth - 1));
+        DWC_ASSIGN_OR_RETURN(Schema schema, InferSchema(*child, resolver));
+        return Expr::Select(RandomComparison(schema, rng, options.int_domain),
+                            child);
+      }
+      case 1: {  // project
+        DWC_ASSIGN_OR_RETURN(ExprRef child, self(self, depth - 1));
+        DWC_ASSIGN_OR_RETURN(Schema schema, InferSchema(*child, resolver));
+        std::vector<std::string> keep;
+        for (const Attribute& attr : schema.attributes()) {
+          if (rng->Chance(0.6)) {
+            keep.push_back(attr.name);
+          }
+        }
+        if (keep.empty()) {
+          keep.push_back(schema.attribute(0).name);
+        }
+        return Expr::Project(std::move(keep), child);
+      }
+      case 2: {  // join
+        DWC_ASSIGN_OR_RETURN(ExprRef left, self(self, depth - 1));
+        DWC_ASSIGN_OR_RETURN(ExprRef right, self(self, depth - 1));
+        return Expr::Join(left, right);
+      }
+      default: {  // union / difference of common projections
+        DWC_ASSIGN_OR_RETURN(ExprRef left, self(self, depth - 1));
+        DWC_ASSIGN_OR_RETURN(ExprRef right, self(self, depth - 1));
+        DWC_ASSIGN_OR_RETURN(Schema ls, InferSchema(*left, resolver));
+        DWC_ASSIGN_OR_RETURN(Schema rs, InferSchema(*right, resolver));
+        std::vector<std::string> common = ls.CommonWith(rs);
+        // Drop attributes whose types disagree (union needs matching types).
+        std::vector<std::string> usable;
+        for (const std::string& name : common) {
+          size_t li = *ls.IndexOf(name);
+          size_t ri = *rs.IndexOf(name);
+          if (ls.attribute(li).type == rs.attribute(ri).type) {
+            usable.push_back(name);
+          }
+        }
+        if (usable.empty()) {
+          return left;  // No common attributes: fall back to the left arm.
+        }
+        ExprRef lp = Expr::Project(usable, left);
+        ExprRef rp = Expr::Project(usable, right);
+        return rng->Chance(0.5) ? Expr::Union(lp, rp)
+                                : Expr::Difference(lp, rp);
+      }
+    }
+  };
+  return gen(gen, options.max_depth);
+}
+
+}  // namespace dwc

@@ -1,0 +1,52 @@
+#ifndef DWC_WORKLOAD_RANDOM_VIEWS_H_
+#define DWC_WORKLOAD_RANDOM_VIEWS_H_
+
+#include <vector>
+
+#include "algebra/view.h"
+#include "relational/catalog.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace dwc {
+
+struct RandomViewOptions {
+  size_t min_views = 1;
+  size_t max_views = 4;
+  size_t max_bases_per_view = 3;
+  // Probability of wrapping a selection around the join.
+  double select_probability = 0.35;
+  // Probability of projecting (instead of keeping the full SJ schema).
+  double project_probability = 0.6;
+  // Per-attribute keep probability when projecting.
+  double keep_attr_probability = 0.7;
+  // When projecting, always retain declared keys of the joined relations
+  // (makes the views useful for Theorem 2.2 covers more often).
+  bool keep_keys = true;
+  // Integer constant domain for selection predicates; must match the data
+  // generator's domain for selections to be non-trivially selective.
+  int64_t int_domain = 16;
+};
+
+// Generates a random set of PSJ views over `catalog`, preferring connected
+// join trees (relations sharing attributes). Every returned view passes
+// AnalyzePsj. Names are "V1", "V2", ...
+Result<std::vector<ViewDef>> GenerateRandomPsjViews(
+    const Catalog& catalog, Rng* rng,
+    const RandomViewOptions& options = RandomViewOptions());
+
+struct RandomQueryOptions {
+  size_t max_depth = 4;
+  int64_t int_domain = 16;
+};
+
+// Generates a random *query* over the base relations using the full algebra
+// (select / project / join / union / difference), type-correct by
+// construction. Used by the query-independence property tests (E9).
+Result<ExprRef> GenerateRandomQuery(const Catalog& catalog, Rng* rng,
+                                    const RandomQueryOptions& options =
+                                        RandomQueryOptions());
+
+}  // namespace dwc
+
+#endif  // DWC_WORKLOAD_RANDOM_VIEWS_H_

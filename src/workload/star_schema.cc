@@ -1,0 +1,148 @@
+#include "workload/star_schema.h"
+
+#include "util/string_util.h"
+#include "workload/update_stream.h"
+
+namespace dwc {
+
+namespace {
+
+Schema MakeSchema(std::initializer_list<Attribute> attrs) {
+  return Schema(std::vector<Attribute>(attrs));
+}
+
+Status AddDim(Catalog* catalog, Database* db, const std::string& name,
+              Schema schema, const std::string& key) {
+  DWC_RETURN_IF_ERROR(catalog->AddRelation(name, schema));
+  DWC_RETURN_IF_ERROR(catalog->AddKey(name, AttrSet{key}));
+  return db->AddEmptyRelation(name, std::move(schema));
+}
+
+}  // namespace
+
+Result<StarSchema> BuildStarSchema(const StarSchemaConfig& config) {
+  StarSchema star;
+  star.catalog = std::make_shared<Catalog>();
+  star.db = Database(star.catalog);
+  Catalog* cat = star.catalog.get();
+  Database* db = &star.db;
+  Rng rng(config.seed);
+
+  DWC_RETURN_IF_ERROR(AddDim(cat, db, "Customer",
+                             MakeSchema({{"cust_key", ValueType::kInt},
+                                         {"cust_name", ValueType::kString},
+                                         {"cust_region", ValueType::kString}}),
+                             "cust_key"));
+  DWC_RETURN_IF_ERROR(AddDim(cat, db, "Supplier",
+                             MakeSchema({{"supp_key", ValueType::kInt},
+                                         {"supp_name", ValueType::kString},
+                                         {"supp_region", ValueType::kString}}),
+                             "supp_key"));
+  DWC_RETURN_IF_ERROR(AddDim(cat, db, "Part",
+                             MakeSchema({{"part_key", ValueType::kInt},
+                                         {"part_name", ValueType::kString},
+                                         {"part_type", ValueType::kString}}),
+                             "part_key"));
+  DWC_RETURN_IF_ERROR(AddDim(cat, db, "Location",
+                             MakeSchema({{"loc_key", ValueType::kInt},
+                                         {"loc_city", ValueType::kString},
+                                         {"loc_country", ValueType::kString}}),
+                             "loc_key"));
+  DWC_RETURN_IF_ERROR(AddDim(cat, db, "Orders",
+                             MakeSchema({{"order_key", ValueType::kInt},
+                                         {"cust_key", ValueType::kInt},
+                                         {"loc_key", ValueType::kInt},
+                                         {"order_month", ValueType::kInt}}),
+                             "order_key"));
+  DWC_RETURN_IF_ERROR(AddDim(cat, db, "Sales",
+                             MakeSchema({{"sale_key", ValueType::kInt},
+                                         {"order_key", ValueType::kInt},
+                                         {"part_key", ValueType::kInt},
+                                         {"supp_key", ValueType::kInt},
+                                         {"quantity", ValueType::kInt}}),
+                             "sale_key"));
+
+  DWC_RETURN_IF_ERROR(cat->AddInclusion(
+      InclusionDependency{"Orders", {"cust_key"}, "Customer", {"cust_key"}}));
+  DWC_RETURN_IF_ERROR(cat->AddInclusion(
+      InclusionDependency{"Orders", {"loc_key"}, "Location", {"loc_key"}}));
+  DWC_RETURN_IF_ERROR(cat->AddInclusion(
+      InclusionDependency{"Sales", {"order_key"}, "Orders", {"order_key"}}));
+  DWC_RETURN_IF_ERROR(cat->AddInclusion(
+      InclusionDependency{"Sales", {"part_key"}, "Part", {"part_key"}}));
+  DWC_RETURN_IF_ERROR(cat->AddInclusion(
+      InclusionDependency{"Sales", {"supp_key"}, "Supplier", {"supp_key"}}));
+
+  // --- Data.
+  const char* regions[] = {"emea", "apac", "amer", "latam"};
+  auto region = [&](Rng* r) {
+    return Value::String(regions[r->Below(4)]);
+  };
+  Relation* customer = db->FindMutableRelation("Customer");
+  for (size_t i = 0; i < config.customers; ++i) {
+    customer->Insert(Tuple({Value::Int(static_cast<int64_t>(i)),
+                            Value::String(StrCat("cust", i)), region(&rng)}));
+  }
+  Relation* supplier = db->FindMutableRelation("Supplier");
+  for (size_t i = 0; i < config.suppliers; ++i) {
+    supplier->Insert(Tuple({Value::Int(static_cast<int64_t>(i)),
+                            Value::String(StrCat("supp", i)), region(&rng)}));
+  }
+  Relation* part = db->FindMutableRelation("Part");
+  const char* types[] = {"bolt", "nut", "gear", "rod", "plate"};
+  for (size_t i = 0; i < config.parts; ++i) {
+    part->Insert(Tuple({Value::Int(static_cast<int64_t>(i)),
+                        Value::String(StrCat("part", i)),
+                        Value::String(types[rng.Below(5)])}));
+  }
+  Relation* location = db->FindMutableRelation("Location");
+  for (size_t i = 0; i < config.locations; ++i) {
+    location->Insert(Tuple({Value::Int(static_cast<int64_t>(i)),
+                            Value::String(StrCat("city", i)),
+                            Value::String(StrCat("country", i % 5))}));
+  }
+  Relation* orders = db->FindMutableRelation("Orders");
+  for (size_t i = 0; i < config.orders; ++i) {
+    orders->Insert(
+        Tuple({Value::Int(static_cast<int64_t>(i)),
+               Value::Int(rng.Range(0, static_cast<int64_t>(config.customers) - 1)),
+               Value::Int(rng.Range(0, static_cast<int64_t>(config.locations) - 1)),
+               Value::Int(rng.Range(1, 12))}));
+  }
+  Relation* sales = db->FindMutableRelation("Sales");
+  for (size_t i = 0; i < config.sales; ++i) {
+    sales->Insert(
+        Tuple({Value::Int(static_cast<int64_t>(i)),
+               Value::Int(rng.Range(0, static_cast<int64_t>(config.orders) - 1)),
+               Value::Int(rng.Range(0, static_cast<int64_t>(config.parts) - 1)),
+               Value::Int(rng.Range(0, static_cast<int64_t>(config.suppliers) - 1)),
+               Value::Int(rng.Range(1, 50))}));
+  }
+  DWC_RETURN_IF_ERROR(db->ValidateConstraints());
+
+  // --- Warehouse views: dimension copies + fact views.
+  star.views.push_back(ViewDef{"DimCustomer", Expr::Base("Customer")});
+  star.views.push_back(ViewDef{"DimSupplier", Expr::Base("Supplier")});
+  star.views.push_back(ViewDef{"DimPart", Expr::Base("Part")});
+  star.views.push_back(ViewDef{"DimLocation", Expr::Base("Location")});
+  star.views.push_back(ViewDef{
+      "FactOrders",
+      Expr::JoinAll({Expr::Base("Orders"), Expr::Base("Customer"),
+                     Expr::Base("Location")})});
+  star.views.push_back(ViewDef{
+      "FactSales",
+      Expr::JoinAll({Expr::Base("Sales"), Expr::Base("Orders"),
+                     Expr::Base("Part"), Expr::Base("Supplier")})});
+  return star;
+}
+
+Result<UpdateOp> GenerateSalesBatch(const Database& db, size_t count,
+                                    Rng* rng) {
+  RandomDbOptions options;
+  // Sale keys need headroom beyond the current population.
+  options.int_domain =
+      static_cast<int64_t>(db.FindRelation("Sales")->size()) * 4 + 1024;
+  return GenerateInsertBatch(db, "Sales", count, rng, options);
+}
+
+}  // namespace dwc

@@ -1,0 +1,60 @@
+#ifndef DWC_WORKLOAD_STAR_SCHEMA_H_
+#define DWC_WORKLOAD_STAR_SCHEMA_H_
+
+#include <memory>
+#include <vector>
+
+#include "algebra/view.h"
+#include "relational/catalog.h"
+#include "relational/database.h"
+#include "util/result.h"
+#include "util/rng.h"
+#include "warehouse/update.h"
+
+namespace dwc {
+
+// A TPC-D-flavoured business schema (Section 5): dimension relations with
+// surrogate keys and fact relations whose foreign keys are declared as
+// key + inclusion constraints — exactly the setting in which Theorem 2.2
+// makes fact-view complements vanish.
+//
+//   Customer(cust_key KEY, cust_name, cust_region)
+//   Supplier(supp_key KEY, supp_name, supp_region)
+//   Part(part_key KEY, part_name, part_type)
+//   Location(loc_key KEY, loc_city, loc_country)
+//   Orders(order_key KEY, cust_key -> Customer, loc_key -> Location,
+//          order_month)
+//   Sales(sale_key KEY, order_key -> Orders, part_key -> Part,
+//         supp_key -> Supplier, quantity)
+struct StarSchemaConfig {
+  size_t customers = 50;
+  size_t suppliers = 20;
+  size_t parts = 100;
+  size_t locations = 10;
+  size_t orders = 200;
+  size_t sales = 500;
+  uint64_t seed = 42;
+};
+
+struct StarSchema {
+  std::shared_ptr<Catalog> catalog;
+  Database db;
+  // The warehouse definition: dimension copies plus two fact views
+  //   FactOrders = Orders |x| Customer |x| Location
+  //   FactSales  = Sales |x| Orders |x| Part |x| Supplier
+  std::vector<ViewDef> views;
+};
+
+// Builds catalog, constraint set, data and warehouse views deterministically
+// from `config.seed`.
+Result<StarSchema> BuildStarSchema(const StarSchemaConfig& config =
+                                       StarSchemaConfig());
+
+// A batch of `count` fresh sales (new sale keys referencing existing orders,
+// parts and suppliers) against the current state `db`.
+Result<UpdateOp> GenerateSalesBatch(const Database& db, size_t count,
+                                    Rng* rng);
+
+}  // namespace dwc
+
+#endif  // DWC_WORKLOAD_STAR_SCHEMA_H_

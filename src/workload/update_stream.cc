@@ -1,0 +1,110 @@
+#include "workload/update_stream.h"
+
+#include "util/string_util.h"
+
+namespace dwc {
+
+namespace {
+
+// Is `tuple` of `relation` referenced by some lhs tuple through an IND whose
+// rhs is `relation`? Deleting such a tuple would dangle the reference.
+Result<bool> IsReferenced(const Database& db, const std::string& relation,
+                          const Tuple& tuple) {
+  const Catalog& catalog = db.catalog();
+  const Relation* rel = db.FindRelation(relation);
+  for (const InclusionDependency& ind : catalog.inclusions()) {
+    if (ind.rhs_relation != relation) {
+      continue;
+    }
+    const Relation* lhs = db.FindRelation(ind.lhs_relation);
+    if (lhs == nullptr || lhs->empty()) {
+      continue;
+    }
+    DWC_ASSIGN_OR_RETURN(std::vector<size_t> rhs_idx,
+                         rel->schema().IndicesOf(ind.rhs_attrs));
+    Tuple key = tuple.Project(rhs_idx);
+    const Relation::Index& lhs_index = lhs->GetIndex(ind.lhs_attrs);
+    if (lhs_index.find(key) != lhs_index.end()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<UpdateOp> GenerateRandomUpdate(const Database& current,
+                                      const std::string& relation, Rng* rng,
+                                      const UpdateStreamOptions& options) {
+  const Relation* rel = current.FindRelation(relation);
+  if (rel == nullptr) {
+    return Status::NotFound(StrCat("unknown relation '", relation, "'"));
+  }
+  UpdateOp op;
+  op.relation = relation;
+
+  // Deletions: sample unreferenced tuples.
+  size_t want_deletes = rng->Below(options.max_deletes + 1);
+  if (want_deletes > 0 && !rel->empty()) {
+    std::vector<Tuple> tuples = rel->SortedTuples();
+    size_t start = rng->Below(tuples.size());
+    for (size_t step = 0; step < tuples.size() && op.deletes.size() < want_deletes;
+         ++step) {
+      const Tuple& candidate = tuples[(start + step) % tuples.size()];
+      DWC_ASSIGN_OR_RETURN(bool referenced,
+                           IsReferenced(current, relation, candidate));
+      if (!referenced) {
+        op.deletes.push_back(candidate);
+      }
+    }
+  }
+
+  // Insertions: fresh constraint-respecting tuples. Insertions must also not
+  // collide with each other on the key; generate against a scratch copy.
+  size_t want_inserts = rng->Below(options.max_inserts + 1);
+  if (want_inserts > 0) {
+    Database scratch(current.catalog_ptr());
+    for (const auto& [name, r] : current.relations()) {
+      DWC_RETURN_IF_ERROR(scratch.AddRelation(name, r));
+    }
+    Relation* scratch_rel = scratch.FindMutableRelation(relation);
+    for (size_t i = 0; i < want_inserts; ++i) {
+      Result<Tuple> tuple =
+          GenerateInsertableTuple(scratch, relation, rng, options.db_options);
+      if (!tuple.ok()) {
+        break;  // Domain exhausted; an update with fewer inserts is fine.
+      }
+      scratch_rel->Insert(tuple.value());
+      op.inserts.push_back(std::move(tuple).value());
+    }
+  }
+  return op;
+}
+
+Result<UpdateOp> GenerateInsertBatch(const Database& current,
+                                     const std::string& relation, size_t count,
+                                     Rng* rng,
+                                     const RandomDbOptions& options) {
+  UpdateOp op;
+  op.relation = relation;
+  Database scratch(current.catalog_ptr());
+  for (const auto& [name, r] : current.relations()) {
+    DWC_RETURN_IF_ERROR(scratch.AddRelation(name, r));
+  }
+  Relation* scratch_rel = scratch.FindMutableRelation(relation);
+  if (scratch_rel == nullptr) {
+    return Status::NotFound(StrCat("unknown relation '", relation, "'"));
+  }
+  for (size_t i = 0; i < count; ++i) {
+    Result<Tuple> tuple =
+        GenerateInsertableTuple(scratch, relation, rng, options);
+    if (!tuple.ok()) {
+      break;
+    }
+    scratch_rel->Insert(tuple.value());
+    op.inserts.push_back(std::move(tuple).value());
+  }
+  return op;
+}
+
+}  // namespace dwc

@@ -1,0 +1,42 @@
+#ifndef DWC_WORKLOAD_UPDATE_STREAM_H_
+#define DWC_WORKLOAD_UPDATE_STREAM_H_
+
+#include <string>
+
+#include "relational/database.h"
+#include "util/result.h"
+#include "util/rng.h"
+#include "warehouse/update.h"
+#include "workload/random_db.h"
+
+namespace dwc {
+
+struct UpdateStreamOptions {
+  size_t max_inserts = 3;
+  size_t max_deletes = 2;
+  RandomDbOptions db_options;
+};
+
+// Generates a random update against `relation` that keeps `current` (the
+// authoritative source state) constraint-consistent:
+//  * inserted tuples respect the key and sample IND-constrained attributes
+//    from the referenced relations;
+//  * deleted tuples are chosen among tuples not referenced through any
+//    inclusion dependency (so no dangling references appear).
+// The update is *not* applied; feed it to Source::Apply.
+Result<UpdateOp> GenerateRandomUpdate(const Database& current,
+                                      const std::string& relation, Rng* rng,
+                                      const UpdateStreamOptions& options =
+                                          UpdateStreamOptions());
+
+// Insert-only variant with exactly `count` fresh tuples (or fewer if the
+// domain runs dry).
+Result<UpdateOp> GenerateInsertBatch(const Database& current,
+                                     const std::string& relation, size_t count,
+                                     Rng* rng,
+                                     const RandomDbOptions& options =
+                                         RandomDbOptions());
+
+}  // namespace dwc
+
+#endif  // DWC_WORKLOAD_UPDATE_STREAM_H_

@@ -1,0 +1,184 @@
+#include "algebra/expr.h"
+
+#include <gtest/gtest.h>
+
+#include "algebra/rewriter.h"
+#include "algebra/schema_inference.h"
+#include "algebra/simplifier.h"
+#include "relational/catalog.h"
+#include "testing/test_util.h"
+
+namespace dwc {
+namespace {
+
+Schema Ab() { return Schema({{"a", ValueType::kInt}, {"b", ValueType::kInt}}); }
+Schema Bc() { return Schema({{"b", ValueType::kInt}, {"c", ValueType::kInt}}); }
+
+class ExprTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    DWC_ASSERT_OK(catalog_.AddRelation("R", Ab()));
+    DWC_ASSERT_OK(catalog_.AddRelation("S", Bc()));
+    resolver_ = ResolverFromCatalog(catalog_);
+  }
+  Catalog catalog_;
+  SchemaResolver resolver_;
+};
+
+TEST_F(ExprTest, ToStringShapes) {
+  ExprRef e = Expr::Project(
+      {"a"}, Expr::Select(Predicate::AttrEq("b", Value::Int(1)),
+                          Expr::Join(Expr::Base("R"), Expr::Base("S"))));
+  EXPECT_EQ(e->ToString(), "project[a](select[b = 1]((R join S)))");
+  EXPECT_EQ(Expr::Union(Expr::Base("R"), Expr::Base("R"))->ToString(),
+            "(R union R)");
+  EXPECT_EQ(Expr::Difference(Expr::Base("R"), Expr::Base("R"))->ToString(),
+            "(R minus R)");
+  EXPECT_EQ(Expr::Rename({{"a", "x"}}, Expr::Base("R"))->ToString(),
+            "rename[a->x](R)");
+  EXPECT_EQ(Expr::Empty(Ab())->ToString(), "empty[a, b]");
+}
+
+TEST_F(ExprTest, ReferencedNames) {
+  ExprRef e = Expr::Union(Expr::Join(Expr::Base("R"), Expr::Base("S")),
+                          Expr::Project({"b"}, Expr::Base("R")));
+  EXPECT_EQ(e->ReferencedNames(), (std::set<std::string>{"R", "S"}));
+  EXPECT_TRUE(Expr::Empty(Ab())->ReferencedNames().empty());
+}
+
+TEST_F(ExprTest, StructuralEquality) {
+  ExprRef a = Expr::Project({"a"}, Expr::Base("R"));
+  ExprRef b = Expr::Project({"a"}, Expr::Base("R"));
+  ExprRef c = Expr::Project({"b"}, Expr::Base("R"));
+  EXPECT_TRUE(a->Equals(*b));
+  EXPECT_FALSE(a->Equals(*c));
+  EXPECT_FALSE(a->Equals(*Expr::Base("R")));
+  EXPECT_TRUE(Expr::Select(Predicate::AttrEq("a", Value::Int(1)),
+                           Expr::Base("R"))
+                  ->Equals(*Expr::Select(
+                      Predicate::AttrEq("a", Value::Int(1)), Expr::Base("R"))));
+  EXPECT_FALSE(Expr::Select(Predicate::AttrEq("a", Value::Int(1)),
+                            Expr::Base("R"))
+                   ->Equals(*Expr::Select(
+                       Predicate::AttrEq("a", Value::Int(2)),
+                       Expr::Base("R"))));
+}
+
+TEST_F(ExprTest, SchemaInference) {
+  Result<Schema> join =
+      InferSchema(*Expr::Join(Expr::Base("R"), Expr::Base("S")), resolver_);
+  DWC_ASSERT_OK(join);
+  EXPECT_EQ(join->ToString(), "(a INT, b INT, c INT)");
+
+  Result<Schema> project = InferSchema(
+      *Expr::Project({"c", "a"}, Expr::Join(Expr::Base("R"), Expr::Base("S"))),
+      resolver_);
+  DWC_ASSERT_OK(project);
+  EXPECT_EQ(project->ToString(), "(c INT, a INT)");
+
+  Result<Schema> rename =
+      InferSchema(*Expr::Rename({{"a", "x"}}, Expr::Base("R")), resolver_);
+  DWC_ASSERT_OK(rename);
+  EXPECT_EQ(rename->ToString(), "(x INT, b INT)");
+}
+
+TEST_F(ExprTest, SchemaInferenceErrors) {
+  EXPECT_FALSE(InferSchema(*Expr::Base("Nope"), resolver_).ok());
+  EXPECT_FALSE(
+      InferSchema(*Expr::Project({"zz"}, Expr::Base("R")), resolver_).ok());
+  EXPECT_FALSE(InferSchema(*Expr::Select(Predicate::AttrEq("c", Value::Int(0)),
+                                         Expr::Base("R")),
+                           resolver_)
+                   .ok());
+  EXPECT_FALSE(
+      InferSchema(*Expr::Union(Expr::Base("R"), Expr::Base("S")), resolver_)
+          .ok());
+  // Rename collision: a -> b while b exists.
+  EXPECT_FALSE(
+      InferSchema(*Expr::Rename({{"a", "b"}}, Expr::Base("R")), resolver_)
+          .ok());
+}
+
+TEST_F(ExprTest, SubstituteNamesRewritesLeaves) {
+  ExprRef query = Expr::Project(
+      {"a"}, Expr::Join(Expr::Base("R"), Expr::Base("S")));
+  ExprRef inverse_r = Expr::Union(Expr::Base("C_R"), Expr::Base("V1"));
+  ExprRef rewritten = SubstituteNames(query, {{"R", inverse_r}});
+  EXPECT_EQ(rewritten->ToString(),
+            "project[a](((C_R union V1) join S))");
+  // Untouched trees are shared, not copied.
+  ExprRef untouched = SubstituteNames(query, {{"X", inverse_r}});
+  EXPECT_EQ(untouched.get(), query.get());
+}
+
+TEST_F(ExprTest, SimplifierRules) {
+  ExprRef empty = Expr::Empty(Ab());
+  ExprRef r = Expr::Base("R");
+  // Union/difference with empty.
+  EXPECT_EQ(Simplify(Expr::Union(empty, r))->ToString(), "R");
+  EXPECT_EQ(Simplify(Expr::Union(r, empty))->ToString(), "R");
+  EXPECT_EQ(Simplify(Expr::Difference(r, empty))->ToString(), "R");
+  EXPECT_EQ(Simplify(Expr::Difference(empty, r))->kind(), Expr::Kind::kEmpty);
+  // Union of equals.
+  EXPECT_EQ(Simplify(Expr::Union(r, Expr::Base("R")))->ToString(), "R");
+  // select[true] vanishes; nested selects conjoin.
+  EXPECT_EQ(Simplify(Expr::Select(Predicate::True(), r))->ToString(), "R");
+  ExprRef nested = Expr::Select(
+      Predicate::AttrEq("a", Value::Int(1)),
+      Expr::Select(Predicate::AttrEq("b", Value::Int(2)), r));
+  EXPECT_EQ(Simplify(nested)->ToString(), "select[(a = 1 and b = 2)](R)");
+  // Project over project collapses.
+  ExprRef pp = Expr::Project({"a"}, Expr::Project({"a", "b"}, r));
+  EXPECT_EQ(Simplify(pp)->ToString(), "project[a](R)");
+  // Join with empty collapses when the resolver can type it.
+  ExprRef join_empty = Expr::Join(r, Expr::Empty(Bc()));
+  ExprRef simplified = Simplify(join_empty, &resolver_);
+  EXPECT_EQ(simplified->kind(), Expr::Kind::kEmpty);
+  EXPECT_EQ(simplified->empty_schema().ToString(), "(a INT, b INT, c INT)");
+  // Identity projection vanishes with a resolver.
+  ExprRef identity = Expr::Project({"a", "b"}, r);
+  EXPECT_EQ(Simplify(identity, &resolver_)->ToString(), "R");
+  // Difference of equal subtrees becomes empty with a resolver.
+  ExprRef self_diff = Expr::Difference(r, Expr::Base("R"));
+  EXPECT_EQ(Simplify(self_diff, &resolver_)->kind(), Expr::Kind::kEmpty);
+}
+
+TEST_F(ExprTest, PredicateRenameAndAttributes) {
+  PredicateRef p = Predicate::And(
+      Predicate::AttrsEq("a", "b"),
+      Predicate::Or(Predicate::AttrEq("c", Value::Int(3)),
+                    Predicate::Not(Predicate::True())));
+  EXPECT_EQ(p->Attributes(), (AttrSet{"a", "b", "c"}));
+  PredicateRef renamed = p->RenameAttrs({{"a", "x"}, {"c", "y"}});
+  EXPECT_EQ(renamed->Attributes(), (AttrSet{"x", "b", "y"}));
+  EXPECT_EQ(renamed->ToString(), "(x = b and (y = 3 or not (true)))");
+}
+
+TEST_F(ExprTest, PredicateEvalAllOperators) {
+  Schema schema = Ab();
+  Tuple tuple(std::vector<Value>{Value::Int(2), Value::Int(5)});
+  auto eval = [&](CmpOp op, int64_t rhs) {
+    Result<bool> result =
+        Predicate::Cmp(Operand::Attr("a"), op, Operand::Const(Value::Int(rhs)))
+            ->Eval(schema, tuple);
+    EXPECT_TRUE(result.ok());
+    return result.value();
+  };
+  EXPECT_TRUE(eval(CmpOp::kEq, 2));
+  EXPECT_TRUE(eval(CmpOp::kNe, 3));
+  EXPECT_TRUE(eval(CmpOp::kLt, 3));
+  EXPECT_TRUE(eval(CmpOp::kLe, 2));
+  EXPECT_TRUE(eval(CmpOp::kGt, 1));
+  EXPECT_TRUE(eval(CmpOp::kGe, 2));
+  EXPECT_FALSE(eval(CmpOp::kEq, 3));
+  // Attribute-to-attribute comparison.
+  Result<bool> ab = Predicate::AttrsEq("a", "b")->Eval(schema, tuple);
+  DWC_ASSERT_OK(ab);
+  EXPECT_FALSE(*ab);
+  // Missing attribute errors.
+  EXPECT_FALSE(
+      Predicate::AttrEq("zz", Value::Int(0))->Eval(schema, tuple).ok());
+}
+
+}  // namespace
+}  // namespace dwc

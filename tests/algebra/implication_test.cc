@@ -1,0 +1,137 @@
+#include "algebra/implication.h"
+
+#include <gtest/gtest.h>
+
+#include "algebra/evaluator.h"
+#include "parser/parser.h"
+#include "testing/test_util.h"
+#include "util/rng.h"
+
+namespace dwc {
+namespace {
+
+bool ImpliesText(const std::string& p, const std::string& q) {
+  Result<PredicateRef> pp = ParsePredicate(p);
+  Result<PredicateRef> qq = ParsePredicate(q);
+  EXPECT_TRUE(pp.ok()) << pp.status();
+  EXPECT_TRUE(qq.ok()) << qq.status();
+  return Implies(*pp, *qq);
+}
+
+TEST(ImplicationTest, Reflexive) {
+  EXPECT_TRUE(ImpliesText("a = 1", "a = 1"));
+  EXPECT_TRUE(ImpliesText("a >= 2 and b = 'x'", "b = 'x' and a >= 2"));
+}
+
+TEST(ImplicationTest, TrueIsTop) {
+  EXPECT_TRUE(ImpliesText("a = 1", "true"));
+  EXPECT_FALSE(ImpliesText("true", "a = 1"));
+}
+
+TEST(ImplicationTest, IntervalReasoning) {
+  EXPECT_TRUE(ImpliesText("a = 5", "a >= 5"));
+  EXPECT_TRUE(ImpliesText("a = 5", "a > 4"));
+  EXPECT_TRUE(ImpliesText("a > 5", "a > 4"));
+  EXPECT_TRUE(ImpliesText("a > 5", "a >= 5"));
+  EXPECT_TRUE(ImpliesText("a >= 5", "a > 4"));
+  EXPECT_TRUE(ImpliesText("a < 3", "a <= 3"));
+  EXPECT_TRUE(ImpliesText("a <= 3", "a < 4"));
+  EXPECT_FALSE(ImpliesText("a >= 5", "a > 5"));
+  EXPECT_FALSE(ImpliesText("a > 4", "a > 5"));
+  EXPECT_FALSE(ImpliesText("a <= 4", "a < 4"));
+}
+
+TEST(ImplicationTest, DisequalityFromIntervals) {
+  EXPECT_TRUE(ImpliesText("a = 3", "a != 4"));
+  EXPECT_TRUE(ImpliesText("a < 3", "a != 3"));
+  EXPECT_TRUE(ImpliesText("a < 3", "a != 7"));
+  EXPECT_TRUE(ImpliesText("a > 3", "a != 3"));
+  EXPECT_FALSE(ImpliesText("a != 3", "a != 4"));
+}
+
+TEST(ImplicationTest, ConjunctionOnBothSides) {
+  EXPECT_TRUE(ImpliesText("a = 1 and b = 2 and c = 3", "a = 1 and c = 3"));
+  EXPECT_FALSE(ImpliesText("a = 1", "a = 1 and b = 2"));
+  EXPECT_TRUE(ImpliesText("a > 2 and a < 9", "a > 0 and a != 0"));
+}
+
+TEST(ImplicationTest, DisjunctionHandling) {
+  // p with OR: every disjunct must imply q.
+  EXPECT_TRUE(ImpliesText("a = 1 or a = 2", "a <= 2"));
+  EXPECT_FALSE(ImpliesText("a = 1 or a = 5", "a <= 2"));
+  // q with OR: some disjunct must follow.
+  EXPECT_TRUE(ImpliesText("a = 1", "a = 1 or a = 2"));
+  EXPECT_TRUE(ImpliesText("a = 2 and b = 9", "b = 0 or a >= 2"));
+  EXPECT_FALSE(ImpliesText("a = 3", "a = 1 or a = 2"));
+}
+
+TEST(ImplicationTest, NegationRewrites) {
+  EXPECT_TRUE(ImpliesText("a >= 5", "not (a < 5)"));
+  EXPECT_TRUE(ImpliesText("not (a < 5)", "a >= 5"));
+  EXPECT_TRUE(ImpliesText("not (a = 3 or b = 4)", "a != 3"));
+  EXPECT_FALSE(ImpliesText("not (a = 3)", "a = 3"));
+}
+
+TEST(ImplicationTest, OpaqueLiteralsMatchSyntactically) {
+  EXPECT_TRUE(ImpliesText("a = b and c = 1", "a = b"));
+  EXPECT_FALSE(ImpliesText("a = b", "b = c"));
+}
+
+TEST(ImplicationTest, MixedNumericTypes) {
+  EXPECT_TRUE(ImpliesText("a = 3", "a >= 2.5"));
+  EXPECT_TRUE(ImpliesText("a > 2.5", "a > 2"));
+}
+
+TEST(ImplicationTest, StringComparisons) {
+  EXPECT_TRUE(ImpliesText("s = 'emea'", "s != 'apac'"));
+  EXPECT_FALSE(ImpliesText("s != 'emea'", "s = 'apac'"));
+}
+
+// Soundness property: whenever Implies(p, q), every tuple satisfying p
+// satisfies q (checked over a dense grid of single-attribute states).
+TEST(ImplicationTest, SoundnessOnGrid) {
+  Rng rng(808);
+  Schema schema({{"a", ValueType::kInt}, {"b", ValueType::kInt}});
+  auto random_pred = [&](auto&& self, int depth) -> PredicateRef {
+    if (depth == 0 || rng.Chance(0.4)) {
+      const char* attr = rng.Chance(0.5) ? "a" : "b";
+      CmpOp ops[] = {CmpOp::kEq, CmpOp::kNe, CmpOp::kLt,
+                     CmpOp::kLe, CmpOp::kGt, CmpOp::kGe};
+      return Predicate::Cmp(Operand::Attr(attr), ops[rng.Below(6)],
+                            Operand::Const(Value::Int(rng.Range(0, 4))));
+    }
+    switch (rng.Below(3)) {
+      case 0:
+        return Predicate::And(self(self, depth - 1), self(self, depth - 1));
+      case 1:
+        return Predicate::Or(self(self, depth - 1), self(self, depth - 1));
+      default:
+        return Predicate::Not(self(self, depth - 1));
+    }
+  };
+  int implications_found = 0;
+  for (int round = 0; round < 400; ++round) {
+    PredicateRef p = random_pred(random_pred, 2);
+    PredicateRef q = random_pred(random_pred, 2);
+    if (!Implies(p, q)) {
+      continue;
+    }
+    ++implications_found;
+    for (int64_t a = -1; a <= 5; ++a) {
+      for (int64_t b = -1; b <= 5; ++b) {
+        Tuple tuple({Value::Int(a), Value::Int(b)});
+        Result<bool> pv = p->Eval(schema, tuple);
+        Result<bool> qv = q->Eval(schema, tuple);
+        DWC_ASSERT_OK(pv);
+        DWC_ASSERT_OK(qv);
+        ASSERT_TRUE(!*pv || *qv)
+            << "p = " << p->ToString() << ", q = " << q->ToString()
+            << " at a=" << a << " b=" << b;
+      }
+    }
+  }
+  EXPECT_GT(implications_found, 10);  // The test must actually exercise hits.
+}
+
+}  // namespace
+}  // namespace dwc

@@ -1,0 +1,110 @@
+// Simplify() must be semantics-preserving: for random expressions and
+// random states, the simplified expression evaluates to the same relation.
+// Also checks idempotence (simplifying twice changes nothing).
+
+#include "algebra/simplifier.h"
+
+#include <gtest/gtest.h>
+
+#include "algebra/evaluator.h"
+#include "testing/property_util.h"
+#include "testing/test_util.h"
+#include "util/rng.h"
+#include "workload/random_db.h"
+#include "workload/random_views.h"
+
+namespace dwc {
+namespace {
+
+using ::dwc::testing::CatalogShape;
+using ::dwc::testing::MakeCatalog;
+
+// Wraps random expressions with constructs the simplifier targets, so the
+// rules actually fire: empty operands, trivial selections, stacked
+// projections, self-unions.
+ExprRef Decorate(ExprRef expr, const Schema& schema, Rng* rng) {
+  switch (rng->Below(6)) {
+    case 0:
+      return Expr::Select(Predicate::True(), expr);
+    case 1:
+      return Expr::Union(expr, Expr::Empty(schema));
+    case 2:
+      return Expr::Difference(expr, Expr::Empty(schema));
+    case 3: {
+      std::vector<std::string> all;
+      for (const Attribute& attr : schema.attributes()) {
+        all.push_back(attr.name);
+      }
+      return Expr::Project(all, expr);
+    }
+    case 4:
+      return Expr::Union(expr, expr);
+    default:
+      return expr;
+  }
+}
+
+class SimplifierPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SimplifierPropertyTest, SimplifiedExpressionIsEquivalent) {
+  Rng rng(GetParam());
+  for (CatalogShape shape : {CatalogShape::kChain, CatalogShape::kKeyedInds}) {
+    std::shared_ptr<Catalog> catalog = MakeCatalog(shape);
+    SchemaResolver resolver = ResolverFromCatalog(*catalog);
+    Result<Database> db = GenerateRandomDatabase(catalog, &rng);
+    DWC_ASSERT_OK(db);
+    Environment env = Environment::FromDatabase(*db);
+
+    for (int round = 0; round < 30; ++round) {
+      Result<ExprRef> base_expr = GenerateRandomQuery(*catalog, &rng);
+      DWC_ASSERT_OK(base_expr);
+      Result<Schema> schema = InferSchema(**base_expr, resolver);
+      if (!schema.ok()) {
+        continue;
+      }
+      ExprRef expr = Decorate(*base_expr, *schema, &rng);
+      expr = Decorate(expr, *schema, &rng);
+
+      ExprRef simplified = Simplify(expr, &resolver);
+      Result<Relation> before = EvalExpr(*expr, env);
+      Result<Relation> after = EvalExpr(*simplified, env);
+      DWC_ASSERT_OK(before);
+      DWC_ASSERT_OK(after);
+      ASSERT_TRUE(testing::RelationsEqual(*after, *before))
+          << "original:   " << expr->ToString()
+          << "\nsimplified: " << simplified->ToString();
+
+      // Idempotence.
+      ExprRef twice = Simplify(simplified, &resolver);
+      EXPECT_TRUE(twice->Equals(*simplified))
+          << "not idempotent: " << simplified->ToString() << " vs "
+          << twice->ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplifierPropertyTest,
+                         ::testing::Values(3001, 3002, 3003, 3004));
+
+TEST(SimplifierPropertyTest, SimplifyWithoutResolverIsAlsoSafe) {
+  Rng rng(5005);
+  std::shared_ptr<Catalog> catalog = MakeCatalog(CatalogShape::kChain);
+  SchemaResolver resolver = ResolverFromCatalog(*catalog);
+  Result<Database> db = GenerateRandomDatabase(catalog, &rng);
+  DWC_ASSERT_OK(db);
+  Environment env = Environment::FromDatabase(*db);
+  for (int round = 0; round < 40; ++round) {
+    Result<ExprRef> expr = GenerateRandomQuery(*catalog, &rng);
+    DWC_ASSERT_OK(expr);
+    ExprRef simplified = Simplify(*expr);  // No resolver.
+    Result<Relation> before = EvalExpr(**expr, env);
+    Result<Relation> after = EvalExpr(*simplified, env);
+    DWC_ASSERT_OK(before);
+    DWC_ASSERT_OK(after);
+    ASSERT_TRUE(testing::RelationsEqual(*after, *before))
+        << (*expr)->ToString();
+  }
+}
+
+}  // namespace
+}  // namespace dwc

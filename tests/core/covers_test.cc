@@ -1,0 +1,269 @@
+// E5 (DESIGN.md) — Example 2.3: V_{K1}, V^ind_{K1} and the five covers of
+// R1; plus unit tests of the minimal-cover enumerator.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/complement.h"
+#include "core/warehouse_spec.h"
+#include "warehouse/warehouse.h"
+#include "core/covers.h"
+#include "parser/interpreter.h"
+#include "testing/test_util.h"
+
+namespace dwc {
+namespace {
+
+using ::dwc::testing::MustRun;
+
+constexpr char kExample23[] = R"(
+CREATE TABLE R1(A INT, B INT, C INT, KEY(A));
+CREATE TABLE R2(A INT, C INT, D INT, KEY(A));
+CREATE TABLE R3(A INT, B INT, KEY(A));
+INCLUSION R3(A, B) SUBSETOF R1(A, B);
+INCLUSION R2(A, C) SUBSETOF R1(A, C);
+INSERT INTO R1 VALUES (1, 11, 21), (2, 12, 22), (3, 13, 23);
+INSERT INTO R2 VALUES (1, 21, 31), (2, 22, 32);
+INSERT INTO R3 VALUES (1, 11), (3, 13);
+VIEW V1 AS R1 JOIN R2;
+VIEW V2 AS R3;
+VIEW V3 AS PROJECT[A, B](R1);
+VIEW V4 AS PROJECT[A, C](R1);
+)";
+
+TEST(Example23Test, FiveCoversOfR1) {
+  ScriptContext context = MustRun(kExample23);
+  Result<ComplementResult> complement =
+      ComputeComplement(context.views, *context.catalog);
+  DWC_ASSERT_OK(complement);
+
+  const BaseComplementInfo* r1 = complement->FindBase("R1");
+  ASSERT_NE(r1, nullptr);
+  // The paper's C^ind_{R1}:
+  //   {V1}, {V3, V4}, {pi_AB(R3), V4}, {V3, pi_AC(R2)}, {pi_AB(R3), pi_AC(R2)}
+  std::set<std::set<std::string>> covers;
+  for (const auto& labels : r1->cover_labels) {
+    covers.insert(std::set<std::string>(labels.begin(), labels.end()));
+  }
+  std::set<std::set<std::string>> expected = {
+      {"V1"},
+      {"V3", "V4"},
+      {"project[A, B](R3)", "V4"},
+      {"V3", "project[A, C](R2)"},
+      {"project[A, B](R3)", "project[A, C](R2)"},
+  };
+  EXPECT_EQ(covers, expected);
+}
+
+TEST(Example23Test, KeysAndIndsEmptyAllComplements) {
+  ScriptContext context = MustRun(kExample23);
+  Result<ComplementResult> complement =
+      ComputeComplement(context.views, *context.catalog);
+  DWC_ASSERT_OK(complement);
+
+  // Cover {V3, V4} consists of pure fragments of R1: C1 = empty. V2 copies
+  // R3 verbatim: C3 = empty. The paper keeps C2 = R2 \ pi_ACD(V1) without
+  // further analysis, but under the declared IND AC(R2) <= AC(R1) every R2
+  // tuple has a join partner in R1, so C2 is also always empty — our static
+  // totality check (the Example 2.4 argument) detects this.
+  EXPECT_TRUE(complement->FindBase("R1")->provably_empty);
+  EXPECT_TRUE(complement->FindBase("R2")->provably_empty);
+  EXPECT_TRUE(complement->FindBase("R3")->provably_empty);
+  EXPECT_TRUE(complement->complements.empty());
+  // Nonetheless R2's paper-form complement expression is recorded:
+  EXPECT_EQ(complement->FindBase("R2")->rhat->ToString(),
+            "project[A, C, D](V1)");
+}
+
+TEST(Example23Test, WithoutIndsC2Stays) {
+  // Dropping the INDs (keys only) restores the paper's listing exactly:
+  // C1 = empty (lossless {V3,V4} cover), C2 = R2 \ pi_ACD(V1) materialized,
+  // C3 = empty (verbatim copy).
+  ScriptContext context = MustRun(R"(
+CREATE TABLE R1(A INT, B INT, C INT, KEY(A));
+CREATE TABLE R2(A INT, C INT, D INT, KEY(A));
+CREATE TABLE R3(A INT, B INT, KEY(A));
+INSERT INTO R1 VALUES (1, 11, 21), (2, 12, 22), (3, 13, 23);
+INSERT INTO R2 VALUES (1, 21, 31), (2, 22, 32);
+INSERT INTO R3 VALUES (1, 11), (3, 13);
+VIEW V1 AS R1 JOIN R2;
+VIEW V2 AS R3;
+VIEW V3 AS PROJECT[A, B](R1);
+VIEW V4 AS PROJECT[A, C](R1);
+)");
+  Result<ComplementResult> complement =
+      ComputeComplement(context.views, *context.catalog);
+  DWC_ASSERT_OK(complement);
+  EXPECT_TRUE(complement->FindBase("R1")->provably_empty);
+  EXPECT_FALSE(complement->FindBase("R2")->provably_empty);
+  EXPECT_TRUE(complement->FindBase("R3")->provably_empty);
+  ASSERT_EQ(complement->complements.size(), 1u);
+  EXPECT_EQ(complement->complements[0].name, "C_R2");
+  EXPECT_EQ(complement->complements[0].expr->ToString(),
+            "(R2 minus project[A, C, D](V1))");
+}
+
+TEST(Example23Test, WithoutConstraintsV3V4AreUseless) {
+  // "assume first that there are no constraints. Then ... V3 and V4 are of
+  // no use ... C1 = R1 \ pi_ABC(V1), C2 = R2 \ pi_ACD(V1), C3 = R3 \ V2".
+  ScriptContext context = MustRun(kExample23);
+  ComplementOptions options;
+  options.use_constraints = false;
+  Result<ComplementResult> complement =
+      ComputeComplement(context.views, *context.catalog, options);
+  DWC_ASSERT_OK(complement);
+
+  const BaseComplementInfo* r1 = complement->FindBase("R1");
+  ASSERT_NE(r1, nullptr);
+  EXPECT_FALSE(r1->provably_empty);
+  EXPECT_EQ(r1->complement_def->ToString(),
+            "(R1 minus project[A, B, C](V1))");
+  EXPECT_TRUE(r1->cover_labels.empty());
+  const BaseComplementInfo* r2 = complement->FindBase("R2");
+  EXPECT_EQ(r2->complement_def->ToString(),
+            "(R2 minus project[A, C, D](V1))");
+  // V2 = R3 is a verbatim copy, so C3 is empty even without constraints
+  // (the paper writes C3 = R3 \ V2 = empty).
+  EXPECT_TRUE(complement->FindBase("R3")->provably_empty);
+}
+
+TEST(Example23Test, IndVariantInverseUsesWarehouseOnly) {
+  // The "continued" variant: V' = {V1, V3}, key A on both, and the IND
+  // AC(R2) <= AC(R1). R1's inverse must route pi_AC(R2) through R2's own
+  // inverse (Equation (4)).
+  ScriptContext context = MustRun(R"(
+CREATE TABLE R1(A INT, B INT, C INT, KEY(A));
+CREATE TABLE R2(A INT, C INT, D INT, KEY(A));
+INCLUSION R2(A, C) SUBSETOF R1(A, C);
+INSERT INTO R1 VALUES (1, 11, 21), (2, 12, 22), (3, 13, 23);
+INSERT INTO R2 VALUES (1, 21, 31), (2, 22, 32);
+VIEW V1 AS R1 JOIN R2;
+VIEW V3 AS PROJECT[A, B](R1);
+)");
+  Result<ComplementResult> complement =
+      ComputeComplement(context.views, *context.catalog);
+  DWC_ASSERT_OK(complement);
+
+  const BaseComplementInfo* r1 = complement->FindBase("R1");
+  ASSERT_NE(r1, nullptr);
+  // Covers: {V1} and {V3, pi_AC(R2)}.
+  ASSERT_EQ(r1->cover_labels.size(), 2u);
+  // The inverse references only warehouse names (C_R1, C_R2, V1, V3).
+  for (const std::string& name : r1->inverse->ReferencedNames()) {
+    EXPECT_TRUE(name == "C_R1" || name == "C_R2" || name == "V1" ||
+                name == "V3")
+        << "unexpected reference to '" << name << "' in "
+        << r1->inverse->ToString();
+  }
+}
+
+// --- Unit tests of the enumerator itself.
+
+CoverCandidate MakeCandidate(const std::string& label,
+                             std::initializer_list<const char*> attrs) {
+  CoverCandidate candidate;
+  candidate.label = label;
+  candidate.expr = Expr::Base(label);
+  for (const char* attr : attrs) {
+    candidate.attrs.insert(attr);
+  }
+  return candidate;
+}
+
+TEST(EnumerateMinimalCoversTest, EmptyTargetHasOneEmptyCover) {
+  std::vector<Cover> covers = EnumerateMinimalCovers({}, {}, 10);
+  ASSERT_EQ(covers.size(), 1u);
+  EXPECT_TRUE(covers[0].empty());
+}
+
+TEST(EnumerateMinimalCoversTest, UncoverableTargetHasNoCovers) {
+  std::vector<CoverCandidate> candidates = {MakeCandidate("X", {"a"})};
+  std::vector<Cover> covers =
+      EnumerateMinimalCovers(candidates, {"a", "b"}, 10);
+  EXPECT_TRUE(covers.empty());
+}
+
+TEST(EnumerateMinimalCoversTest, SupersetsAreNotReported) {
+  // {big} covers alone; {small1, small2} also covers; {big, small1} is not
+  // minimal and must not appear.
+  std::vector<CoverCandidate> candidates = {
+      MakeCandidate("big", {"a", "b"}),
+      MakeCandidate("small1", {"a"}),
+      MakeCandidate("small2", {"b"}),
+  };
+  std::vector<Cover> covers =
+      EnumerateMinimalCovers(candidates, {"a", "b"}, 100);
+  std::set<std::set<size_t>> result;
+  for (const Cover& cover : covers) {
+    result.insert(std::set<size_t>(cover.begin(), cover.end()));
+  }
+  std::set<std::set<size_t>> expected = {{0}, {1, 2}};
+  EXPECT_EQ(result, expected);
+}
+
+TEST(EnumerateMinimalCoversTest, RespectsMaxCovers) {
+  // n candidates each covering {a}: n minimal singleton covers.
+  std::vector<CoverCandidate> candidates;
+  for (int i = 0; i < 10; ++i) {
+    candidates.push_back(MakeCandidate("c" + std::to_string(i), {"a"}));
+  }
+  std::vector<Cover> covers = EnumerateMinimalCovers(candidates, {"a"}, 3);
+  EXPECT_EQ(covers.size(), 3u);
+}
+
+TEST(EnumerateMinimalCoversTest, OverlappingCandidates) {
+  std::vector<CoverCandidate> candidates = {
+      MakeCandidate("ab", {"a", "b"}),
+      MakeCandidate("bc", {"b", "c"}),
+      MakeCandidate("ac", {"a", "c"}),
+  };
+  std::vector<Cover> covers =
+      EnumerateMinimalCovers(candidates, {"a", "b", "c"}, 100);
+  // Any two of the three cover; all three is non-minimal.
+  EXPECT_EQ(covers.size(), 3u);
+  for (const Cover& cover : covers) {
+    EXPECT_EQ(cover.size(), 2u);
+  }
+}
+
+
+TEST(Footnote3Test, RenamingIndsContributeCoverCandidates) {
+  // Footnote 3: a general IND R4(K, BB) <= R1(A, B) is incorporated by
+  // renaming: the candidate is rename[BB->B, K->A](project[K, BB](R4)).
+  ScriptContext context = MustRun(R"(
+CREATE TABLE R1(A INT, B INT, KEY(A));
+CREATE TABLE R4(K INT, BB INT, KEY(K));
+INCLUSION R4(K, BB) SUBSETOF R1(A, B);
+INSERT INTO R1 VALUES (1, 10), (2, 20), (3, 30);
+INSERT INTO R4 VALUES (1, 10), (3, 30);
+VIEW V1 AS PROJECT[A](R1);
+VIEW V2 AS R4;
+)");
+  Result<ComplementResult> complement =
+      ComputeComplement(context.views, *context.catalog);
+  DWC_ASSERT_OK(complement);
+  const BaseComplementInfo* r1 = complement->FindBase("R1");
+  ASSERT_NE(r1, nullptr);
+  // One cover: the renamed IND fragment alone (it carries both A and B).
+  ASSERT_EQ(r1->cover_labels.size(), 1u);
+  EXPECT_EQ(r1->cover_labels[0][0],
+            "rename[BB->B, K->A](project[K, BB](R4))");
+  // End-to-end: the warehouse reconstructs both bases exactly.
+  auto spec = std::make_shared<WarehouseSpec>(
+      *SpecifyWarehouse(context.catalog, context.views));
+  Result<Warehouse> warehouse = Warehouse::Load(spec, context.db);
+  DWC_ASSERT_OK(warehouse);
+  Result<Database> reconstructed = warehouse->ReconstructSources();
+  DWC_ASSERT_OK(reconstructed);
+  EXPECT_TRUE(reconstructed->SameStateAs(context.db));
+  // The tuple (2, 20) has no R4 counterpart: it must sit in C_R1.
+  const Relation* c_r1 = warehouse->FindRelation("C_R1");
+  ASSERT_NE(c_r1, nullptr);
+  EXPECT_EQ(c_r1->size(), 1u);
+  EXPECT_TRUE(c_r1->Contains(
+      Tuple({Value::Int(2), Value::Int(20)})));
+}
+
+}  // namespace
+}  // namespace dwc

@@ -1,0 +1,197 @@
+// Section 6: degree of query independence with partial warehouses.
+
+#include "core/independence.h"
+
+#include <gtest/gtest.h>
+
+#include "algebra/evaluator.h"
+#include "core/warehouse_spec.h"
+#include "warehouse/warehouse.h"
+#include "parser/parser.h"
+#include "testing/test_util.h"
+
+namespace dwc {
+namespace {
+
+using ::dwc::testing::Figure1Script;
+using ::dwc::testing::MustRun;
+
+class IndependenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Example 1.1 setting (no referential integrity): warehouse {Sold},
+    // complement {C_Emp, C_Sale}.
+    context_ = MustRun(Figure1Script(/*with_constraints=*/false));
+    ComplementOptions options;
+    options.use_constraints = false;
+    Result<WarehouseSpec> spec =
+        SpecifyWarehouse(context_.catalog, context_.views, options);
+    DWC_ASSERT_OK(spec);
+    spec_ = std::make_unique<WarehouseSpec>(std::move(spec).value());
+  }
+
+  bool Answerable(const std::string& query_text,
+                  const IndependenceReport& report) {
+    Result<ExprRef> query = ParseExpr(query_text);
+    EXPECT_TRUE(query.ok());
+    return QueryAnswerable(**query, *spec_, report);
+  }
+
+  ScriptContext context_;
+  std::unique_ptr<WarehouseSpec> spec_;
+};
+
+TEST_F(IndependenceTest, FullWarehouseIsQueryIndependent) {
+  IndependenceReport report = AnalyzeFullIndependence(*spec_);
+  EXPECT_TRUE(report.fully_query_independent);
+  EXPECT_TRUE(report.base_reconstructible.at("Emp"));
+  EXPECT_TRUE(report.base_reconstructible.at("Sale"));
+  EXPECT_TRUE(Answerable("project[clerk](Sale) union project[clerk](Emp)",
+                         report));
+  EXPECT_TRUE(Answerable("Sold", report));
+}
+
+TEST_F(IndependenceTest, DroppingAComplementLosesItsBase) {
+  // Leave C_Emp virtual (the Section 6 remark): Emp is no longer
+  // reconstructible; Sale still is.
+  IndependenceReport report =
+      AnalyzeIndependence(*spec_, {"Sold", "C_Sale"});
+  EXPECT_FALSE(report.fully_query_independent);
+  EXPECT_FALSE(report.base_reconstructible.at("Emp"));
+  EXPECT_TRUE(report.base_reconstructible.at("Sale"));
+  EXPECT_TRUE(Answerable("project[clerk](Sale)", report));
+  EXPECT_FALSE(Answerable("project[clerk](Emp)", report));
+  EXPECT_FALSE(Answerable("Sale JOIN Emp", report));
+  // Queries over still-available warehouse views are fine.
+  EXPECT_TRUE(Answerable("project[clerk](Sold)", report));
+  // Queries over the dropped complement are not.
+  EXPECT_FALSE(Answerable("C_Emp", report));
+}
+
+TEST_F(IndependenceTest, ViewAloneAnswersNothingOverBases) {
+  IndependenceReport report = AnalyzeIndependence(*spec_, {"Sold"});
+  EXPECT_FALSE(report.fully_query_independent);
+  EXPECT_FALSE(report.base_reconstructible.at("Emp"));
+  // Sale's inverse is pi(Sold) union C_Sale: requires C_Sale.
+  EXPECT_FALSE(report.base_reconstructible.at("Sale"));
+  EXPECT_TRUE(Answerable("Sold", report));
+  EXPECT_FALSE(Answerable("Sale", report));
+}
+
+TEST_F(IndependenceTest, ConstraintsReduceWhatMustBeAvailable) {
+  // With referential integrity, Sale = pi(Sold): reconstructible from the
+  // view alone even without any complement.
+  ScriptContext context = MustRun(Figure1Script(/*with_constraints=*/true));
+  Result<WarehouseSpec> spec =
+      SpecifyWarehouse(context.catalog, context.views);
+  DWC_ASSERT_OK(spec);
+  IndependenceReport report = AnalyzeIndependence(*spec, {"Sold"});
+  EXPECT_TRUE(report.base_reconstructible.at("Sale"));
+  EXPECT_FALSE(report.base_reconstructible.at("Emp"));
+  EXPECT_NE(report.ToString().find("Emp: NOT reconstructible"),
+            std::string::npos);
+}
+
+TEST_F(IndependenceTest, UnknownNamesIgnoredOrRejected) {
+  IndependenceReport report =
+      AnalyzeIndependence(*spec_, {"Sold", "NoSuchView"});
+  EXPECT_EQ(report.available.count("NoSuchView"), 0u);
+  EXPECT_FALSE(Answerable("NoSuchRelation", report));
+}
+
+
+TEST(PartialAnsweringTest, SelectionViewsAnswerRestrictions) {
+  // Warehouse: a selection view over Emp (seniors) and the join view. Leave
+  // every complement virtual: Emp is NOT reconstructible, yet queries whose
+  // restriction implies the view predicate are still answerable locally.
+  ScriptContext context = MustRun(R"(
+CREATE TABLE Emp(clerk STRING, age INT, KEY(clerk));
+INSERT INTO Emp VALUES ('Mary', 23), ('John', 45), ('Zoe', 51);
+VIEW Seniors AS SELECT[age >= 40](Emp);
+)");
+  ComplementOptions options;
+  options.use_constraints = false;
+  Result<WarehouseSpec> spec =
+      SpecifyWarehouse(context.catalog, context.views, options);
+  DWC_ASSERT_OK(spec);
+  IndependenceReport report = AnalyzeIndependence(*spec, {"Seniors"});
+  EXPECT_FALSE(report.base_reconstructible.at("Emp"));
+
+  // sigma_{age >= 50}(Emp): 50 >= 40, so Seniors answers it.
+  Result<ExprRef> query = ParseExpr("select[age >= 50](Emp)");
+  DWC_ASSERT_OK(query);
+  Result<ExprRef> rewritten = RewriteOverAvailable(*query, *spec, report);
+  DWC_ASSERT_OK(rewritten);
+  EXPECT_EQ((*rewritten)->ReferencedNames(),
+            (std::set<std::string>{"Seniors"}));
+
+  // Evaluate against the materialized view and compare with ground truth.
+  Result<Relation> seniors = context.Evaluate(context.views[0].expr);
+  DWC_ASSERT_OK(seniors);
+  Environment env;
+  env.Bind("Seniors", &seniors.value());
+  Result<Relation> answer = EvalExpr(**rewritten, env);
+  DWC_ASSERT_OK(answer);
+  Result<Relation> expected = context.Evaluate(*query);
+  DWC_ASSERT_OK(expected);
+  EXPECT_TRUE(testing::RelationsEqual(*answer, *expected));
+  EXPECT_EQ(answer->size(), 1u);  // Zoe.
+
+  // A restriction NOT implying the view predicate cannot be answered.
+  Result<ExprRef> younger = ParseExpr("select[age >= 30](Emp)");
+  DWC_ASSERT_OK(younger);
+  Result<ExprRef> failed = RewriteOverAvailable(*younger, *spec, report);
+  EXPECT_EQ(failed.status().code(), StatusCode::kFailedPrecondition);
+
+  // Neither can the unrestricted base.
+  Result<ExprRef> bare = ParseExpr("Emp");
+  DWC_ASSERT_OK(bare);
+  EXPECT_FALSE(RewriteOverAvailable(*bare, *spec, report).ok());
+}
+
+TEST(PartialAnsweringTest, CombinesInversesAndSelectionViews) {
+  // Sale is reconstructible via its complement; Emp restrictions go
+  // through the Seniors view.
+  ScriptContext context = MustRun(R"(
+CREATE TABLE Emp(clerk STRING, age INT, KEY(clerk));
+CREATE TABLE Sale(item STRING, clerk STRING);
+INSERT INTO Emp VALUES ('Mary', 23), ('John', 45), ('Zoe', 51);
+INSERT INTO Sale VALUES ('TV', 'Mary'), ('PC', 'Zoe');
+VIEW Seniors AS SELECT[age >= 40](Emp);
+VIEW Sold AS Sale JOIN Emp;
+)");
+  ComplementOptions options;
+  options.use_constraints = false;
+  Result<WarehouseSpec> spec =
+      SpecifyWarehouse(context.catalog, context.views, options);
+  DWC_ASSERT_OK(spec);
+  IndependenceReport report =
+      AnalyzeIndependence(*spec, {"Seniors", "Sold", "C_Sale"});
+  EXPECT_TRUE(report.base_reconstructible.at("Sale"));
+  EXPECT_FALSE(report.base_reconstructible.at("Emp"));
+
+  Result<ExprRef> query =
+      ParseExpr("Sale join select[age > 40](Emp)");
+  DWC_ASSERT_OK(query);
+  Result<ExprRef> rewritten = RewriteOverAvailable(*query, *spec, report);
+  DWC_ASSERT_OK(rewritten);
+  for (const std::string& name : (*rewritten)->ReferencedNames()) {
+    EXPECT_TRUE(name == "Seniors" || name == "Sold" || name == "C_Sale")
+        << name;
+  }
+
+  // Ground truth comparison over the materialized warehouse.
+  auto spec_ptr = std::make_shared<WarehouseSpec>(std::move(spec).value());
+  Result<Warehouse> warehouse = Warehouse::Load(spec_ptr, context.db);
+  DWC_ASSERT_OK(warehouse);
+  Environment env = warehouse->Env();
+  Result<Relation> answer = EvalExpr(**rewritten, env);
+  DWC_ASSERT_OK(answer);
+  Result<Relation> expected = context.Evaluate(*query);
+  DWC_ASSERT_OK(expected);
+  EXPECT_TRUE(testing::RelationsEqual(*answer, *expected));
+  EXPECT_EQ(answer->size(), 1u);  // Zoe's PC sale.
+}
+
+}  // namespace
+}  // namespace dwc

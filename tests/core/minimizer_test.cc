@@ -1,0 +1,176 @@
+// Section 6 future work: complements with non-base schemas, automated —
+// and the reproduction finding that Example 2.2's recomputation identity
+// is refutable as stated (it holds when the fragment overlap is a key).
+
+#include "core/minimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "algebra/evaluator.h"
+#include "core/complement.h"
+#include "parser/interpreter.h"
+#include "testing/test_util.h"
+
+namespace dwc {
+namespace {
+
+using ::dwc::testing::MustRun;
+
+constexpr char kExample22[] = R"(
+CREATE TABLE R(A INT, B INT, C INT);
+VIEW V1 AS PROJECT[A, B](R);
+VIEW V2 AS PROJECT[B, C](R);
+VIEW V3 AS SELECT[B = 1](R);
+)";
+
+// Example 2.2's schema with the overlap attribute declared a key: the join
+// V1 |x| V2 is lossless and the identity is sound.
+constexpr char kExample22Keyed[] = R"(
+CREATE TABLE R(A INT, B INT, C INT, KEY(B));
+VIEW V1 AS PROJECT[A, B](R);
+VIEW V2 AS PROJECT[B, C](R);
+VIEW V3 AS SELECT[B = 1](R);
+)";
+
+TEST(MinimizerTest, BuildsThePaperExpression) {
+  ScriptContext context = MustRun(kExample22);
+  Rng rng(1);
+  Result<ReducedComplement> reduced = TryProjectionFragmentComplement(
+      context.views, *context.catalog, "CR", &rng, /*validation_rounds=*/0);
+  DWC_ASSERT_OK(reduced);
+  EXPECT_EQ(reduced->complement.expr->ToString(),
+            "((R join project[A, B](((V1 join V2) minus R))) minus V3)");
+  EXPECT_TRUE(reduced->validated);  // Vacuously: zero rounds.
+}
+
+TEST(MinimizerTest, RefutesThePaperIdentityWithoutKey) {
+  // The randomized checker finds a counterexample to the Example 2.2
+  // recomputation identity on the unconstrained schema (see the header of
+  // core/minimizer.h and EXPERIMENTS.md).
+  ScriptContext context = MustRun(kExample22);
+  Rng rng(7);
+  Result<ReducedComplement> reduced = TryProjectionFragmentComplement(
+      context.views, *context.catalog, "CR", &rng, /*validation_rounds=*/500);
+  DWC_ASSERT_OK(reduced);
+  EXPECT_FALSE(reduced->validated);
+  EXPECT_FALSE(reduced->counterexample.empty());
+}
+
+TEST(MinimizerTest, PaperCounterexampleReproducedExactly) {
+  // The concrete refuting state: tuple (2,0,1) shares its BC fragment with
+  // the complement tuple (3,0,1) and is lost by the reconstruction.
+  ScriptContext context = MustRun(
+      std::string(kExample22) +
+      "INSERT INTO R VALUES (1,1,1), (2,0,1), (2,0,2), (2,1,1), (3,0,1);");
+  Rng rng(1);
+  Result<ReducedComplement> reduced = TryProjectionFragmentComplement(
+      context.views, *context.catalog, "CR", &rng, /*validation_rounds=*/0);
+  DWC_ASSERT_OK(reduced);
+
+  Environment env = Environment::FromDatabase(context.db);
+  std::vector<std::unique_ptr<Relation>> owned;
+  for (const ViewDef& view : context.views) {
+    owned.push_back(
+        std::make_unique<Relation>(*context.Evaluate(view.expr)));
+    env.Bind(view.name, owned.back().get());
+  }
+  Result<Relation> cr = EvalExpr(*reduced->complement.expr, env);
+  DWC_ASSERT_OK(cr);
+  EXPECT_EQ(cr->size(), 1u);
+  EXPECT_TRUE(cr->Contains(
+      Tuple({Value::Int(3), Value::Int(0), Value::Int(1)})));
+  env.Bind("CR", &cr.value());
+  Result<Relation> rebuilt = EvalExpr(*reduced->reconstruction, env);
+  DWC_ASSERT_OK(rebuilt);
+  // The identity fails: (2,0,1) is missing.
+  EXPECT_FALSE(rebuilt->SameContentAs(*context.db.FindRelation("R")));
+  EXPECT_FALSE(rebuilt->Contains(
+      Tuple({Value::Int(2), Value::Int(0), Value::Int(1)})));
+  EXPECT_EQ(rebuilt->size(), 4u);
+}
+
+TEST(MinimizerTest, ValidatesWhenOverlapIsAKey) {
+  ScriptContext context = MustRun(kExample22Keyed);
+  Rng rng(9);
+  Result<ReducedComplement> reduced = TryProjectionFragmentComplement(
+      context.views, *context.catalog, "CR", &rng, /*validation_rounds=*/500);
+  DWC_ASSERT_OK(reduced);
+  EXPECT_TRUE(reduced->validated) << reduced->counterexample;
+}
+
+TEST(MinimizerTest, PaperWitnessStateStillWorks) {
+  // On the paper's single-tuple style states the identity does hold; the
+  // reduced complement is empty while Prop 2.2's holds the tuple.
+  ScriptContext context = MustRun(std::string(kExample22) +
+                                  "INSERT INTO R VALUES (5, 6, 7);");
+  Rng rng(1);
+  Result<ReducedComplement> reduced = TryProjectionFragmentComplement(
+      context.views, *context.catalog, "CR", &rng, /*validation_rounds=*/0);
+  DWC_ASSERT_OK(reduced);
+
+  Environment env = Environment::FromDatabase(context.db);
+  std::vector<std::unique_ptr<Relation>> owned;
+  for (const ViewDef& view : context.views) {
+    owned.push_back(
+        std::make_unique<Relation>(*context.Evaluate(view.expr)));
+    env.Bind(view.name, owned.back().get());
+  }
+  Result<Relation> cr = EvalExpr(*reduced->complement.expr, env);
+  DWC_ASSERT_OK(cr);
+  EXPECT_TRUE(cr->empty());
+  env.Bind("CR", &cr.value());
+  Result<Relation> rebuilt = EvalExpr(*reduced->reconstruction, env);
+  DWC_ASSERT_OK(rebuilt);
+  EXPECT_TRUE(testing::RelationsEqual(*rebuilt,
+                                      *context.db.FindRelation("R")));
+
+  Result<ComplementResult> prop22 =
+      ComputeComplement(context.views, *context.catalog);
+  DWC_ASSERT_OK(prop22);
+  Result<Relation> big =
+      EvalExpr(*prop22->FindBase("R")->complement_def, env);
+  DWC_ASSERT_OK(big);
+  EXPECT_EQ(big->size(), 1u);  // Strictly smaller on this state.
+}
+
+TEST(MinimizerTest, RejectsShapesOutsideTheConstruction) {
+  Rng rng(3);
+  // Fragments that do not cover all attributes.
+  ScriptContext partial = MustRun(R"(
+CREATE TABLE R(A INT, B INT, C INT);
+VIEW V1 AS PROJECT[A, B](R);
+VIEW V2 AS PROJECT[A, B](R);
+)");
+  EXPECT_EQ(TryProjectionFragmentComplement(partial.views, *partial.catalog,
+                                            "CR", &rng)
+                .status()
+                .code(),
+            StatusCode::kFailedPrecondition);
+  // Multi-relation warehouse.
+  ScriptContext multi = MustRun(R"(
+CREATE TABLE R(A INT, B INT);
+CREATE TABLE S(B INT, C INT);
+VIEW V1 AS PROJECT[A](R);
+VIEW V2 AS PROJECT[C](S);
+)");
+  EXPECT_EQ(TryProjectionFragmentComplement(multi.views, *multi.catalog,
+                                            "CR", &rng)
+                .status()
+                .code(),
+            StatusCode::kFailedPrecondition);
+  // Three fragments.
+  ScriptContext three = MustRun(R"(
+CREATE TABLE R(A INT, B INT, C INT);
+VIEW V1 AS PROJECT[A, B](R);
+VIEW V2 AS PROJECT[B, C](R);
+VIEW V3 AS PROJECT[A, C](R);
+)");
+  EXPECT_EQ(TryProjectionFragmentComplement(three.views, *three.catalog,
+                                            "CR", &rng)
+                .status()
+                .code(),
+            StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace dwc

@@ -1,0 +1,86 @@
+#include "core/ordering.h"
+
+#include <gtest/gtest.h>
+
+#include "parser/parser.h"
+#include "testing/test_util.h"
+
+namespace dwc {
+namespace {
+
+using ::dwc::testing::I;
+using ::dwc::testing::MustRun;
+
+class OrderingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    context_ = MustRun(R"(
+CREATE TABLE R(a INT, b INT);
+INSERT INTO R VALUES (1, 10), (2, 20), (3, 30);
+)");
+    env_ = Environment::FromDatabase(context_.db);
+  }
+
+  ExprRef E(const std::string& text) {
+    Result<ExprRef> expr = ParseExpr(text);
+    EXPECT_TRUE(expr.ok());
+    return *expr;
+  }
+
+  ScriptContext context_;
+  Environment env_;
+};
+
+TEST_F(OrderingTest, LeqOnState) {
+  Result<bool> leq =
+      ViewLeqOnState(E("select[a >= 2](R)"), E("R"), env_);
+  DWC_ASSERT_OK(leq);
+  EXPECT_TRUE(*leq);
+  leq = ViewLeqOnState(E("R"), E("select[a >= 2](R)"), env_);
+  DWC_ASSERT_OK(leq);
+  EXPECT_FALSE(*leq);
+  // Equal views are mutually <=.
+  leq = ViewLeqOnState(E("R"), E("R union R"), env_);
+  DWC_ASSERT_OK(leq);
+  EXPECT_TRUE(*leq);
+}
+
+TEST_F(OrderingTest, LeqHandlesColumnOrder) {
+  Result<bool> leq = ViewLeqOnState(
+      E("project[b, a](select[a = 1](R))"), E("project[a, b](R)"), env_);
+  DWC_ASSERT_OK(leq);
+  EXPECT_TRUE(*leq);
+}
+
+TEST_F(OrderingTest, LeqRejectsDifferentSchemas) {
+  Result<bool> leq = ViewLeqOnState(E("project[a](R)"), E("R"), env_);
+  EXPECT_EQ(leq.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(OrderingTest, ViewsLeqPairwise) {
+  std::vector<ViewDef> u = {{"u1", E("select[a = 1](R)")},
+                            {"u2", E("select[b >= 20](R)")}};
+  std::vector<ViewDef> v = {{"v1", E("R")}, {"v2", E("R")}};
+  Result<bool> leq = ViewsLeqOnState(u, v, env_);
+  DWC_ASSERT_OK(leq);
+  EXPECT_TRUE(*leq);
+  leq = ViewsLeqOnState(v, u, env_);
+  DWC_ASSERT_OK(leq);
+  EXPECT_FALSE(*leq);
+  // Length mismatch is an error.
+  std::vector<ViewDef> w = {{"w1", E("R")}};
+  EXPECT_FALSE(ViewsLeqOnState(u, w, env_).ok());
+}
+
+TEST_F(OrderingTest, TotalTuples) {
+  std::vector<ViewDef> views = {{"v1", E("R")},
+                                {"v2", E("select[a >= 2](R)")},
+                                {"v3", E("project[a](R)")}};
+  Result<size_t> total = TotalTuples(views, env_);
+  DWC_ASSERT_OK(total);
+  EXPECT_EQ(*total, 3u + 2u + 3u);
+  EXPECT_FALSE(TotalTuples({{"bad", E("Nope")}}, env_).ok());
+}
+
+}  // namespace
+}  // namespace dwc

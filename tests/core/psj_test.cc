@@ -1,0 +1,105 @@
+#include "core/psj.h"
+
+#include <gtest/gtest.h>
+
+#include "parser/parser.h"
+#include "testing/test_util.h"
+
+namespace dwc {
+namespace {
+
+class PsjTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    DWC_ASSERT_OK(catalog_.AddRelation(
+        "R", Schema({{"a", ValueType::kInt}, {"b", ValueType::kInt}})));
+    DWC_ASSERT_OK(catalog_.AddRelation(
+        "S", Schema({{"b", ValueType::kInt}, {"c", ValueType::kInt}})));
+  }
+
+  Result<PsjView> Analyze(const std::string& text) {
+    Result<ExprRef> expr = ParseExpr(text);
+    EXPECT_TRUE(expr.ok()) << expr.status();
+    return AnalyzePsj(ViewDef{"V", *expr}, catalog_);
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(PsjTest, PlainBase) {
+  Result<PsjView> view = Analyze("R");
+  DWC_ASSERT_OK(view);
+  EXPECT_EQ(view->bases, std::vector<std::string>{"R"});
+  EXPECT_EQ(view->attrs, (AttrSet{"a", "b"}));
+  EXPECT_TRUE(view->is_sj);
+  EXPECT_EQ(view->predicate->kind(), Predicate::Kind::kTrue);
+}
+
+TEST_F(PsjTest, FullForm) {
+  Result<PsjView> view = Analyze("project[a, c](select[a = 1](R join S))");
+  DWC_ASSERT_OK(view);
+  EXPECT_EQ(view->bases, (std::vector<std::string>{"R", "S"}));
+  EXPECT_EQ(view->attrs, (AttrSet{"a", "c"}));
+  EXPECT_FALSE(view->is_sj);
+  EXPECT_EQ(view->predicate->ToString(), "(true and a = 1)");
+}
+
+TEST_F(PsjTest, SelectionsPushedBelowJoinsNormalize) {
+  Result<PsjView> view = Analyze("select[a = 1](R) join select[c = 2](S)");
+  DWC_ASSERT_OK(view);
+  EXPECT_EQ(view->bases, (std::vector<std::string>{"R", "S"}));
+  AttrSet predicate_attrs = view->predicate->Attributes();
+  EXPECT_EQ(predicate_attrs, (AttrSet{"a", "c"}));
+  EXPECT_TRUE(view->is_sj);
+}
+
+TEST_F(PsjTest, StackedPrefixNormalizes) {
+  // Outermost projection wins; selections conjoin.
+  Result<PsjView> view =
+      Analyze("project[a](select[b = 1](project[a, b](select[a >= 0](R))))");
+  DWC_ASSERT_OK(view);
+  EXPECT_EQ(view->attrs, (AttrSet{"a"}));
+  EXPECT_EQ(view->predicate->Attributes(), (AttrSet{"a", "b"}));
+}
+
+TEST_F(PsjTest, RejectsNonPsjOperators) {
+  EXPECT_FALSE(Analyze("R union R").ok());
+  EXPECT_FALSE(Analyze("R minus R").ok());
+  EXPECT_FALSE(Analyze("rename[a -> x](R)").ok());
+  EXPECT_FALSE(Analyze("R join (project[b](S) join S)").ok());
+  EXPECT_FALSE(Analyze("empty[a INT]").ok());
+}
+
+TEST_F(PsjTest, RejectsUnknownRelationsAndSelfJoins) {
+  Result<PsjView> unknown = Analyze("R join Zed");
+  EXPECT_EQ(unknown.status().code(), StatusCode::kNotFound);
+  Result<PsjView> self_join = Analyze("R join S join R");
+  EXPECT_EQ(self_join.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST_F(PsjTest, RejectsBadAttributes) {
+  EXPECT_FALSE(Analyze("project[zz](R)").ok());
+  EXPECT_FALSE(Analyze("select[zz = 1](R)").ok());
+}
+
+TEST_F(PsjTest, ProjectOntoSchemaConvention) {
+  Schema r_schema = *catalog_.FindSchema("R");
+  // All attributes visible: a projection in schema order.
+  ExprRef proj = ProjectOntoSchema(Expr::Base("V"), {"a", "b", "c"}, r_schema);
+  EXPECT_EQ(proj->ToString(), "project[a, b](V)");
+  // Missing attribute: the empty relation over R's schema.
+  ExprRef empty = ProjectOntoSchema(Expr::Base("V"), {"a", "c"}, r_schema);
+  EXPECT_EQ(empty->kind(), Expr::Kind::kEmpty);
+  EXPECT_EQ(empty->empty_schema(), r_schema);
+}
+
+TEST_F(PsjTest, InvolvesBase) {
+  Result<PsjView> view = Analyze("R join S");
+  DWC_ASSERT_OK(view);
+  EXPECT_TRUE(view->InvolvesBase("R"));
+  EXPECT_TRUE(view->InvolvesBase("S"));
+  EXPECT_FALSE(view->InvolvesBase("T"));
+}
+
+}  // namespace
+}  // namespace dwc

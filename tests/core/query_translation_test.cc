@@ -1,0 +1,134 @@
+// E2 / Theorem 3.1 (DESIGN.md): query translation through W^-1.
+
+#include <gtest/gtest.h>
+
+#include "algebra/evaluator.h"
+#include "core/query_translation.h"
+#include "core/warehouse_spec.h"
+#include "parser/parser.h"
+#include "testing/test_util.h"
+#include "warehouse/warehouse.h"
+
+namespace dwc {
+namespace {
+
+using ::dwc::testing::Figure1Script;
+using ::dwc::testing::MustRun;
+
+class QueryTranslationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    context_ = MustRun(Figure1Script(/*with_constraints=*/true));
+    Result<WarehouseSpec> spec =
+        SpecifyWarehouse(context_.catalog, context_.views);
+    DWC_ASSERT_OK(spec);
+    spec_ = std::make_shared<WarehouseSpec>(std::move(spec).value());
+    Result<Warehouse> warehouse = Warehouse::Load(spec_, context_.db);
+    DWC_ASSERT_OK(warehouse);
+    warehouse_ = std::make_unique<Warehouse>(std::move(warehouse).value());
+  }
+
+  // Asserts Q(d) == Q̄(W(d)) for the current state.
+  void ExpectCommutes(const std::string& query_text) {
+    Result<ExprRef> query = ParseExpr(query_text);
+    DWC_ASSERT_OK(query);
+    Result<Relation> direct = context_.Evaluate(*query);
+    DWC_ASSERT_OK(direct);
+    Result<Relation> via_warehouse = warehouse_->AnswerQuery(*query);
+    DWC_ASSERT_OK(via_warehouse);
+    EXPECT_TRUE(testing::RelationsEqual(*via_warehouse, *direct))
+        << "query: " << query_text;
+  }
+
+  ScriptContext context_;
+  std::shared_ptr<WarehouseSpec> spec_;
+  std::unique_ptr<Warehouse> warehouse_;
+};
+
+TEST_F(QueryTranslationTest, TranslatedQueriesCommute) {
+  ExpectCommutes("Sale");
+  ExpectCommutes("Emp");
+  ExpectCommutes("Sale JOIN Emp");
+  ExpectCommutes("project[clerk](Sale) union project[clerk](Emp)");
+  ExpectCommutes("project[clerk](Emp) minus project[clerk](Sale)");
+  ExpectCommutes("select[age >= 25](Emp)");
+  ExpectCommutes("project[age](select[item = 'PC'](Sale) JOIN Emp)");
+  ExpectCommutes("rename[clerk -> seller](Sale)");
+  ExpectCommutes("select[item != 'VCR'](Sale) JOIN select[age < 30](Emp)");
+}
+
+TEST_F(QueryTranslationTest, TranslationMentionsOnlyWarehouseNames) {
+  Result<ExprRef> query =
+      ParseExpr("project[clerk](Sale) union project[clerk](Emp)");
+  DWC_ASSERT_OK(query);
+  Result<ExprRef> translated = TranslateQuery(*query, *spec_);
+  DWC_ASSERT_OK(translated);
+  for (const std::string& name : (*translated)->ReferencedNames()) {
+    EXPECT_NE(name, "Sale");
+    EXPECT_NE(name, "Emp");
+    EXPECT_NE(spec_->FindWarehouseSchema(name), nullptr)
+        << "unresolved name " << name;
+  }
+}
+
+TEST_F(QueryTranslationTest, Example12TranslationShape) {
+  // With referential integrity, Sale = pi_{item,clerk}(Sold) and
+  // Emp = C_Emp U pi_{clerk,age}(Sold): the union query needs only Sold
+  // and C_Emp.
+  Result<ExprRef> query =
+      ParseExpr("project[clerk](Sale) union project[clerk](Emp)");
+  DWC_ASSERT_OK(query);
+  Result<ExprRef> translated = TranslateQuery(*query, *spec_);
+  DWC_ASSERT_OK(translated);
+  std::set<std::string> names = (*translated)->ReferencedNames();
+  EXPECT_EQ(names, (std::set<std::string>{"Sold", "C_Emp"}));
+}
+
+TEST_F(QueryTranslationTest, WarehouseNamesPassThrough) {
+  // A query already phrased over warehouse relations is untouched.
+  Result<ExprRef> query = ParseExpr("project[clerk](Sold)");
+  DWC_ASSERT_OK(query);
+  Result<ExprRef> translated = TranslateQuery(*query, *spec_);
+  DWC_ASSERT_OK(translated);
+  EXPECT_TRUE((*translated)->Equals(**query));
+}
+
+TEST_F(QueryTranslationTest, UnknownRelationRejected) {
+  Result<ExprRef> query = ParseExpr("project[clerk](Nonexistent)");
+  DWC_ASSERT_OK(query);
+  Result<ExprRef> translated = TranslateQuery(*query, *spec_);
+  EXPECT_FALSE(translated.ok());
+  EXPECT_EQ(translated.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(QueryTranslationTest, CommutesAfterUpdates) {
+  // Evolve the source, refresh the warehouse, and re-check the diagram.
+  Source source(context_.db);
+  Result<Warehouse> warehouse = Warehouse::Load(spec_, source.db());
+  DWC_ASSERT_OK(warehouse);
+
+  UpdateOp op1{"Emp", {testing::T({testing::S("Zoe"), testing::I(41)})}, {}};
+  Result<CanonicalDelta> d1 = source.Apply(op1);
+  DWC_ASSERT_OK(d1);
+  DWC_ASSERT_OK(warehouse->Integrate(*d1));
+
+  UpdateOp op2{"Sale",
+               {testing::T({testing::S("Printer"), testing::S("Zoe")})},
+               {testing::T({testing::S("TV set"), testing::S("Mary")})}};
+  Result<CanonicalDelta> d2 = source.Apply(op2);
+  DWC_ASSERT_OK(d2);
+  DWC_ASSERT_OK(warehouse->Integrate(*d2));
+
+  Result<ExprRef> query = ParseExpr(
+      "project[clerk](Sale) union project[clerk](select[age >= 30](Emp))");
+  DWC_ASSERT_OK(query);
+  Result<Relation> via_warehouse = warehouse->AnswerQuery(*query);
+  DWC_ASSERT_OK(via_warehouse);
+  Environment source_env = Environment::FromDatabase(source.db());
+  Result<Relation> direct = EvalExpr(**query, source_env);
+  DWC_ASSERT_OK(direct);
+  EXPECT_TRUE(testing::RelationsEqual(*via_warehouse, *direct));
+}
+
+}  // namespace
+}  // namespace dwc

@@ -1,0 +1,101 @@
+#include "core/warehouse_spec.h"
+
+#include <gtest/gtest.h>
+
+#include "parser/parser.h"
+#include "testing/test_util.h"
+
+namespace dwc {
+namespace {
+
+using ::dwc::testing::MustRun;
+
+TEST(WarehouseSpecTest, NullCatalogRejected) {
+  Result<WarehouseSpec> spec = SpecifyWarehouse(nullptr, {});
+  EXPECT_EQ(spec.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WarehouseSpecTest, DuplicateViewNameRejected) {
+  ScriptContext context = MustRun("CREATE TABLE R(a INT);");
+  std::vector<ViewDef> views = {{"V", Expr::Base("R")},
+                                {"V", Expr::Base("R")}};
+  Result<WarehouseSpec> spec = SpecifyWarehouse(context.catalog, views);
+  EXPECT_EQ(spec.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(WarehouseSpecTest, ViewNamedLikeBaseRejected) {
+  ScriptContext context = MustRun("CREATE TABLE R(a INT);");
+  std::vector<ViewDef> views = {{"R", Expr::Base("R")}};
+  Result<WarehouseSpec> spec = SpecifyWarehouse(context.catalog, views);
+  EXPECT_EQ(spec.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(WarehouseSpecTest, NonPsjViewRejected) {
+  ScriptContext context = MustRun("CREATE TABLE R(a INT);");
+  std::vector<ViewDef> views = {
+      {"V", Expr::Union(Expr::Base("R"), Expr::Base("R"))}};
+  Result<WarehouseSpec> spec = SpecifyWarehouse(context.catalog, views);
+  EXPECT_FALSE(spec.ok());
+}
+
+TEST(WarehouseSpecTest, CustomComplementPrefix) {
+  ScriptContext context = MustRun(R"(
+CREATE TABLE R(a INT, b INT);
+CREATE TABLE S(b INT, c INT);
+VIEW V AS R JOIN S;
+)");
+  ComplementOptions options;
+  options.name_prefix = "aux_";
+  Result<WarehouseSpec> spec =
+      SpecifyWarehouse(context.catalog, context.views, options);
+  DWC_ASSERT_OK(spec);
+  ASSERT_EQ(spec->complements().size(), 2u);
+  EXPECT_EQ(spec->complements()[0].name, "aux_R");
+  EXPECT_EQ(spec->complements()[1].name, "aux_S");
+  EXPECT_NE(spec->FindWarehouseSchema("aux_R"), nullptr);
+  EXPECT_NE(spec->FindInverse("R"), nullptr);
+  EXPECT_EQ(spec->FindInverse("aux_R"), nullptr);
+  EXPECT_EQ(spec->FindInverse("Nope"), nullptr);
+}
+
+TEST(WarehouseSpecTest, WarehouseSchemasExposed) {
+  ScriptContext context = MustRun(R"(
+CREATE TABLE R(a INT, b STRING);
+VIEW V AS PROJECT[a](R);
+)");
+  Result<WarehouseSpec> spec =
+      SpecifyWarehouse(context.catalog, context.views);
+  DWC_ASSERT_OK(spec);
+  const Schema* v = spec->FindWarehouseSchema("V");
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->ToString(), "(a INT)");
+  const Schema* c = spec->FindWarehouseSchema("C_R");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->ToString(), "(a INT, b STRING)");
+  // Resolver covers both; base relations resolve to nothing.
+  SchemaResolver resolver = spec->WarehouseResolver();
+  EXPECT_NE(resolver("V"), nullptr);
+  EXPECT_EQ(resolver("R"), nullptr);
+}
+
+TEST(WarehouseSpecTest, AllWarehouseViewsOrdered) {
+  ScriptContext context = MustRun(R"(
+CREATE TABLE R(a INT);
+CREATE TABLE S(a INT);
+VIEW V1 AS R;
+VIEW V2 AS S;
+)");
+  Result<WarehouseSpec> spec =
+      SpecifyWarehouse(context.catalog, context.views);
+  DWC_ASSERT_OK(spec);
+  std::vector<ViewDef> all = spec->AllWarehouseViews();
+  // Views first (user order), then complements. Full copies make the
+  // complements provably empty, so only the views remain.
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].name, "V1");
+  EXPECT_EQ(all[1].name, "V2");
+  EXPECT_TRUE(spec->complements().empty());
+}
+
+}  // namespace
+}  // namespace dwc

@@ -1,0 +1,203 @@
+// E1 / E2 (DESIGN.md): the paper's running example end to end.
+//
+// Figure 1: warehouse view Sold = Sale |x| Emp over the Sales and Company
+// databases. Example 1.1 derives the complement {C1, C2}; Example 1.2 shows
+// query independence of the augmented warehouse; Example 2.4 shows that the
+// referential-integrity constraint clerk(Sale) <= clerk(Emp) empties C2.
+
+#include <gtest/gtest.h>
+
+#include "core/complement.h"
+#include "core/query_translation.h"
+#include "core/warehouse_spec.h"
+#include "parser/parser.h"
+#include "testing/test_util.h"
+#include "warehouse/warehouse.h"
+
+namespace dwc {
+namespace {
+
+using ::dwc::testing::Figure1Script;
+using ::dwc::testing::I;
+using ::dwc::testing::MustRun;
+using ::dwc::testing::RelationsEqual;
+using ::dwc::testing::S;
+using ::dwc::testing::T;
+
+class Figure1Test : public ::testing::TestWithParam<bool> {
+ protected:
+  // Param: with_constraints.
+  void SetUp() override {
+    context_ = MustRun(Figure1Script(GetParam()));
+    ComplementOptions options;
+    options.use_constraints = GetParam();
+    Result<WarehouseSpec> spec = SpecifyWarehouse(
+        context_.catalog, context_.views, options);
+    DWC_ASSERT_OK(spec);
+    spec_ = std::make_shared<WarehouseSpec>(std::move(spec).value());
+  }
+
+  ScriptContext context_;
+  std::shared_ptr<WarehouseSpec> spec_;
+};
+
+INSTANTIATE_TEST_SUITE_P(WithAndWithoutConstraints, Figure1Test,
+                         ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "WithConstraints"
+                                             : "NoConstraints";
+                         });
+
+TEST_P(Figure1Test, ComplementShape) {
+  // Example 1.1: C1 = Emp \ pi_{clerk,age}(Sold),
+  //              C2 = Sale \ pi_{item,clerk}(Sold).
+  // Example 2.4: with referential integrity, C2 is provably empty.
+  const ComplementResult& complement = spec_->complement();
+  const BaseComplementInfo* emp = complement.FindBase("Emp");
+  const BaseComplementInfo* sale = complement.FindBase("Sale");
+  ASSERT_NE(emp, nullptr);
+  ASSERT_NE(sale, nullptr);
+  EXPECT_FALSE(emp->provably_empty);
+  EXPECT_EQ(sale->provably_empty, GetParam());
+  if (GetParam()) {
+    // Only C_Emp is materialized.
+    ASSERT_EQ(spec_->complements().size(), 1u);
+    EXPECT_EQ(spec_->complements()[0].name, "C_Emp");
+  } else {
+    ASSERT_EQ(spec_->complements().size(), 2u);
+  }
+}
+
+TEST_P(Figure1Test, ComplementContents) {
+  Result<Warehouse> warehouse =
+      Warehouse::Load(spec_, context_.db, MaintenanceStrategy::kIncremental);
+  DWC_ASSERT_OK(warehouse);
+
+  // C1 must contain exactly Paula (the clerk with no sales).
+  const Relation* c_emp = warehouse->FindRelation("C_Emp");
+  ASSERT_NE(c_emp, nullptr);
+  Relation expected(*spec_->FindWarehouseSchema("C_Emp"));
+  expected.Insert(T({S("Paula"), I(32)}));
+  EXPECT_TRUE(RelationsEqual(*c_emp, expected));
+
+  // C2 (when materialized) is empty on this state.
+  const Relation* c_sale = warehouse->FindRelation("C_Sale");
+  if (GetParam()) {
+    EXPECT_EQ(c_sale, nullptr);
+  } else {
+    ASSERT_NE(c_sale, nullptr);
+    EXPECT_TRUE(c_sale->empty());
+  }
+}
+
+TEST_P(Figure1Test, InverseReconstructsBases) {
+  Result<Warehouse> warehouse =
+      Warehouse::Load(spec_, context_.db, MaintenanceStrategy::kIncremental);
+  DWC_ASSERT_OK(warehouse);
+  Result<Database> reconstructed = warehouse->ReconstructSources();
+  DWC_ASSERT_OK(reconstructed);
+  EXPECT_TRUE(RelationsEqual(*reconstructed->FindRelation("Emp"),
+                             *context_.db.FindRelation("Emp")));
+  EXPECT_TRUE(RelationsEqual(*reconstructed->FindRelation("Sale"),
+                             *context_.db.FindRelation("Sale")));
+}
+
+TEST_P(Figure1Test, Example11InsertMaintainedWithoutSourceQueries) {
+  Source source(context_.db);
+  Result<Warehouse> warehouse =
+      Warehouse::Load(spec_, source.db(), MaintenanceStrategy::kIncremental);
+  DWC_ASSERT_OK(warehouse);
+
+  // "insert into Sale the tuple <Computer, Paula>".
+  UpdateOp op;
+  op.relation = "Sale";
+  op.inserts.push_back(T({S("Computer"), S("Paula")}));
+  Result<CanonicalDelta> delta = source.Apply(op);
+  DWC_ASSERT_OK(delta);
+  DWC_ASSERT_OK(warehouse->Integrate(*delta));
+
+  // Zero source queries during maintenance.
+  EXPECT_EQ(source.query_count(), 0u);
+
+  // The warehouse now matches the new source state exactly.
+  DWC_ASSERT_OK(CheckConsistency(*warehouse, source.db()));
+
+  // Sold gained <Computer, Paula, 32>.
+  const Relation* sold = warehouse->FindRelation("Sold");
+  ASSERT_NE(sold, nullptr);
+  EXPECT_EQ(sold->size(), 4u);
+  // Paula left C1 (she now appears in Sold).
+  const Relation* c_emp = warehouse->FindRelation("C_Emp");
+  ASSERT_NE(c_emp, nullptr);
+  EXPECT_TRUE(c_emp->empty());
+}
+
+TEST_P(Figure1Test, Example11DeletionsMaintained) {
+  Source source(context_.db);
+  Result<Warehouse> warehouse =
+      Warehouse::Load(spec_, source.db(), MaintenanceStrategy::kIncremental);
+  DWC_ASSERT_OK(warehouse);
+
+  // Delete Mary's VCR sale, then John's PC sale.
+  UpdateOp op1{"Sale", {}, {T({S("VCR"), S("Mary")})}};
+  Result<CanonicalDelta> d1 = source.Apply(op1);
+  DWC_ASSERT_OK(d1);
+  DWC_ASSERT_OK(warehouse->Integrate(*d1));
+  DWC_ASSERT_OK(CheckConsistency(*warehouse, source.db()));
+
+  UpdateOp op2{"Sale", {}, {T({S("PC"), S("John")})}};
+  Result<CanonicalDelta> d2 = source.Apply(op2);
+  DWC_ASSERT_OK(d2);
+  DWC_ASSERT_OK(warehouse->Integrate(*d2));
+  DWC_ASSERT_OK(CheckConsistency(*warehouse, source.db()));
+
+  // John no longer sells anything: he must have moved into C1.
+  const Relation* c_emp = warehouse->FindRelation("C_Emp");
+  ASSERT_NE(c_emp, nullptr);
+  EXPECT_EQ(c_emp->size(), 2u);  // Paula and John.
+  EXPECT_EQ(source.query_count(), 0u);
+}
+
+TEST_P(Figure1Test, Example12QueryIndependence) {
+  Result<Warehouse> warehouse =
+      Warehouse::Load(spec_, context_.db, MaintenanceStrategy::kIncremental);
+  DWC_ASSERT_OK(warehouse);
+
+  // Q = pi_clerk(Sale) U pi_clerk(Emp): unanswerable from Sold alone,
+  // answerable from the augmented warehouse.
+  Result<ExprRef> q =
+      ParseExpr("project[clerk](Sale) union project[clerk](Emp)");
+  DWC_ASSERT_OK(q);
+  Result<Relation> answer = warehouse->AnswerQuery(*q);
+  DWC_ASSERT_OK(answer);
+
+  Result<Relation> expected = context_.Evaluate(*q);
+  DWC_ASSERT_OK(expected);
+  EXPECT_TRUE(RelationsEqual(*answer, *expected));
+  EXPECT_EQ(answer->size(), 3u);  // Mary, John, Paula.
+}
+
+TEST_P(Figure1Test, Section3AgeOfComputerSellers) {
+  // Q = pi_age(sigma_{item='Computer'}(Sale) |x| Emp) from Section 3.
+  Source source(context_.db);
+  Result<Warehouse> warehouse =
+      Warehouse::Load(spec_, source.db(), MaintenanceStrategy::kIncremental);
+  DWC_ASSERT_OK(warehouse);
+
+  UpdateOp op{"Sale", {T({S("Computer"), S("Paula")})}, {}};
+  Result<CanonicalDelta> delta = source.Apply(op);
+  DWC_ASSERT_OK(delta);
+  DWC_ASSERT_OK(warehouse->Integrate(*delta));
+
+  Result<ExprRef> q = ParseExpr(
+      "project[age](select[item = 'Computer'](Sale) JOIN Emp)");
+  DWC_ASSERT_OK(q);
+  Result<Relation> answer = warehouse->AnswerQuery(*q);
+  DWC_ASSERT_OK(answer);
+  ASSERT_EQ(answer->size(), 1u);
+  EXPECT_EQ(answer->SortedTuples()[0], T({I(32)}));
+  EXPECT_EQ(source.query_count(), 0u);
+}
+
+}  // namespace
+}  // namespace dwc

@@ -1,0 +1,127 @@
+// Delta-rule correctness: for random expressions E and random updates u,
+// the derived Δ+ / Δ- must satisfy  E(new) = (E(old) \ Δ-) ∪ Δ+  and
+// Δ+ ∩ E(old) = ∅, Δ- ⊆ E(old) (exactness).
+
+#include "maintenance/delta.h"
+
+#include <gtest/gtest.h>
+
+#include "algebra/evaluator.h"
+#include "testing/property_util.h"
+#include "testing/test_util.h"
+#include "util/rng.h"
+#include "workload/random_db.h"
+#include "workload/random_views.h"
+#include "warehouse/source.h"
+#include "workload/update_stream.h"
+
+namespace dwc {
+namespace {
+
+using ::dwc::testing::CatalogShape;
+using ::dwc::testing::MakeCatalog;
+
+TEST(DeltaDeriverTest, UntouchedExpressionHasEmptyDeltas) {
+  std::shared_ptr<Catalog> catalog = MakeCatalog(CatalogShape::kChain);
+  SchemaResolver resolver = ResolverFromCatalog(*catalog);
+  DeltaDeriver deriver({"S"}, resolver);
+  Result<DeltaPair> delta = deriver.Derive(Expr::Base("R"));
+  DWC_ASSERT_OK(delta);
+  EXPECT_EQ(delta->plus->kind(), Expr::Kind::kEmpty);
+  EXPECT_EQ(delta->minus->kind(), Expr::Kind::kEmpty);
+}
+
+TEST(DeltaDeriverTest, BaseDeltasAreTheNotifiedSets) {
+  std::shared_ptr<Catalog> catalog = MakeCatalog(CatalogShape::kChain);
+  SchemaResolver resolver = ResolverFromCatalog(*catalog);
+  DeltaDeriver deriver({"R"}, resolver);
+  Result<DeltaPair> delta = deriver.Derive(Expr::Base("R"));
+  DWC_ASSERT_OK(delta);
+  EXPECT_EQ(delta->plus->ToString(), "ins:R");
+  EXPECT_EQ(delta->minus->ToString(), "del:R");
+}
+
+TEST(DeltaDeriverTest, NewStateRewritesOnlyUpdatedBases) {
+  std::shared_ptr<Catalog> catalog = MakeCatalog(CatalogShape::kChain);
+  SchemaResolver resolver = ResolverFromCatalog(*catalog);
+  DeltaDeriver deriver({"R"}, resolver);
+  ExprRef expr = Expr::Join(Expr::Base("R"), Expr::Base("S"));
+  EXPECT_EQ(deriver.NewState(expr)->ToString(),
+            "(((R union ins:R) minus del:R) join S)");
+}
+
+// Random-expression exactness sweep, parameterized by seed.
+class DeltaExactnessTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DeltaExactnessTest, DeltasAreExactOnRandomInstances) {
+  Rng rng(GetParam());
+  std::shared_ptr<Catalog> catalog = MakeCatalog(CatalogShape::kChain);
+  SchemaResolver resolver = ResolverFromCatalog(*catalog);
+  std::vector<std::string> relations = catalog->RelationNames();
+
+  for (int round = 0; round < 10; ++round) {
+    RandomQueryOptions qopts;
+    qopts.max_depth = 3;
+    Result<ExprRef> expr = GenerateRandomQuery(*catalog, &rng, qopts);
+    DWC_ASSERT_OK(expr);
+    Result<Database> db = GenerateRandomDatabase(catalog, &rng);
+    DWC_ASSERT_OK(db);
+    const std::string& updated = relations[rng.Below(relations.size())];
+
+    Result<UpdateOp> op = GenerateRandomUpdate(*db, updated, &rng);
+    DWC_ASSERT_OK(op);
+    // Canonicalize against the current state.
+    Source source(*db);
+    Result<CanonicalDelta> delta = source.Apply(*op);
+    DWC_ASSERT_OK(delta);
+
+    DeltaDeriver deriver({updated}, resolver);
+    Result<DeltaPair> pair = deriver.Derive(*expr);
+    DWC_ASSERT_OK(pair);
+
+    // Evaluate old E, deltas, and new E.
+    Environment old_env = Environment::FromDatabase(*db);
+    old_env.Bind(DeltaInsName(updated), &delta->inserts);
+    old_env.Bind(DeltaDelName(updated), &delta->deletes);
+    Result<Relation> old_e = EvalExpr(**expr, old_env);
+    Result<Relation> plus = EvalExpr(*pair->plus, old_env);
+    Result<Relation> minus = EvalExpr(*pair->minus, old_env);
+    DWC_ASSERT_OK(old_e);
+    DWC_ASSERT_OK(plus);
+    DWC_ASSERT_OK(minus);
+
+    Environment new_env = Environment::FromDatabase(source.db());
+    Result<Relation> new_e = EvalExpr(**expr, new_env);
+    DWC_ASSERT_OK(new_e);
+
+    // Exactness: Δ+ disjoint from old, Δ- inside old.
+    Result<Relation> plus_aligned = plus->AlignTo(old_e->schema());
+    Result<Relation> minus_aligned = minus->AlignTo(old_e->schema());
+    DWC_ASSERT_OK(plus_aligned);
+    DWC_ASSERT_OK(minus_aligned);
+    for (const Tuple& tuple : plus_aligned->tuples()) {
+      ASSERT_FALSE(old_e->Contains(tuple))
+          << "Δ+ not disjoint for " << (*expr)->ToString();
+    }
+    for (const Tuple& tuple : minus_aligned->tuples()) {
+      ASSERT_TRUE(old_e->Contains(tuple))
+          << "Δ- outside old for " << (*expr)->ToString();
+    }
+    // Application law: new = (old \ Δ-) ∪ Δ+.
+    Relation applied = *old_e;
+    for (const Tuple& tuple : minus_aligned->tuples()) {
+      applied.Erase(tuple);
+    }
+    for (const Tuple& tuple : plus_aligned->tuples()) {
+      applied.Insert(tuple);
+    }
+    ASSERT_TRUE(testing::RelationsEqual(applied, *new_e))
+        << "expr " << (*expr)->ToString() << "\nupdate on " << updated;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeltaExactnessTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+}  // namespace
+}  // namespace dwc

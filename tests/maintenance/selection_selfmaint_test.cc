@@ -1,0 +1,110 @@
+// E12 (DESIGN.md) — Section 4 closing remark: a selection view sigma_p(R) is
+// update-independent *without* a complement, yet not query-independent.
+
+#include <gtest/gtest.h>
+
+#include "algebra/environment.h"
+#include "algebra/evaluator.h"
+#include "maintenance/plan.h"
+#include "parser/interpreter.h"
+#include "testing/test_util.h"
+#include "warehouse/source.h"
+
+namespace dwc {
+namespace {
+
+using ::dwc::testing::I;
+using ::dwc::testing::MustRun;
+using ::dwc::testing::T;
+
+constexpr char kScript[] = R"(
+CREATE TABLE R(A INT, B INT);
+INSERT INTO R VALUES (1, 10), (2, 20), (3, 30);
+VIEW W AS SELECT[B >= 20](R);
+)";
+
+TEST(SelectionSelfMaintTest, PlanDerivedWithoutComplement) {
+  ScriptContext context = MustRun(kScript);
+  Result<MaintenancePlan> plan =
+      DeriveSelectionOnlyPlan(context.views, *context.catalog);
+  DWC_ASSERT_OK(plan);
+  const DeltaPair* delta = plan->Find("W", "R");
+  ASSERT_NE(delta, nullptr);
+  EXPECT_EQ(delta->plus->ToString(), "select[(true and B >= 20)](ins:R)");
+  EXPECT_EQ(delta->minus->ToString(), "select[(true and B >= 20)](del:R)");
+}
+
+TEST(SelectionSelfMaintTest, MaintainsAcrossInsertionsAndDeletions) {
+  ScriptContext context = MustRun(kScript);
+  Result<MaintenancePlan> plan =
+      DeriveSelectionOnlyPlan(context.views, *context.catalog);
+  DWC_ASSERT_OK(plan);
+
+  Source source(context.db);
+  Result<Relation> w0 = context.Evaluate(context.views[0].expr);
+  DWC_ASSERT_OK(w0);
+  Relation w = std::move(w0).value();
+
+  std::vector<UpdateOp> updates = {
+      {"R", {T({I(4), I(40)})}, {}},
+      {"R", {T({I(5), I(5)})}, {T({I(2), I(20)})}},
+      {"R", {}, {T({I(3), I(30)})}},
+  };
+  for (const UpdateOp& op : updates) {
+    Result<CanonicalDelta> delta = source.Apply(op);
+    DWC_ASSERT_OK(delta);
+    Environment env;
+    env.Bind("W", &w);
+    env.Bind("ins:R", &delta->inserts);
+    env.Bind("del:R", &delta->deletes);
+    const DeltaPair* pair = plan->Find("W", "R");
+    Result<Relation> plus = EvalExpr(*pair->plus, env);
+    Result<Relation> minus = EvalExpr(*pair->minus, env);
+    DWC_ASSERT_OK(plus);
+    DWC_ASSERT_OK(minus);
+    for (const Tuple& tuple : minus->tuples()) {
+      w.Erase(tuple);
+    }
+    for (const Tuple& tuple : plus->tuples()) {
+      w.Insert(tuple);
+    }
+    // Ground truth from the live source.
+    Environment source_env = Environment::FromDatabase(source.db());
+    Result<Relation> expected =
+        EvalExpr(*context.views[0].expr, source_env);
+    DWC_ASSERT_OK(expected);
+    ASSERT_TRUE(testing::RelationsEqual(w, *expected));
+  }
+  // The plan never consulted the source.
+  EXPECT_EQ(source.query_count(), 0u);
+}
+
+TEST(SelectionSelfMaintTest, NotQueryIndependent) {
+  // W = sigma_{B>=20}(R) cannot answer Q = R: the inverse does not exist.
+  // (Formally: two source states differing only in a tuple with B < 20 map
+  // to the same warehouse state.)
+  ScriptContext a = MustRun(kScript);
+  ScriptContext b = MustRun(std::string(kScript) +
+                            "INSERT INTO R VALUES (9, 1);");
+  Result<Relation> wa = a.Evaluate(a.views[0].expr);
+  Result<Relation> wb = b.Evaluate(b.views[0].expr);
+  DWC_ASSERT_OK(wa);
+  DWC_ASSERT_OK(wb);
+  // Different database states, identical warehouse states: no inverse.
+  EXPECT_FALSE(a.db.SameStateAs(b.db));
+  EXPECT_TRUE(wa->SameContentAs(*wb));
+}
+
+TEST(SelectionSelfMaintTest, RejectsNonSelectionViews) {
+  ScriptContext context = MustRun(R"(
+CREATE TABLE R(A INT, B INT);
+VIEW W AS PROJECT[A](R);
+)");
+  Result<MaintenancePlan> plan =
+      DeriveSelectionOnlyPlan(context.views, *context.catalog);
+  EXPECT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace dwc

@@ -1,0 +1,68 @@
+// E9 (DESIGN.md) — Theorem 3.1 / Figure 2: the commuting diagram
+// Q(d) = Q̄(W(d)) for randomly generated queries over random states.
+
+#include <gtest/gtest.h>
+
+#include "algebra/evaluator.h"
+#include "core/query_translation.h"
+#include "core/warehouse_spec.h"
+#include "testing/property_util.h"
+#include "testing/test_util.h"
+#include "util/rng.h"
+#include "warehouse/warehouse.h"
+#include "workload/random_db.h"
+#include "workload/random_views.h"
+
+namespace dwc {
+namespace {
+
+using ::dwc::testing::CatalogShape;
+using ::dwc::testing::CatalogShapeName;
+using ::dwc::testing::MakeCatalog;
+
+class QueryIndependencePropertyTest
+    : public ::testing::TestWithParam<CatalogShape> {};
+
+TEST_P(QueryIndependencePropertyTest, DiagramCommutes) {
+  Rng rng(2024 + static_cast<uint64_t>(GetParam()));
+  std::shared_ptr<Catalog> catalog = MakeCatalog(GetParam());
+
+  for (int round = 0; round < 8; ++round) {
+    Result<std::vector<ViewDef>> views =
+        GenerateRandomPsjViews(*catalog, &rng);
+    DWC_ASSERT_OK(views);
+    Result<WarehouseSpec> spec = SpecifyWarehouse(catalog, *views);
+    DWC_ASSERT_OK(spec);
+    auto spec_ptr = std::make_shared<WarehouseSpec>(std::move(spec).value());
+
+    Result<Database> db = GenerateRandomDatabase(catalog, &rng);
+    DWC_ASSERT_OK(db);
+    Result<Warehouse> warehouse = Warehouse::Load(spec_ptr, *db);
+    DWC_ASSERT_OK(warehouse);
+    Environment source_env = Environment::FromDatabase(*db);
+
+    for (int q = 0; q < 10; ++q) {
+      Result<ExprRef> query = GenerateRandomQuery(*catalog, &rng);
+      DWC_ASSERT_OK(query);
+      Result<Relation> direct = EvalExpr(**query, source_env);
+      DWC_ASSERT_OK(direct);
+      Result<Relation> via_warehouse = warehouse->AnswerQuery(*query);
+      DWC_ASSERT_OK(via_warehouse);
+      ASSERT_TRUE(testing::RelationsEqual(*via_warehouse, *direct))
+          << "round " << round << " query " << (*query)->ToString()
+          << "\nwarehouse:\n"
+          << spec_ptr->ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, QueryIndependencePropertyTest,
+    ::testing::Values(CatalogShape::kChain, CatalogShape::kKeyed,
+                      CatalogShape::kKeyedInds),
+    [](const ::testing::TestParamInfo<CatalogShape>& info) {
+      return CatalogShapeName(info.param);
+    });
+
+}  // namespace
+}  // namespace dwc

@@ -1,0 +1,148 @@
+// E8 (DESIGN.md) — Theorem 2.1: for SJ views (no projection) the
+// Proposition 2.2 complement is minimal. Empirically we verify the partition
+// property that underlies the theorem on random instances — each base
+// relation splits exactly into the complement and the recoverable part:
+//   C_i(d) ∩ R̂_i(d) = ∅   and   C_i(d) ∪ R̂_i(d) = r_i,
+// so no tuple of C_i is redundant on any state, and we verify that every
+// pointwise-smaller candidate complement loses information (two states, same
+// warehouse image).
+
+#include <gtest/gtest.h>
+
+#include "algebra/evaluator.h"
+#include "core/complement.h"
+#include "testing/property_util.h"
+#include "testing/test_util.h"
+#include "util/rng.h"
+#include "workload/random_db.h"
+#include "workload/random_views.h"
+
+namespace dwc {
+namespace {
+
+using ::dwc::testing::CatalogShape;
+using ::dwc::testing::MakeCatalog;
+
+TEST(SjMinimalityPropertyTest, ComplementPartitionsBaseRelations) {
+  Rng rng(777);
+  std::shared_ptr<Catalog> catalog = MakeCatalog(CatalogShape::kChain);
+
+  for (int round = 0; round < 15; ++round) {
+    RandomViewOptions options;
+    options.project_probability = 0.0;  // SJ views only.
+    Result<std::vector<ViewDef>> views =
+        GenerateRandomPsjViews(*catalog, &rng, options);
+    DWC_ASSERT_OK(views);
+    ComplementOptions copts;
+    copts.use_constraints = false;  // Theorem 2.1's setting.
+    Result<ComplementResult> complement =
+        ComputeComplement(*views, *catalog, copts);
+    DWC_ASSERT_OK(complement);
+
+    Result<Database> db = GenerateRandomDatabase(catalog, &rng);
+    DWC_ASSERT_OK(db);
+    Environment env = Environment::FromDatabase(*db);
+    std::vector<std::unique_ptr<Relation>> owned;
+    for (const ViewDef& view : *views) {
+      Result<Relation> rel = EvalExpr(*view.expr, env);
+      DWC_ASSERT_OK(rel);
+      owned.push_back(std::make_unique<Relation>(std::move(rel).value()));
+      env.Bind(view.name, owned.back().get());
+    }
+
+    for (const BaseComplementInfo& info : complement->per_base) {
+      Result<Relation> ci = EvalExpr(*info.complement_def, env);
+      Result<Relation> rhat = EvalExpr(*info.rhat, env);
+      DWC_ASSERT_OK(ci);
+      DWC_ASSERT_OK(rhat);
+      const Relation* base = db->FindRelation(info.base);
+      // Disjoint.
+      for (const Tuple& tuple : ci->tuples()) {
+        Result<Relation> aligned = rhat->AlignTo(ci->schema());
+        DWC_ASSERT_OK(aligned);
+        ASSERT_FALSE(aligned->Contains(tuple))
+            << info.base << " tuple " << tuple.ToString();
+      }
+      // Union equals the base relation.
+      EXPECT_EQ(ci->size() + rhat->size(), base->size())
+          << info.base << " C=" << ci->ToString()
+          << " rhat=" << rhat->ToString() << " base=" << base->ToString();
+    }
+  }
+}
+
+TEST(SjMinimalityPropertyTest, DroppingAComplementTupleLosesInformation) {
+  // Take an SJ warehouse and a state d; pick a complement tuple t. The
+  // state d' = d \ {t} maps to the same views (t never reached any view:
+  // it is outside R̂_i) and the same reduced complement. Hence any
+  // complement strictly below ours on some state fails Proposition 2.1's
+  // injectivity — the empirical core of Theorem 2.1.
+  Rng rng(4242);
+  std::shared_ptr<Catalog> catalog = MakeCatalog(CatalogShape::kChain);
+  RandomViewOptions options;
+  options.project_probability = 0.0;
+
+  int checked = 0;
+  for (int round = 0; round < 20 && checked < 8; ++round) {
+    Result<std::vector<ViewDef>> views =
+        GenerateRandomPsjViews(*catalog, &rng, options);
+    DWC_ASSERT_OK(views);
+    ComplementOptions copts;
+    copts.use_constraints = false;
+    Result<ComplementResult> complement =
+        ComputeComplement(*views, *catalog, copts);
+    DWC_ASSERT_OK(complement);
+    Result<Database> db = GenerateRandomDatabase(catalog, &rng);
+    DWC_ASSERT_OK(db);
+
+    auto eval_views = [&](const Database& state) {
+      std::vector<Relation> result;
+      Environment env = Environment::FromDatabase(state);
+      for (const ViewDef& view : *views) {
+        Result<Relation> rel = EvalExpr(*view.expr, env);
+        EXPECT_TRUE(rel.ok());
+        result.push_back(std::move(rel).value());
+      }
+      return result;
+    };
+
+    // Find a nonempty complement relation.
+    Environment env = Environment::FromDatabase(*db);
+    std::vector<std::unique_ptr<Relation>> owned;
+    for (const ViewDef& view : *views) {
+      Result<Relation> rel = EvalExpr(*view.expr, env);
+      DWC_ASSERT_OK(rel);
+      owned.push_back(std::make_unique<Relation>(std::move(rel).value()));
+      env.Bind(view.name, owned.back().get());
+    }
+    for (const BaseComplementInfo& info : complement->per_base) {
+      Result<Relation> ci = EvalExpr(*info.complement_def, env);
+      DWC_ASSERT_OK(ci);
+      if (ci->empty()) {
+        continue;
+      }
+      Tuple victim = ci->SortedTuples()[0];
+      // d' = d without the victim tuple.
+      Database altered = *db;
+      Relation* rel = altered.FindMutableRelation(info.base);
+      Result<Relation> aligned_ci = ci->AlignTo(rel->schema());
+      DWC_ASSERT_OK(aligned_ci);
+      Tuple victim_aligned = aligned_ci->SortedTuples()[0];
+      ASSERT_TRUE(rel->Erase(victim_aligned));
+
+      // Views are identical on d and d' (the victim was complement-only).
+      std::vector<Relation> views_d = eval_views(*db);
+      std::vector<Relation> views_d2 = eval_views(altered);
+      for (size_t i = 0; i < views_d.size(); ++i) {
+        ASSERT_TRUE(views_d[i].SameContentAs(views_d2[i]))
+            << "view " << (*views)[i].name;
+      }
+      ++checked;
+      break;
+    }
+  }
+  EXPECT_GE(checked, 3) << "too few instances exercised";
+}
+
+}  // namespace
+}  // namespace dwc

@@ -1,0 +1,153 @@
+#include "relational/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include "relational/database.h"
+#include "testing/test_util.h"
+
+namespace dwc {
+namespace {
+
+using ::dwc::testing::I;
+using ::dwc::testing::T;
+
+Schema Ab() { return Schema({{"a", ValueType::kInt}, {"b", ValueType::kInt}}); }
+Schema Bc() { return Schema({{"b", ValueType::kInt}, {"c", ValueType::kInt}}); }
+
+TEST(CatalogTest, AddRelationRejectsDuplicates) {
+  Catalog catalog;
+  DWC_ASSERT_OK(catalog.AddRelation("R", Ab()));
+  Status dup = catalog.AddRelation("R", Bc());
+  EXPECT_EQ(dup.code(), StatusCode::kAlreadyExists);
+  EXPECT_TRUE(catalog.HasRelation("R"));
+  EXPECT_EQ(catalog.FindSchema("R")->ToString(), "(a INT, b INT)");
+  EXPECT_EQ(catalog.FindSchema("nope"), nullptr);
+}
+
+TEST(CatalogTest, KeyValidation) {
+  Catalog catalog;
+  DWC_ASSERT_OK(catalog.AddRelation("R", Ab()));
+  EXPECT_EQ(catalog.AddKey("S", {"a"}).code(), StatusCode::kNotFound);
+  EXPECT_EQ(catalog.AddKey("R", {}).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(catalog.AddKey("R", {"zz"}).code(), StatusCode::kInvalidArgument);
+  DWC_ASSERT_OK(catalog.AddKey("R", {"a"}));
+  // The paper allows at most one declared key per relation.
+  EXPECT_EQ(catalog.AddKey("R", {"b"}).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(catalog.FindKey("R")->attrs, (AttrSet{"a"}));
+  EXPECT_FALSE(catalog.FindKey("S").has_value());
+}
+
+TEST(CatalogTest, InclusionValidation) {
+  Catalog catalog;
+  DWC_ASSERT_OK(catalog.AddRelation("R", Ab()));
+  DWC_ASSERT_OK(catalog.AddRelation("S", Bc()));
+  // Unknown relation.
+  EXPECT_FALSE(
+      catalog.AddInclusion({"X", {"b"}, "S", {"b"}}).ok());
+  // Arity mismatch.
+  EXPECT_EQ(catalog.AddInclusion({"R", {"a", "b"}, "S", {"b"}}).code(),
+            StatusCode::kInvalidArgument);
+  // Unknown attribute.
+  EXPECT_EQ(catalog.AddInclusion({"R", {"zz"}, "S", {"b"}}).code(),
+            StatusCode::kInvalidArgument);
+  DWC_ASSERT_OK(catalog.AddInclusion({"R", {"b"}, "S", {"b"}}));
+  ASSERT_EQ(catalog.inclusions().size(), 1u);
+  EXPECT_EQ(catalog.inclusions()[0].ToString(), "R(b) <= S(b)");
+}
+
+TEST(CatalogTest, TypeMismatchedInclusionRejected) {
+  Catalog catalog;
+  DWC_ASSERT_OK(catalog.AddRelation("R", Ab()));
+  DWC_ASSERT_OK(catalog.AddRelation(
+      "S", Schema({{"b", ValueType::kString}})));
+  EXPECT_EQ(catalog.AddInclusion({"R", {"b"}, "S", {"b"}}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CatalogTest, CyclicIndsRejected) {
+  Catalog catalog;
+  DWC_ASSERT_OK(catalog.AddRelation("R", Ab()));
+  DWC_ASSERT_OK(catalog.AddRelation("S", Ab()));
+  DWC_ASSERT_OK(catalog.AddRelation("U", Ab()));
+  DWC_ASSERT_OK(catalog.AddInclusion({"R", {"a"}, "S", {"a"}}));
+  DWC_ASSERT_OK(catalog.AddInclusion({"S", {"a"}, "U", {"a"}}));
+  // Closing the cycle U -> R is rejected (paper assumes acyclic INDs).
+  Status cyclic = catalog.AddInclusion({"U", {"a"}, "R", {"a"}});
+  EXPECT_EQ(cyclic.code(), StatusCode::kFailedPrecondition);
+  // Self-loop also rejected.
+  EXPECT_EQ(catalog.AddInclusion({"R", {"a"}, "R", {"b"}}).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(CatalogTest, TopologicalOrderRespectsInds) {
+  Catalog catalog;
+  DWC_ASSERT_OK(catalog.AddRelation("R", Ab()));
+  DWC_ASSERT_OK(catalog.AddRelation("S", Ab()));
+  DWC_ASSERT_OK(catalog.AddRelation("U", Ab()));
+  DWC_ASSERT_OK(catalog.AddInclusion({"S", {"a"}, "U", {"a"}}));
+  DWC_ASSERT_OK(catalog.AddInclusion({"R", {"a"}, "S", {"a"}}));
+  std::vector<std::string> order = catalog.IndTopologicalOrder();
+  ASSERT_EQ(order.size(), 3u);
+  auto pos = [&](const std::string& name) {
+    return std::find(order.begin(), order.end(), name) - order.begin();
+  };
+  EXPECT_LT(pos("R"), pos("S"));
+  EXPECT_LT(pos("S"), pos("U"));
+}
+
+TEST(DatabaseTest, KeyViolationDetected) {
+  auto catalog = std::make_shared<Catalog>();
+  DWC_ASSERT_OK(catalog->AddRelation("R", Ab()));
+  DWC_ASSERT_OK(catalog->AddKey("R", {"a"}));
+  Database db(catalog);
+  DWC_ASSERT_OK(db.AddEmptyRelation("R", Ab()));
+  Relation* r = db.FindMutableRelation("R");
+  r->Insert(T({I(1), I(10)}));
+  DWC_ASSERT_OK(db.ValidateConstraints());
+  r->Insert(T({I(1), I(20)}));
+  Status violation = db.ValidateConstraints();
+  EXPECT_EQ(violation.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(violation.message().find("key violation"), std::string::npos);
+}
+
+TEST(DatabaseTest, InclusionViolationDetected) {
+  auto catalog = std::make_shared<Catalog>();
+  DWC_ASSERT_OK(catalog->AddRelation("R", Ab()));
+  DWC_ASSERT_OK(catalog->AddRelation("S", Bc()));
+  DWC_ASSERT_OK(catalog->AddInclusion({"R", {"b"}, "S", {"b"}}));
+  Database db(catalog);
+  DWC_ASSERT_OK(db.AddEmptyRelation("R", Ab()));
+  DWC_ASSERT_OK(db.AddEmptyRelation("S", Bc()));
+  db.FindMutableRelation("S")->Insert(T({I(5), I(50)}));
+  db.FindMutableRelation("R")->Insert(T({I(1), I(5)}));
+  DWC_ASSERT_OK(db.ValidateConstraints());
+  db.FindMutableRelation("R")->Insert(T({I(2), I(6)}));
+  EXPECT_EQ(db.ValidateConstraints().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(DatabaseTest, SchemaMismatchOnAddRejected) {
+  auto catalog = std::make_shared<Catalog>();
+  DWC_ASSERT_OK(catalog->AddRelation("R", Ab()));
+  Database db(catalog);
+  EXPECT_EQ(db.AddRelation("R", Relation(Bc())).code(),
+            StatusCode::kInvalidArgument);
+  DWC_ASSERT_OK(db.AddRelation("R", Relation(Ab())));
+  EXPECT_EQ(db.AddRelation("R", Relation(Ab())).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(DatabaseTest, SameStateAs) {
+  Database a, b;
+  DWC_ASSERT_OK(a.AddEmptyRelation("R", Ab()));
+  DWC_ASSERT_OK(b.AddEmptyRelation("R", Ab()));
+  EXPECT_TRUE(a.SameStateAs(b));
+  a.FindMutableRelation("R")->Insert(T({I(1), I(2)}));
+  EXPECT_FALSE(a.SameStateAs(b));
+  b.FindMutableRelation("R")->Insert(T({I(1), I(2)}));
+  EXPECT_TRUE(a.SameStateAs(b));
+  DWC_ASSERT_OK(b.AddEmptyRelation("S", Bc()));
+  EXPECT_FALSE(a.SameStateAs(b));
+}
+
+}  // namespace
+}  // namespace dwc

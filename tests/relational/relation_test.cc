@@ -1,0 +1,154 @@
+#include "relational/relation.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+
+namespace dwc {
+namespace {
+
+using ::dwc::testing::I;
+using ::dwc::testing::S;
+using ::dwc::testing::T;
+
+Schema AbSchema() {
+  return Schema({{"a", ValueType::kInt}, {"b", ValueType::kString}});
+}
+
+TEST(RelationTest, InsertEraseContains) {
+  Relation rel(AbSchema());
+  EXPECT_TRUE(rel.empty());
+  EXPECT_TRUE(rel.Insert(T({I(1), S("x")})));
+  EXPECT_FALSE(rel.Insert(T({I(1), S("x")})));  // Set semantics.
+  EXPECT_EQ(rel.size(), 1u);
+  EXPECT_TRUE(rel.Contains(T({I(1), S("x")})));
+  EXPECT_FALSE(rel.Contains(T({I(2), S("x")})));
+  EXPECT_TRUE(rel.Erase(T({I(1), S("x")})));
+  EXPECT_FALSE(rel.Erase(T({I(1), S("x")})));
+  EXPECT_TRUE(rel.empty());
+}
+
+TEST(RelationTest, IndexLookupAndIncrementalMaintenance) {
+  Relation rel(AbSchema());
+  rel.Insert(T({I(1), S("x")}));
+  rel.Insert(T({I(1), S("y")}));
+  rel.Insert(T({I(2), S("x")}));
+
+  const Relation::Index& index = rel.GetIndex({"a"});
+  ASSERT_EQ(index.size(), 2u);
+  EXPECT_EQ(index.at(T({I(1)})).size(), 2u);
+  EXPECT_EQ(index.at(T({I(2)})).size(), 1u);
+
+  // Mutations must keep the existing index correct.
+  rel.Insert(T({I(1), S("z")}));
+  EXPECT_EQ(index.at(T({I(1)})).size(), 3u);
+  rel.Erase(T({I(1), S("x")}));
+  EXPECT_EQ(index.at(T({I(1)})).size(), 2u);
+  rel.Erase(T({I(2), S("x")}));
+  EXPECT_EQ(index.find(T({I(2)})), index.end());
+}
+
+TEST(RelationTest, MultiAttributeIndexKeyOrder) {
+  Relation rel(AbSchema());
+  rel.Insert(T({I(1), S("x")}));
+  const Relation::Index& index = rel.GetIndex({"b", "a"});
+  // Key order follows the requested attribute order.
+  EXPECT_NE(index.find(T({S("x"), I(1)})), index.end());
+  EXPECT_EQ(index.find(T({I(1), S("x")})), index.end());
+}
+
+TEST(RelationTest, CopyDropsIndexesButKeepsContent) {
+  Relation rel(AbSchema());
+  rel.Insert(T({I(1), S("x")}));
+  rel.GetIndex({"a"});
+  Relation copy = rel;
+  EXPECT_TRUE(copy.SameContentAs(rel));
+  // The copy builds its own index lazily and stays correct.
+  const Relation::Index& index = copy.GetIndex({"a"});
+  EXPECT_EQ(index.at(T({I(1)})).size(), 1u);
+}
+
+TEST(RelationTest, SameContentAsIgnoresColumnOrder) {
+  Relation ab(AbSchema());
+  ab.Insert(T({I(1), S("x")}));
+  Relation ba(Schema({{"b", ValueType::kString}, {"a", ValueType::kInt}}));
+  ba.Insert(T({S("x"), I(1)}));
+  EXPECT_TRUE(ab.SameContentAs(ba));
+  ba.Insert(T({S("y"), I(2)}));
+  EXPECT_FALSE(ab.SameContentAs(ba));
+}
+
+TEST(RelationTest, AlignToReordersColumns) {
+  Relation ba(Schema({{"b", ValueType::kString}, {"a", ValueType::kInt}}));
+  ba.Insert(T({S("x"), I(1)}));
+  Result<Relation> aligned = ba.AlignTo(AbSchema());
+  DWC_ASSERT_OK(aligned);
+  EXPECT_TRUE(aligned->Contains(T({I(1), S("x")})));
+
+  Relation other(Schema({{"c", ValueType::kInt}}));
+  EXPECT_FALSE(other.AlignTo(AbSchema()).ok());
+}
+
+TEST(RelationTest, SortedTuplesDeterministic) {
+  Relation rel(AbSchema());
+  rel.Insert(T({I(2), S("b")}));
+  rel.Insert(T({I(1), S("z")}));
+  rel.Insert(T({I(1), S("a")}));
+  std::vector<Tuple> sorted = rel.SortedTuples();
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_EQ(sorted[0], T({I(1), S("a")}));
+  EXPECT_EQ(sorted[1], T({I(1), S("z")}));
+  EXPECT_EQ(sorted[2], T({I(2), S("b")}));
+}
+
+TEST(RelationTest, ClearDropsEverything) {
+  Relation rel(AbSchema());
+  rel.Insert(T({I(1), S("x")}));
+  rel.GetIndex({"a"});
+  rel.Clear();
+  EXPECT_TRUE(rel.empty());
+  EXPECT_TRUE(rel.GetIndex({"a"}).empty());
+}
+
+TEST(TupleTest, ProjectAndHash) {
+  Tuple tuple = T({I(1), S("x"), I(9)});
+  Tuple projected = tuple.Project({2, 0});
+  EXPECT_EQ(projected, T({I(9), I(1)}));
+  EXPECT_EQ(tuple.Hash(), T({I(1), S("x"), I(9)}).Hash());
+  EXPECT_EQ(tuple.ToString(), "<1, 'x', 9>");
+}
+
+TEST(SchemaTest, CreateRejectsDuplicates) {
+  Result<Schema> bad = Schema::Create(
+      {{"a", ValueType::kInt}, {"a", ValueType::kString}});
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, LookupsAndCommonAttrs) {
+  Schema ab = AbSchema();
+  Schema bc({{"b", ValueType::kString}, {"c", ValueType::kInt}});
+  EXPECT_EQ(ab.IndexOf("b"), 1u);
+  EXPECT_FALSE(ab.IndexOf("zz").has_value());
+  EXPECT_TRUE(ab.ContainsAll({"a", "b"}));
+  EXPECT_FALSE(ab.ContainsAll({"a", "c"}));
+  EXPECT_EQ(ab.CommonWith(bc), std::vector<std::string>{"b"});
+  EXPECT_EQ(ab.attr_names(), (AttrSet{"a", "b"}));
+  Result<std::vector<size_t>> idx = ab.IndicesOf({"b", "a"});
+  DWC_ASSERT_OK(idx);
+  EXPECT_EQ(*idx, (std::vector<size_t>{1, 0}));
+  EXPECT_FALSE(ab.IndicesOf({"nope"}).ok());
+}
+
+TEST(SchemaTest, SameAttrsAsIgnoresOrderButNotTypes) {
+  Schema ab = AbSchema();
+  Schema ba({{"b", ValueType::kString}, {"a", ValueType::kInt}});
+  Schema ab_badtype({{"a", ValueType::kString}, {"b", ValueType::kString}});
+  EXPECT_TRUE(ab.SameAttrsAs(ba));
+  EXPECT_FALSE(ab.SameAttrsAs(ab_badtype));
+  EXPECT_FALSE(ab == ba);
+  EXPECT_EQ(ab.ToString(), "(a INT, b STRING)");
+}
+
+}  // namespace
+}  // namespace dwc

@@ -1,0 +1,71 @@
+#ifndef DWC_TESTS_TESTING_PROPERTY_UTIL_H_
+#define DWC_TESTS_TESTING_PROPERTY_UTIL_H_
+
+#include <memory>
+#include <string>
+
+#include "relational/catalog.h"
+
+namespace dwc {
+namespace testing {
+
+// Catalog shapes used by the randomized property suites.
+enum class CatalogShape {
+  kChain,      // R(X,Y) - S(Y,Z) - T(Z,W); no constraints.
+  kKeyed,      // Example 2.3's relations with keys, no INDs.
+  kKeyedInds,  // Example 2.3's relations with keys and both INDs.
+};
+
+inline const char* CatalogShapeName(CatalogShape shape) {
+  switch (shape) {
+    case CatalogShape::kChain:
+      return "Chain";
+    case CatalogShape::kKeyed:
+      return "Keyed";
+    case CatalogShape::kKeyedInds:
+      return "KeyedInds";
+  }
+  return "Unknown";
+}
+
+inline std::shared_ptr<Catalog> MakeCatalog(CatalogShape shape) {
+  auto catalog = std::make_shared<Catalog>();
+  auto add = [&](const std::string& name,
+                 std::initializer_list<Attribute> attrs) {
+    Status status =
+        catalog->AddRelation(name, Schema(std::vector<Attribute>(attrs)));
+    (void)status;
+  };
+  switch (shape) {
+    case CatalogShape::kChain:
+      add("R", {{"X", ValueType::kInt}, {"Y", ValueType::kInt}});
+      add("S", {{"Y", ValueType::kInt}, {"Z", ValueType::kInt}});
+      add("T", {{"Z", ValueType::kInt}, {"W", ValueType::kString}});
+      break;
+    case CatalogShape::kKeyed:
+    case CatalogShape::kKeyedInds:
+      add("R1", {{"A", ValueType::kInt},
+                 {"B", ValueType::kInt},
+                 {"C", ValueType::kInt}});
+      add("R2", {{"A", ValueType::kInt},
+                 {"C", ValueType::kInt},
+                 {"D", ValueType::kString}});
+      add("R3", {{"A", ValueType::kInt}, {"B", ValueType::kInt}});
+      (void)catalog->AddKey("R1", {"A"});
+      (void)catalog->AddKey("R2", {"A"});
+      (void)catalog->AddKey("R3", {"A"});
+      if (shape == CatalogShape::kKeyedInds) {
+        (void)catalog->AddInclusion(
+            InclusionDependency{"R3", {"A", "B"}, "R1", {"A", "B"}});
+        (void)catalog->AddInclusion(
+            InclusionDependency{"R2", {"A", "C"}, "R1", {"A", "C"}});
+      }
+      break;
+  }
+  return catalog;
+}
+
+}  // namespace testing
+}  // namespace dwc
+
+#endif  // DWC_TESTS_TESTING_PROPERTY_UTIL_H_

@@ -1,0 +1,112 @@
+// Figure 1's multi-source architecture: autonomous sources each owning a
+// subset of the base relations, one integrator, zero queries to any source.
+
+#include "warehouse/federation.h"
+
+#include <gtest/gtest.h>
+
+#include "core/warehouse_spec.h"
+#include "testing/test_util.h"
+#include "warehouse/warehouse.h"
+
+namespace dwc {
+namespace {
+
+using ::dwc::testing::Figure1Script;
+using ::dwc::testing::I;
+using ::dwc::testing::MustRun;
+using ::dwc::testing::S;
+using ::dwc::testing::T;
+
+class FederationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    context_ = MustRun(Figure1Script(/*with_constraints=*/true));
+    DWC_ASSERT_OK(
+        federation_.AddSource("SalesDB", context_.db, {"Sale"}));
+    DWC_ASSERT_OK(
+        federation_.AddSource("CompanyDB", context_.db, {"Emp"}));
+  }
+
+  ScriptContext context_;
+  Federation federation_;
+};
+
+TEST_F(FederationTest, OwnershipIsExclusive) {
+  EXPECT_EQ(federation_.AddSource("Dup", context_.db, {"Sale"}).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(
+      federation_.AddSource("SalesDB", context_.db, {"Sale"}).code(),
+      StatusCode::kAlreadyExists);
+  EXPECT_EQ(federation_.AddSource("Ghost", context_.db, {"Nope"}).code(),
+            StatusCode::kNotFound);
+  EXPECT_NE(federation_.FindOwner("Sale"), nullptr);
+  EXPECT_EQ(federation_.FindOwner("Sale"),
+            federation_.FindMutableSource("SalesDB"));
+  EXPECT_EQ(federation_.FindOwner("Unowned"), nullptr);
+  EXPECT_EQ(federation_.FindSource("Nope"), nullptr);
+}
+
+TEST_F(FederationTest, RoutesUpdatesAndMaintainsWarehouse) {
+  auto spec = std::make_shared<WarehouseSpec>(
+      *SpecifyWarehouse(context_.catalog, context_.views));
+  Result<Database> combined = federation_.CombinedState();
+  DWC_ASSERT_OK(combined);
+  Result<Warehouse> warehouse = Warehouse::Load(spec, *combined);
+  DWC_ASSERT_OK(warehouse);
+
+  // The paper's insertion arrives from the Sales database; an unrelated
+  // hire arrives from the Company database.
+  UpdateOp sale{"Sale", {T({S("Computer"), S("Paula")})}, {}};
+  Result<CanonicalDelta> d1 = federation_.Apply(sale);
+  DWC_ASSERT_OK(d1);
+  DWC_ASSERT_OK(warehouse->Integrate(*d1));
+
+  UpdateOp hire{"Emp", {T({S("Nina"), I(28)})}, {}};
+  Result<CanonicalDelta> d2 = federation_.Apply(hire);
+  DWC_ASSERT_OK(d2);
+  DWC_ASSERT_OK(warehouse->Integrate(*d2));
+
+  Result<Database> after = federation_.CombinedState();
+  DWC_ASSERT_OK(after);
+  DWC_ASSERT_OK(CheckConsistency(*warehouse, *after));
+  EXPECT_EQ(federation_.TotalQueryCount(), 0u);
+}
+
+TEST_F(FederationTest, CrossSourceTransaction) {
+  auto spec = std::make_shared<WarehouseSpec>(
+      *SpecifyWarehouse(context_.catalog, context_.views));
+  Result<Database> combined = federation_.CombinedState();
+  DWC_ASSERT_OK(combined);
+  Result<Warehouse> warehouse = Warehouse::Load(spec, *combined);
+  DWC_ASSERT_OK(warehouse);
+
+  // Hire Zoe at the Company database and record her sale at the Sales
+  // database as one logical transaction spanning both sources.
+  std::vector<UpdateOp> ops = {
+      {"Emp", {T({S("Zoe"), I(33)})}, {}},
+      {"Sale", {T({S("Laptop"), S("Zoe")})}, {}},
+  };
+  Result<std::vector<CanonicalDelta>> deltas =
+      federation_.ApplyTransaction(ops);
+  DWC_ASSERT_OK(deltas);
+  ASSERT_EQ(deltas->size(), 2u);
+  DWC_ASSERT_OK(warehouse->IntegrateTransaction(*deltas));
+
+  Result<Database> after = federation_.CombinedState();
+  DWC_ASSERT_OK(after);
+  DWC_ASSERT_OK(CheckConsistency(*warehouse, *after));
+  EXPECT_TRUE(warehouse->FindRelation("Sold")->Contains(
+      T({S("Laptop"), S("Zoe"), I(33)})));
+  EXPECT_EQ(federation_.TotalQueryCount(), 0u);
+}
+
+TEST_F(FederationTest, UnownedRelationRejected) {
+  UpdateOp op{"Unowned", {}, {}};
+  EXPECT_EQ(federation_.Apply(op).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(federation_.ApplyTransaction({op}).status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace dwc

@@ -1,0 +1,150 @@
+#include "warehouse/warehouse.h"
+
+#include <gtest/gtest.h>
+
+#include "core/warehouse_spec.h"
+#include "parser/parser.h"
+#include "testing/test_util.h"
+
+namespace dwc {
+namespace {
+
+using ::dwc::testing::Figure1Script;
+using ::dwc::testing::I;
+using ::dwc::testing::MustRun;
+using ::dwc::testing::S;
+using ::dwc::testing::T;
+
+class WarehouseTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    context_ = MustRun(Figure1Script(/*with_constraints=*/true));
+    Result<WarehouseSpec> spec =
+        SpecifyWarehouse(context_.catalog, context_.views);
+    DWC_ASSERT_OK(spec);
+    spec_ = std::make_shared<WarehouseSpec>(std::move(spec).value());
+  }
+
+  ScriptContext context_;
+  std::shared_ptr<WarehouseSpec> spec_;
+};
+
+TEST_F(WarehouseTest, LoadMaterializesViewsAndComplements) {
+  Result<Warehouse> warehouse = Warehouse::Load(spec_, context_.db);
+  DWC_ASSERT_OK(warehouse);
+  EXPECT_NE(warehouse->FindRelation("Sold"), nullptr);
+  EXPECT_NE(warehouse->FindRelation("C_Emp"), nullptr);
+  EXPECT_EQ(warehouse->FindRelation("Sold")->size(), 3u);
+  EXPECT_EQ(warehouse->FindRelation("Nope"), nullptr);
+}
+
+TEST_F(WarehouseTest, NullSpecRejected) {
+  Result<Warehouse> warehouse = Warehouse::Load(nullptr, context_.db);
+  EXPECT_EQ(warehouse.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(WarehouseTest, QuerySourceStrategyNeedsSource) {
+  Result<Warehouse> warehouse = Warehouse::Load(
+      spec_, context_.db, MaintenanceStrategy::kQuerySource);
+  DWC_ASSERT_OK(warehouse);
+  CanonicalDelta delta;
+  delta.relation = "Sale";
+  Status status = warehouse->Integrate(delta, /*source=*/nullptr);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(WarehouseTest, AllStrategiesConverge) {
+  Source s1(context_.db), s2(context_.db), s3(context_.db);
+  Result<Warehouse> w1 =
+      Warehouse::Load(spec_, s1.db(), MaintenanceStrategy::kIncremental);
+  Result<Warehouse> w2 = Warehouse::Load(
+      spec_, s2.db(), MaintenanceStrategy::kRecomputeFromInverse);
+  Result<Warehouse> w3 =
+      Warehouse::Load(spec_, s3.db(), MaintenanceStrategy::kQuerySource);
+  DWC_ASSERT_OK(w1);
+  DWC_ASSERT_OK(w2);
+  DWC_ASSERT_OK(w3);
+
+  UpdateOp op{"Emp",
+              {T({S("Nina"), I(27)})},
+              {T({S("Paula"), I(32)})}};
+  std::vector<std::pair<Source*, Warehouse*>> pairs = {
+      {&s1, &*w1}, {&s2, &*w2}, {&s3, &*w3}};
+  for (auto& [source, warehouse] : pairs) {
+    Result<CanonicalDelta> delta = source->Apply(op);
+    DWC_ASSERT_OK(delta);
+    DWC_ASSERT_OK(warehouse->Integrate(*delta, source));
+    DWC_ASSERT_OK(CheckConsistency(*warehouse, source->db()));
+  }
+  EXPECT_TRUE(w1->state().SameStateAs(w2->state()));
+  EXPECT_TRUE(w1->state().SameStateAs(w3->state()));
+  // Only the query-source baseline touched its source.
+  EXPECT_EQ(s1.query_count(), 0u);
+  EXPECT_EQ(s2.query_count(), 0u);
+  EXPECT_GT(s3.query_count(), 0u);
+}
+
+TEST_F(WarehouseTest, StrategyNames) {
+  EXPECT_STREQ(MaintenanceStrategyName(MaintenanceStrategy::kIncremental),
+               "incremental");
+  EXPECT_STREQ(
+      MaintenanceStrategyName(MaintenanceStrategy::kRecomputeFromInverse),
+      "recompute-from-inverse");
+  EXPECT_STREQ(MaintenanceStrategyName(MaintenanceStrategy::kQuerySource),
+               "query-source");
+}
+
+TEST_F(WarehouseTest, NoOpDeltaKeepsStateIdentical) {
+  Source source(context_.db);
+  Result<Warehouse> warehouse = Warehouse::Load(spec_, source.db());
+  DWC_ASSERT_OK(warehouse);
+  Database before = warehouse->state();
+
+  // Delete a nonexistent tuple and reinsert an existing one: canonical
+  // delta is empty on both sides.
+  UpdateOp op{"Sale",
+              {T({S("TV set"), S("Mary")})},
+              {T({S("Ghost"), S("Nobody")})}};
+  Result<CanonicalDelta> delta = source.Apply(op);
+  DWC_ASSERT_OK(delta);
+  EXPECT_TRUE(delta->empty());
+  DWC_ASSERT_OK(warehouse->Integrate(*delta));
+  EXPECT_TRUE(warehouse->state().SameStateAs(before));
+}
+
+TEST_F(WarehouseTest, SourceApplyValidatesShape) {
+  Source source(context_.db);
+  UpdateOp bad_rel{"Nope", {T({I(1)})}, {}};
+  EXPECT_EQ(source.Apply(bad_rel).status().code(), StatusCode::kNotFound);
+  UpdateOp bad_arity{"Sale", {T({S("only-one")})}, {}};
+  EXPECT_EQ(source.Apply(bad_arity).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(WarehouseTest, SpecToStringMentionsAllParts) {
+  std::string text = spec_->ToString();
+  EXPECT_NE(text.find("Sold"), std::string::npos);
+  EXPECT_NE(text.find("C_Emp"), std::string::npos);
+  EXPECT_NE(text.find("inverses"), std::string::npos);
+}
+
+TEST_F(WarehouseTest, ComplementNameCollisionRejected) {
+  // A warehouse view named like a complement would collide.
+  ScriptContext context = MustRun(
+      "CREATE TABLE R(a INT);\n"
+      "VIEW C_R AS R;\n"
+      "VIEW V AS R;\n");
+  Result<WarehouseSpec> spec =
+      SpecifyWarehouse(context.catalog, context.views);
+  // Either the complement name collides or the spec flags the duplicate.
+  if (spec.ok()) {
+    // C_R is a full copy, so R's complement is provably empty and no
+    // collision materializes — that is acceptable too.
+    EXPECT_TRUE(spec->complements().empty());
+  } else {
+    EXPECT_EQ(spec.status().code(), StatusCode::kAlreadyExists);
+  }
+}
+
+}  // namespace
+}  // namespace dwc

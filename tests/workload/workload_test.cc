@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "algebra/evaluator.h"
+#include "core/psj.h"
+#include "testing/property_util.h"
+#include "testing/test_util.h"
+#include "util/rng.h"
+#include "warehouse/source.h"
+#include "workload/random_db.h"
+#include "workload/random_views.h"
+#include "workload/star_schema.h"
+#include "workload/update_stream.h"
+
+namespace dwc {
+namespace {
+
+using ::dwc::testing::CatalogShape;
+using ::dwc::testing::MakeCatalog;
+
+TEST(RandomDbTest, RespectsConstraints) {
+  Rng rng(1);
+  std::shared_ptr<Catalog> catalog = MakeCatalog(CatalogShape::kKeyedInds);
+  for (int i = 0; i < 10; ++i) {
+    Result<Database> db = GenerateRandomDatabase(catalog, &rng);
+    DWC_ASSERT_OK(db);
+    DWC_ASSERT_OK(db->ValidateConstraints());
+    for (const std::string& name : catalog->RelationNames()) {
+      EXPECT_FALSE(db->FindRelation(name)->empty()) << name;
+    }
+  }
+}
+
+TEST(RandomDbTest, DeterministicForSeed) {
+  std::shared_ptr<Catalog> catalog = MakeCatalog(CatalogShape::kChain);
+  Rng a(9), b(9);
+  Result<Database> da = GenerateRandomDatabase(catalog, &a);
+  Result<Database> db = GenerateRandomDatabase(catalog, &b);
+  DWC_ASSERT_OK(da);
+  DWC_ASSERT_OK(db);
+  EXPECT_TRUE(da->SameStateAs(*db));
+}
+
+TEST(RandomDbTest, InsertableTupleIsKeyUniqueAndIndSafe) {
+  Rng rng(3);
+  std::shared_ptr<Catalog> catalog = MakeCatalog(CatalogShape::kKeyedInds);
+  Result<Database> db = GenerateRandomDatabase(catalog, &rng);
+  DWC_ASSERT_OK(db);
+  // R2's key A is sampled from R1's (A, C) pairs, so at most |R1| distinct
+  // keys exist; NotFound on exhaustion is the documented behaviour.
+  int inserted = 0;
+  for (int i = 0; i < 20; ++i) {
+    Result<Tuple> tuple = GenerateInsertableTuple(*db, "R2", &rng);
+    if (!tuple.ok()) {
+      EXPECT_EQ(tuple.status().code(), StatusCode::kNotFound);
+      break;
+    }
+    db->FindMutableRelation("R2")->Insert(*tuple);
+    DWC_ASSERT_OK(db->ValidateConstraints());
+    ++inserted;
+  }
+  EXPECT_GT(inserted, 0);
+}
+
+TEST(RandomViewsTest, AllViewsArePsj) {
+  Rng rng(4);
+  for (CatalogShape shape : {CatalogShape::kChain, CatalogShape::kKeyedInds}) {
+    std::shared_ptr<Catalog> catalog = MakeCatalog(shape);
+    for (int i = 0; i < 20; ++i) {
+      Result<std::vector<ViewDef>> views =
+          GenerateRandomPsjViews(*catalog, &rng);
+      DWC_ASSERT_OK(views);
+      EXPECT_FALSE(views->empty());
+      Result<std::vector<PsjView>> analyzed =
+          AnalyzeAllPsj(*views, *catalog);
+      DWC_ASSERT_OK(analyzed);
+    }
+  }
+}
+
+TEST(RandomViewsTest, SjOnlyWhenProjectionDisabled) {
+  Rng rng(5);
+  std::shared_ptr<Catalog> catalog = MakeCatalog(CatalogShape::kChain);
+  RandomViewOptions options;
+  options.project_probability = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    Result<std::vector<ViewDef>> views =
+        GenerateRandomPsjViews(*catalog, &rng, options);
+    DWC_ASSERT_OK(views);
+    Result<std::vector<PsjView>> analyzed = AnalyzeAllPsj(*views, *catalog);
+    DWC_ASSERT_OK(analyzed);
+    for (const PsjView& view : *analyzed) {
+      EXPECT_TRUE(view.is_sj) << view.expr->ToString();
+    }
+  }
+}
+
+TEST(RandomQueryTest, QueriesEvaluate) {
+  Rng rng(6);
+  std::shared_ptr<Catalog> catalog = MakeCatalog(CatalogShape::kChain);
+  Result<Database> db = GenerateRandomDatabase(catalog, &rng);
+  DWC_ASSERT_OK(db);
+  dwc::Environment env = dwc::Environment::FromDatabase(*db);
+  for (int i = 0; i < 50; ++i) {
+    Result<ExprRef> query = GenerateRandomQuery(*catalog, &rng);
+    DWC_ASSERT_OK(query);
+    Result<Relation> result = EvalExpr(**query, env);
+    DWC_ASSERT_OK(result);
+  }
+}
+
+TEST(UpdateStreamTest, UpdatesPreserveConstraints) {
+  Rng rng(8);
+  std::shared_ptr<Catalog> catalog = MakeCatalog(CatalogShape::kKeyedInds);
+  Result<Database> db = GenerateRandomDatabase(catalog, &rng);
+  DWC_ASSERT_OK(db);
+  Source source(*db);
+  std::vector<std::string> relations = catalog->RelationNames();
+  for (int i = 0; i < 50; ++i) {
+    const std::string& relation = relations[rng.Below(relations.size())];
+    Result<UpdateOp> op = GenerateRandomUpdate(source.db(), relation, &rng);
+    DWC_ASSERT_OK(op);
+    Result<CanonicalDelta> delta = source.Apply(*op);
+    DWC_ASSERT_OK(delta);
+    DWC_ASSERT_OK(source.db().ValidateConstraints());
+  }
+}
+
+TEST(UpdateStreamTest, InsertBatchCountAndFreshness) {
+  Rng rng(10);
+  std::shared_ptr<Catalog> catalog = MakeCatalog(CatalogShape::kChain);
+  Result<Database> db = GenerateRandomDatabase(catalog, &rng);
+  DWC_ASSERT_OK(db);
+  RandomDbOptions options;
+  options.int_domain = 100000;  // Plenty of headroom.
+  Result<UpdateOp> op = GenerateInsertBatch(*db, "R", 50, &rng, options);
+  DWC_ASSERT_OK(op);
+  EXPECT_EQ(op->inserts.size(), 50u);
+  // All inserts distinct.
+  Relation set(db->FindRelation("R")->schema());
+  for (const Tuple& tuple : op->inserts) {
+    EXPECT_TRUE(set.Insert(tuple));
+  }
+}
+
+TEST(StarSchemaTest, BuildsValidSchema) {
+  StarSchemaConfig config;
+  config.customers = 5;
+  config.suppliers = 3;
+  config.parts = 6;
+  config.locations = 2;
+  config.orders = 10;
+  config.sales = 20;
+  Result<StarSchema> star = BuildStarSchema(config);
+  DWC_ASSERT_OK(star);
+  EXPECT_EQ(star->db.FindRelation("Sales")->size(), 20u);
+  EXPECT_EQ(star->views.size(), 6u);
+  DWC_ASSERT_OK(star->db.ValidateConstraints());
+  Result<std::vector<PsjView>> analyzed =
+      AnalyzeAllPsj(star->views, *star->catalog);
+  DWC_ASSERT_OK(analyzed);
+}
+
+TEST(StarSchemaTest, SalesBatchReferencesExistingDimensions) {
+  Result<StarSchema> star = BuildStarSchema({});
+  DWC_ASSERT_OK(star);
+  Rng rng(11);
+  Result<UpdateOp> op = GenerateSalesBatch(star->db, 25, &rng);
+  DWC_ASSERT_OK(op);
+  EXPECT_EQ(op->inserts.size(), 25u);
+  Source source(star->db);
+  Result<CanonicalDelta> delta = source.Apply(*op);
+  DWC_ASSERT_OK(delta);
+  EXPECT_EQ(delta->inserts.size(), 25u);
+  DWC_ASSERT_OK(source.db().ValidateConstraints());
+}
+
+}  // namespace
+}  // namespace dwc
