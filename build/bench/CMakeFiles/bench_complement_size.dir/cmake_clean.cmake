@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_complement_size.dir/bench_complement_size.cc.o"
+  "CMakeFiles/bench_complement_size.dir/bench_complement_size.cc.o.d"
+  "bench_complement_size"
+  "bench_complement_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_complement_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/independent_warehouse_repl.dir/independent_warehouse_repl.cc.o"
+  "CMakeFiles/independent_warehouse_repl.dir/independent_warehouse_repl.cc.o.d"
+  "independent_warehouse_repl"
+  "independent_warehouse_repl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/independent_warehouse_repl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_findings.dir/paper_findings.cc.o"
+  "CMakeFiles/paper_findings.dir/paper_findings.cc.o.d"
+  "paper_findings"
+  "paper_findings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_findings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_rewriter.dir/query_rewriter.cc.o"
+  "CMakeFiles/query_rewriter.dir/query_rewriter.cc.o.d"
+  "query_rewriter"
+  "query_rewriter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_rewriter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

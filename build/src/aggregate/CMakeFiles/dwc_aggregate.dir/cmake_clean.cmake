@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwc_aggregate.dir/aggregate_view.cc.o"
+  "CMakeFiles/dwc_aggregate.dir/aggregate_view.cc.o.d"
+  "libdwc_aggregate.a"
+  "libdwc_aggregate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwc_aggregate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algebra/evaluator.cc" "src/algebra/CMakeFiles/dwc_algebra.dir/evaluator.cc.o" "gcc" "src/algebra/CMakeFiles/dwc_algebra.dir/evaluator.cc.o.d"
+  "/root/repo/src/algebra/expr.cc" "src/algebra/CMakeFiles/dwc_algebra.dir/expr.cc.o" "gcc" "src/algebra/CMakeFiles/dwc_algebra.dir/expr.cc.o.d"
+  "/root/repo/src/algebra/implication.cc" "src/algebra/CMakeFiles/dwc_algebra.dir/implication.cc.o" "gcc" "src/algebra/CMakeFiles/dwc_algebra.dir/implication.cc.o.d"
+  "/root/repo/src/algebra/optimizer.cc" "src/algebra/CMakeFiles/dwc_algebra.dir/optimizer.cc.o" "gcc" "src/algebra/CMakeFiles/dwc_algebra.dir/optimizer.cc.o.d"
+  "/root/repo/src/algebra/predicate.cc" "src/algebra/CMakeFiles/dwc_algebra.dir/predicate.cc.o" "gcc" "src/algebra/CMakeFiles/dwc_algebra.dir/predicate.cc.o.d"
+  "/root/repo/src/algebra/rewriter.cc" "src/algebra/CMakeFiles/dwc_algebra.dir/rewriter.cc.o" "gcc" "src/algebra/CMakeFiles/dwc_algebra.dir/rewriter.cc.o.d"
+  "/root/repo/src/algebra/schema_inference.cc" "src/algebra/CMakeFiles/dwc_algebra.dir/schema_inference.cc.o" "gcc" "src/algebra/CMakeFiles/dwc_algebra.dir/schema_inference.cc.o.d"
+  "/root/repo/src/algebra/simplifier.cc" "src/algebra/CMakeFiles/dwc_algebra.dir/simplifier.cc.o" "gcc" "src/algebra/CMakeFiles/dwc_algebra.dir/simplifier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/relational/CMakeFiles/dwc_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dwc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwc_algebra.dir/evaluator.cc.o"
+  "CMakeFiles/dwc_algebra.dir/evaluator.cc.o.d"
+  "CMakeFiles/dwc_algebra.dir/expr.cc.o"
+  "CMakeFiles/dwc_algebra.dir/expr.cc.o.d"
+  "CMakeFiles/dwc_algebra.dir/implication.cc.o"
+  "CMakeFiles/dwc_algebra.dir/implication.cc.o.d"
+  "CMakeFiles/dwc_algebra.dir/optimizer.cc.o"
+  "CMakeFiles/dwc_algebra.dir/optimizer.cc.o.d"
+  "CMakeFiles/dwc_algebra.dir/predicate.cc.o"
+  "CMakeFiles/dwc_algebra.dir/predicate.cc.o.d"
+  "CMakeFiles/dwc_algebra.dir/rewriter.cc.o"
+  "CMakeFiles/dwc_algebra.dir/rewriter.cc.o.d"
+  "CMakeFiles/dwc_algebra.dir/schema_inference.cc.o"
+  "CMakeFiles/dwc_algebra.dir/schema_inference.cc.o.d"
+  "CMakeFiles/dwc_algebra.dir/simplifier.cc.o"
+  "CMakeFiles/dwc_algebra.dir/simplifier.cc.o.d"
+  "libdwc_algebra.a"
+  "libdwc_algebra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwc_algebra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

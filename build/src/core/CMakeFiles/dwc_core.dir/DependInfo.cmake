@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/complement.cc" "src/core/CMakeFiles/dwc_core.dir/complement.cc.o" "gcc" "src/core/CMakeFiles/dwc_core.dir/complement.cc.o.d"
+  "/root/repo/src/core/covers.cc" "src/core/CMakeFiles/dwc_core.dir/covers.cc.o" "gcc" "src/core/CMakeFiles/dwc_core.dir/covers.cc.o.d"
+  "/root/repo/src/core/independence.cc" "src/core/CMakeFiles/dwc_core.dir/independence.cc.o" "gcc" "src/core/CMakeFiles/dwc_core.dir/independence.cc.o.d"
+  "/root/repo/src/core/minimizer.cc" "src/core/CMakeFiles/dwc_core.dir/minimizer.cc.o" "gcc" "src/core/CMakeFiles/dwc_core.dir/minimizer.cc.o.d"
+  "/root/repo/src/core/ordering.cc" "src/core/CMakeFiles/dwc_core.dir/ordering.cc.o" "gcc" "src/core/CMakeFiles/dwc_core.dir/ordering.cc.o.d"
+  "/root/repo/src/core/psj.cc" "src/core/CMakeFiles/dwc_core.dir/psj.cc.o" "gcc" "src/core/CMakeFiles/dwc_core.dir/psj.cc.o.d"
+  "/root/repo/src/core/query_translation.cc" "src/core/CMakeFiles/dwc_core.dir/query_translation.cc.o" "gcc" "src/core/CMakeFiles/dwc_core.dir/query_translation.cc.o.d"
+  "/root/repo/src/core/warehouse_spec.cc" "src/core/CMakeFiles/dwc_core.dir/warehouse_spec.cc.o" "gcc" "src/core/CMakeFiles/dwc_core.dir/warehouse_spec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/algebra/CMakeFiles/dwc_algebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/dwc_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dwc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwc_core.dir/complement.cc.o"
+  "CMakeFiles/dwc_core.dir/complement.cc.o.d"
+  "CMakeFiles/dwc_core.dir/covers.cc.o"
+  "CMakeFiles/dwc_core.dir/covers.cc.o.d"
+  "CMakeFiles/dwc_core.dir/independence.cc.o"
+  "CMakeFiles/dwc_core.dir/independence.cc.o.d"
+  "CMakeFiles/dwc_core.dir/minimizer.cc.o"
+  "CMakeFiles/dwc_core.dir/minimizer.cc.o.d"
+  "CMakeFiles/dwc_core.dir/ordering.cc.o"
+  "CMakeFiles/dwc_core.dir/ordering.cc.o.d"
+  "CMakeFiles/dwc_core.dir/psj.cc.o"
+  "CMakeFiles/dwc_core.dir/psj.cc.o.d"
+  "CMakeFiles/dwc_core.dir/query_translation.cc.o"
+  "CMakeFiles/dwc_core.dir/query_translation.cc.o.d"
+  "CMakeFiles/dwc_core.dir/warehouse_spec.cc.o"
+  "CMakeFiles/dwc_core.dir/warehouse_spec.cc.o.d"
+  "libdwc_core.a"
+  "libdwc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

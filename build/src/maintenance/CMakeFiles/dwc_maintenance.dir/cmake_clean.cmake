@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwc_maintenance.dir/delta.cc.o"
+  "CMakeFiles/dwc_maintenance.dir/delta.cc.o.d"
+  "CMakeFiles/dwc_maintenance.dir/plan.cc.o"
+  "CMakeFiles/dwc_maintenance.dir/plan.cc.o.d"
+  "libdwc_maintenance.a"
+  "libdwc_maintenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwc_maintenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/parser/interpreter.cc" "src/parser/CMakeFiles/dwc_parser.dir/interpreter.cc.o" "gcc" "src/parser/CMakeFiles/dwc_parser.dir/interpreter.cc.o.d"
+  "/root/repo/src/parser/lexer.cc" "src/parser/CMakeFiles/dwc_parser.dir/lexer.cc.o" "gcc" "src/parser/CMakeFiles/dwc_parser.dir/lexer.cc.o.d"
+  "/root/repo/src/parser/parser.cc" "src/parser/CMakeFiles/dwc_parser.dir/parser.cc.o" "gcc" "src/parser/CMakeFiles/dwc_parser.dir/parser.cc.o.d"
+  "/root/repo/src/parser/script_io.cc" "src/parser/CMakeFiles/dwc_parser.dir/script_io.cc.o" "gcc" "src/parser/CMakeFiles/dwc_parser.dir/script_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/aggregate/CMakeFiles/dwc_aggregate.dir/DependInfo.cmake"
+  "/root/repo/build/src/algebra/CMakeFiles/dwc_algebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/dwc_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dwc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwc_parser.dir/interpreter.cc.o"
+  "CMakeFiles/dwc_parser.dir/interpreter.cc.o.d"
+  "CMakeFiles/dwc_parser.dir/lexer.cc.o"
+  "CMakeFiles/dwc_parser.dir/lexer.cc.o.d"
+  "CMakeFiles/dwc_parser.dir/parser.cc.o"
+  "CMakeFiles/dwc_parser.dir/parser.cc.o.d"
+  "CMakeFiles/dwc_parser.dir/script_io.cc.o"
+  "CMakeFiles/dwc_parser.dir/script_io.cc.o.d"
+  "libdwc_parser.a"
+  "libdwc_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwc_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdwc_parser.a"
+)

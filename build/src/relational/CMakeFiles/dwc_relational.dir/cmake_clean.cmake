@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwc_relational.dir/catalog.cc.o"
+  "CMakeFiles/dwc_relational.dir/catalog.cc.o.d"
+  "CMakeFiles/dwc_relational.dir/constraints.cc.o"
+  "CMakeFiles/dwc_relational.dir/constraints.cc.o.d"
+  "CMakeFiles/dwc_relational.dir/database.cc.o"
+  "CMakeFiles/dwc_relational.dir/database.cc.o.d"
+  "CMakeFiles/dwc_relational.dir/relation.cc.o"
+  "CMakeFiles/dwc_relational.dir/relation.cc.o.d"
+  "CMakeFiles/dwc_relational.dir/schema.cc.o"
+  "CMakeFiles/dwc_relational.dir/schema.cc.o.d"
+  "CMakeFiles/dwc_relational.dir/tuple.cc.o"
+  "CMakeFiles/dwc_relational.dir/tuple.cc.o.d"
+  "CMakeFiles/dwc_relational.dir/value.cc.o"
+  "CMakeFiles/dwc_relational.dir/value.cc.o.d"
+  "libdwc_relational.a"
+  "libdwc_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwc_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwc_util.dir/status.cc.o"
+  "CMakeFiles/dwc_util.dir/status.cc.o.d"
+  "CMakeFiles/dwc_util.dir/string_util.cc.o"
+  "CMakeFiles/dwc_util.dir/string_util.cc.o.d"
+  "libdwc_util.a"
+  "libdwc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

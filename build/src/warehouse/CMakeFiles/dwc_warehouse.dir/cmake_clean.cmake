@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwc_warehouse.dir/federation.cc.o"
+  "CMakeFiles/dwc_warehouse.dir/federation.cc.o.d"
+  "CMakeFiles/dwc_warehouse.dir/persistence.cc.o"
+  "CMakeFiles/dwc_warehouse.dir/persistence.cc.o.d"
+  "CMakeFiles/dwc_warehouse.dir/source.cc.o"
+  "CMakeFiles/dwc_warehouse.dir/source.cc.o.d"
+  "CMakeFiles/dwc_warehouse.dir/warehouse.cc.o"
+  "CMakeFiles/dwc_warehouse.dir/warehouse.cc.o.d"
+  "libdwc_warehouse.a"
+  "libdwc_warehouse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwc_warehouse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

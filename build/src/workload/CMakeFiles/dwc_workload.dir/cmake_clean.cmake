@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwc_workload.dir/random_db.cc.o"
+  "CMakeFiles/dwc_workload.dir/random_db.cc.o.d"
+  "CMakeFiles/dwc_workload.dir/random_views.cc.o"
+  "CMakeFiles/dwc_workload.dir/random_views.cc.o.d"
+  "CMakeFiles/dwc_workload.dir/star_schema.cc.o"
+  "CMakeFiles/dwc_workload.dir/star_schema.cc.o.d"
+  "CMakeFiles/dwc_workload.dir/update_stream.cc.o"
+  "CMakeFiles/dwc_workload.dir/update_stream.cc.o.d"
+  "libdwc_workload.a"
+  "libdwc_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwc_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bijection_property_test.dir/property/bijection_property_test.cc.o"
+  "CMakeFiles/bijection_property_test.dir/property/bijection_property_test.cc.o.d"
+  "bijection_property_test"
+  "bijection_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bijection_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/covers_test.dir/core/covers_test.cc.o"
+  "CMakeFiles/covers_test.dir/core/covers_test.cc.o.d"
+  "covers_test"
+  "covers_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/covers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example41_test.dir/maintenance/example41_test.cc.o"
+  "CMakeFiles/example41_test.dir/maintenance/example41_test.cc.o.d"
+  "example41_test"
+  "example41_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example41_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/independence_test.cc" "tests/CMakeFiles/independence_test.dir/core/independence_test.cc.o" "gcc" "tests/CMakeFiles/independence_test.dir/core/independence_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/dwc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/warehouse/CMakeFiles/dwc_warehouse.dir/DependInfo.cmake"
+  "/root/repo/build/src/aggregate/CMakeFiles/dwc_aggregate.dir/DependInfo.cmake"
+  "/root/repo/build/src/maintenance/CMakeFiles/dwc_maintenance.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dwc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/dwc_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/algebra/CMakeFiles/dwc_algebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/dwc_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dwc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minimizer_test.dir/core/minimizer_test.cc.o"
+  "CMakeFiles/minimizer_test.dir/core/minimizer_test.cc.o.d"
+  "minimizer_test"
+  "minimizer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minimizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psj_test.dir/core/psj_test.cc.o"
+  "CMakeFiles/psj_test.dir/core/psj_test.cc.o.d"
+  "psj_test"
+  "psj_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psj_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

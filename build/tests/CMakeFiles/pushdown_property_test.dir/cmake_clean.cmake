@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pushdown_property_test.dir/algebra/pushdown_property_test.cc.o"
+  "CMakeFiles/pushdown_property_test.dir/algebra/pushdown_property_test.cc.o.d"
+  "pushdown_property_test"
+  "pushdown_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pushdown_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_translation_test.dir/core/query_translation_test.cc.o"
+  "CMakeFiles/query_translation_test.dir/core/query_translation_test.cc.o.d"
+  "query_translation_test"
+  "query_translation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_translation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

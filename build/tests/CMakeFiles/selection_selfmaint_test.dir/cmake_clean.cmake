@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selection_selfmaint_test.dir/maintenance/selection_selfmaint_test.cc.o"
+  "CMakeFiles/selection_selfmaint_test.dir/maintenance/selection_selfmaint_test.cc.o.d"
+  "selection_selfmaint_test"
+  "selection_selfmaint_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selection_selfmaint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

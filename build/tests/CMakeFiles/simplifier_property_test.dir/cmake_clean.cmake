@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simplifier_property_test.dir/algebra/simplifier_property_test.cc.o"
+  "CMakeFiles/simplifier_property_test.dir/algebra/simplifier_property_test.cc.o.d"
+  "simplifier_property_test"
+  "simplifier_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simplifier_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

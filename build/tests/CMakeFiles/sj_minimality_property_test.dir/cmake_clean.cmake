@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sj_minimality_property_test.dir/property/sj_minimality_property_test.cc.o"
+  "CMakeFiles/sj_minimality_property_test.dir/property/sj_minimality_property_test.cc.o.d"
+  "sj_minimality_property_test"
+  "sj_minimality_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sj_minimality_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

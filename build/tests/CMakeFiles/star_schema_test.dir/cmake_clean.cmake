@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/star_schema_test.dir/integration/star_schema_test.cc.o"
+  "CMakeFiles/star_schema_test.dir/integration/star_schema_test.cc.o.d"
+  "star_schema_test"
+  "star_schema_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/star_schema_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

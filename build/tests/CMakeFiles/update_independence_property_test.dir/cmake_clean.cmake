@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/update_independence_property_test.dir/property/update_independence_property_test.cc.o"
+  "CMakeFiles/update_independence_property_test.dir/property/update_independence_property_test.cc.o.d"
+  "update_independence_property_test"
+  "update_independence_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/update_independence_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warehouse_spec_test.dir/core/warehouse_spec_test.cc.o"
+  "CMakeFiles/warehouse_spec_test.dir/core/warehouse_spec_test.cc.o.d"
+  "warehouse_spec_test"
+  "warehouse_spec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warehouse_spec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
