@@ -1,0 +1,52 @@
+#ifndef DWC_LINT_LINTER_H_
+#define DWC_LINT_LINTER_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "algebra/view.h"
+#include "core/complement.h"
+#include "core/warehouse_spec.h"
+#include "lint/diagnostic.h"
+#include "parser/parser.h"
+#include "relational/catalog.h"
+#include "util/result.h"
+
+namespace dwc {
+
+// The outcome of one analyzer run: every finding from every pass, sorted
+// by source position.
+struct LintReport {
+  std::vector<Diagnostic> diagnostics;
+  size_t errors = 0;
+  size_t warnings = 0;
+  size_t notes = 0;
+
+  bool has_errors() const { return errors > 0; }
+};
+
+// Parses `source` and runs all passes. A parse failure is itself a
+// diagnostic (DWC-E001) rather than an error return: lint always yields a
+// report.
+LintReport LintScript(std::string_view source);
+
+// Runs all passes over an already-parsed script.
+LintReport LintProgram(const ParsedProgram& program);
+
+// Runs all passes over an in-memory specification (no source positions).
+LintReport LintWarehouseViews(std::shared_ptr<const Catalog> catalog,
+                              const std::vector<ViewDef>& views);
+
+// SpecifyWarehouse with the analyzer wired in front: runs all passes and
+// fails with the collected error diagnostics before any complement is
+// computed. Non-error findings are appended to `*report` when non-null
+// (errors too, for callers that want to render them).
+Result<WarehouseSpec> SpecifyWarehouseChecked(
+    std::shared_ptr<const Catalog> catalog, std::vector<ViewDef> views,
+    const ComplementOptions& options = ComplementOptions(),
+    LintReport* report = nullptr);
+
+}  // namespace dwc
+
+#endif  // DWC_LINT_LINTER_H_

@@ -1,0 +1,34 @@
+#ifndef DWC_LINT_PASSES_H_
+#define DWC_LINT_PASSES_H_
+
+#include <vector>
+
+#include "lint/diagnostic.h"
+#include "lint/spec.h"
+
+namespace dwc {
+
+// One analysis pass over a warehouse specification. Passes are stateless
+// and independent: each reports every finding it can see and never aborts,
+// so a single run surfaces all problems at once (unlike AnalyzeAllPsj,
+// which stops at the first offender).
+class LintPass {
+ public:
+  virtual ~LintPass() = default;
+  // Stable pass name, e.g. "psj-shape" (usable for pass selection).
+  virtual const char* name() const = 0;
+  virtual const char* description() const = 0;
+  virtual void Run(const LintInput& input, DiagnosticSink* sink) const = 0;
+};
+
+// The registered passes in execution order:
+//   psj-shape       DWC-E002/E003/E004/E005, DWC-W006/W007
+//   ind-cycles      DWC-E006
+//   predicates      DWC-W001/W002
+//   key-coverage    DWC-W003/W004, DWC-N002
+//   redundant-views DWC-W005
+const std::vector<const LintPass*>& AllLintPasses();
+
+}  // namespace dwc
+
+#endif  // DWC_LINT_PASSES_H_

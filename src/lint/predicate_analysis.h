@@ -1,0 +1,25 @@
+#ifndef DWC_LINT_PREDICATE_ANALYSIS_H_
+#define DWC_LINT_PREDICATE_ANALYSIS_H_
+
+#include "algebra/predicate.h"
+
+namespace dwc {
+
+// Sound-but-incomplete satisfiability tests used by the lint passes,
+// complementing algebra/implication.h (which proves p => q but has no
+// notion of an unsatisfiable p).
+//
+// The predicate is expanded to DNF over normalized literals (attr <op>
+// constant, constant-folded const/const comparisons, opaque attr/attr
+// comparisons) under a disjunct budget; a predicate is reported
+// unsatisfiable only when *every* disjunct contains a contradiction
+// provable by pairwise interval reasoning under the engine's total Value
+// order. `false` therefore means "could not prove it", never "refuted".
+bool ProvablyUnsatisfiable(const PredicateRef& p);
+
+// p is a tautology iff NOT p is unsatisfiable.
+bool ProvablyTautological(const PredicateRef& p);
+
+}  // namespace dwc
+
+#endif  // DWC_LINT_PREDICATE_ANALYSIS_H_

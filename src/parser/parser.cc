@@ -1,10 +1,22 @@
 #include "parser/parser.h"
 
 #include <set>
+#include <variant>
+
 #include "parser/lexer.h"
 #include "util/string_util.h"
 
 namespace dwc {
+
+SourceLocation SourceMap::ExprLoc(const ExprRef& expr) const {
+  auto it = exprs.find(expr.get());
+  return it == exprs.end() ? SourceLocation{} : it->second;
+}
+
+SourceLocation SourceMap::PredicateLoc(const PredicateRef& pred) const {
+  auto it = predicates.find(pred.get());
+  return it == predicates.end() ? SourceLocation{} : it->second;
+}
 
 namespace {
 
@@ -13,14 +25,17 @@ class Parser {
  public:
   explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
 
-  Result<std::vector<Statement>> Program() {
-    std::vector<Statement> statements;
+  Result<ParsedProgram> Program() {
+    ParsedProgram program;
     while (!AtEnd()) {
+      SourceLocation loc = Peek().location();
       DWC_ASSIGN_OR_RETURN(Statement stmt, ParseStatement());
-      statements.push_back(std::move(stmt));
+      std::visit([&loc](auto& s) { s.loc = loc; }, stmt);
+      program.statements.push_back(std::move(stmt));
       DWC_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon, ";"));
     }
-    return statements;
+    program.source_map = std::move(map_);
+    return program;
   }
 
   Result<ExprRef> SingleExpr() {
@@ -36,6 +51,17 @@ class Parser {
   }
 
  private:
+  // Records where a freshly parsed node came from. emplace keeps the first
+  // position should a factory ever return a shared node.
+  ExprRef Note(SourceLocation loc, ExprRef expr) {
+    map_.exprs.emplace(expr.get(), loc);
+    return expr;
+  }
+  PredicateRef Note(SourceLocation loc, PredicateRef pred) {
+    map_.predicates.emplace(pred.get(), loc);
+    return pred;
+  }
+
   const Token& Peek() const { return tokens_[pos_]; }
   const Token& Advance() { return tokens_[pos_++]; }
   bool AtEnd() const { return Peek().kind == TokenKind::kEnd; }
@@ -293,15 +319,16 @@ class Parser {
   Result<ExprRef> ParseExpression() {
     DWC_ASSIGN_OR_RETURN(ExprRef expr, ParseTerm());
     while (true) {
+      SourceLocation loc = Peek().location();
       if (MatchKeyword("join")) {
         DWC_ASSIGN_OR_RETURN(ExprRef rhs, ParseTerm());
-        expr = Expr::Join(std::move(expr), std::move(rhs));
+        expr = Note(loc, Expr::Join(std::move(expr), std::move(rhs)));
       } else if (MatchKeyword("union")) {
         DWC_ASSIGN_OR_RETURN(ExprRef rhs, ParseTerm());
-        expr = Expr::Union(std::move(expr), std::move(rhs));
+        expr = Note(loc, Expr::Union(std::move(expr), std::move(rhs)));
       } else if (MatchKeyword("minus")) {
         DWC_ASSIGN_OR_RETURN(ExprRef rhs, ParseTerm());
-        expr = Expr::Difference(std::move(expr), std::move(rhs));
+        expr = Note(loc, Expr::Difference(std::move(expr), std::move(rhs)));
       } else {
         return expr;
       }
@@ -309,6 +336,7 @@ class Parser {
   }
 
   Result<ExprRef> ParseTerm() {
+    SourceLocation loc = Peek().location();
     if (Match(TokenKind::kLParen)) {
       DWC_ASSIGN_OR_RETURN(ExprRef expr, ParseExpression());
       DWC_RETURN_IF_ERROR(Expect(TokenKind::kRParen, ")"));
@@ -321,7 +349,7 @@ class Parser {
       DWC_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "("));
       DWC_ASSIGN_OR_RETURN(ExprRef child, ParseExpression());
       DWC_RETURN_IF_ERROR(Expect(TokenKind::kRParen, ")"));
-      return Expr::Project(std::move(attrs), std::move(child));
+      return Note(loc, Expr::Project(std::move(attrs), std::move(child)));
     }
     if (MatchKeyword("select")) {
       DWC_RETURN_IF_ERROR(Expect(TokenKind::kLBracket, "["));
@@ -330,7 +358,7 @@ class Parser {
       DWC_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "("));
       DWC_ASSIGN_OR_RETURN(ExprRef child, ParseExpression());
       DWC_RETURN_IF_ERROR(Expect(TokenKind::kRParen, ")"));
-      return Expr::Select(std::move(pred), std::move(child));
+      return Note(loc, Expr::Select(std::move(pred), std::move(child)));
     }
     if (MatchKeyword("rename")) {
       DWC_RETURN_IF_ERROR(Expect(TokenKind::kLBracket, "["));
@@ -345,7 +373,7 @@ class Parser {
       DWC_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "("));
       DWC_ASSIGN_OR_RETURN(ExprRef child, ParseExpression());
       DWC_RETURN_IF_ERROR(Expect(TokenKind::kRParen, ")"));
-      return Expr::Rename(std::move(renames), std::move(child));
+      return Note(loc, Expr::Rename(std::move(renames), std::move(child)));
     }
     if (MatchKeyword("empty")) {
       DWC_RETURN_IF_ERROR(Expect(TokenKind::kLBracket, "["));
@@ -357,37 +385,46 @@ class Parser {
       } while (Match(TokenKind::kComma));
       DWC_RETURN_IF_ERROR(Expect(TokenKind::kRBracket, "]"));
       DWC_ASSIGN_OR_RETURN(Schema schema, Schema::Create(std::move(attrs)));
-      return Expr::Empty(std::move(schema));
+      return Note(loc, Expr::Empty(std::move(schema)));
     }
     DWC_ASSIGN_OR_RETURN(std::string name, ExpectName());
-    return Expr::Base(std::move(name));
+    return Note(loc, Expr::Base(std::move(name)));
   }
 
   Result<PredicateRef> ParsePred() {
     DWC_ASSIGN_OR_RETURN(PredicateRef pred, ParseAnd());
-    while (MatchKeyword("or")) {
+    while (true) {
+      SourceLocation loc = Peek().location();
+      if (!MatchKeyword("or")) {
+        break;
+      }
       DWC_ASSIGN_OR_RETURN(PredicateRef rhs, ParseAnd());
-      pred = Predicate::Or(std::move(pred), std::move(rhs));
+      pred = Note(loc, Predicate::Or(std::move(pred), std::move(rhs)));
     }
     return pred;
   }
 
   Result<PredicateRef> ParseAnd() {
     DWC_ASSIGN_OR_RETURN(PredicateRef pred, ParseUnary());
-    while (MatchKeyword("and")) {
+    while (true) {
+      SourceLocation loc = Peek().location();
+      if (!MatchKeyword("and")) {
+        break;
+      }
       DWC_ASSIGN_OR_RETURN(PredicateRef rhs, ParseUnary());
-      pred = Predicate::And(std::move(pred), std::move(rhs));
+      pred = Note(loc, Predicate::And(std::move(pred), std::move(rhs)));
     }
     return pred;
   }
 
   Result<PredicateRef> ParseUnary() {
+    SourceLocation loc = Peek().location();
     if (MatchKeyword("not")) {
       DWC_ASSIGN_OR_RETURN(PredicateRef child, ParseUnary());
-      return Predicate::Not(std::move(child));
+      return Note(loc, Predicate::Not(std::move(child)));
     }
     if (MatchKeyword("true")) {
-      return Predicate::True();
+      return Note(loc, Predicate::True());
     }
     if (Match(TokenKind::kLParen)) {
       DWC_ASSIGN_OR_RETURN(PredicateRef pred, ParsePred());
@@ -420,7 +457,7 @@ class Parser {
     }
     Advance();
     DWC_ASSIGN_OR_RETURN(Operand rhs, ParseOperand());
-    return Predicate::Cmp(std::move(lhs), op, std::move(rhs));
+    return Note(loc, Predicate::Cmp(std::move(lhs), op, std::move(rhs)));
   }
 
   Result<Operand> ParseOperand() {
@@ -449,11 +486,17 @@ class Parser {
 
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+  SourceMap map_;
 };
 
 }  // namespace
 
 Result<std::vector<Statement>> ParseProgram(std::string_view input) {
+  DWC_ASSIGN_OR_RETURN(ParsedProgram program, ParseProgramWithLocations(input));
+  return std::move(program.statements);
+}
+
+Result<ParsedProgram> ParseProgramWithLocations(std::string_view input) {
   DWC_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
   Parser parser(std::move(tokens));
   return parser.Program();

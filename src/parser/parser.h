@@ -1,15 +1,41 @@
 #ifndef DWC_PARSER_PARSER_H_
 #define DWC_PARSER_PARSER_H_
 
+#include <map>
 #include <string_view>
 #include <vector>
 
 #include "algebra/expr.h"
 #include "algebra/predicate.h"
 #include "parser/statement.h"
+#include "parser/token.h"
 #include "util/result.h"
 
 namespace dwc {
+
+// Side tables attaching source positions to the AST nodes produced by one
+// parse. Expr/Predicate trees are immutable and shared, so positions live
+// outside the nodes, keyed by node identity: every node the parser creates
+// is a fresh allocation, so pointers are unambiguous for the lifetime of
+// the parsed statements. Lookups on foreign nodes (built programmatically
+// or by rewrites) miss and yield an invalid location.
+struct SourceMap {
+  std::map<const Expr*, SourceLocation> exprs;
+  std::map<const Predicate*, SourceLocation> predicates;
+
+  // Invalid location when the node is unknown.
+  SourceLocation ExprLoc(const ExprRef& expr) const;
+  SourceLocation PredicateLoc(const PredicateRef& pred) const;
+};
+
+// A parsed script plus the positions of its statements and AST nodes.
+// Statement positions live in each statement's `loc` field; expression and
+// predicate positions in `source_map`. Consumed by the static analyzer
+// (src/lint/), which needs precise positions for diagnostics.
+struct ParsedProgram {
+  std::vector<Statement> statements;
+  SourceMap source_map;
+};
 
 // Parses a semicolon-separated DSL script. The grammar (case-insensitive
 // keywords):
@@ -34,6 +60,10 @@ namespace dwc {
 //
 // Values: integers, doubles, 'strings' (with '' escape), NULL.
 Result<std::vector<Statement>> ParseProgram(std::string_view input);
+
+// Like ParseProgram, but also records where every statement, expression
+// node and predicate node came from.
+Result<ParsedProgram> ParseProgramWithLocations(std::string_view input);
 
 // Parses a single algebra expression / predicate (no trailing semicolon).
 Result<ExprRef> ParseExpr(std::string_view input);

@@ -8,6 +8,7 @@
 
 #include "aggregate/aggregate_view.h"
 #include "algebra/expr.h"
+#include "parser/token.h"
 #include "relational/constraints.h"
 #include "relational/schema.h"
 #include "relational/tuple.h"
@@ -19,34 +20,52 @@ struct CreateTableStmt {
   std::string name;
   Schema schema;
   std::optional<AttrSet> key;
+  // Position of the statement keyword in the source script
+  // (invalid for statements built programmatically).
+  SourceLocation loc = {};
 };
 
 // INCLUSION R(a, b) SUBSETOF S(a, b);
 struct InclusionStmt {
   InclusionDependency ind;
+  // Position of the statement keyword in the source script
+  // (invalid for statements built programmatically).
+  SourceLocation loc = {};
 };
 
 // VIEW name AS <expr>;
 struct ViewStmt {
   std::string name;
   ExprRef expr;
+  // Position of the statement keyword in the source script
+  // (invalid for statements built programmatically).
+  SourceLocation loc = {};
 };
 
 // INSERT INTO name VALUES (v, ...), (v, ...);
 struct InsertStmt {
   std::string relation;
   std::vector<Tuple> tuples;
+  // Position of the statement keyword in the source script
+  // (invalid for statements built programmatically).
+  SourceLocation loc = {};
 };
 
 // DELETE FROM name VALUES (v, ...), (v, ...);
 struct DeleteStmt {
   std::string relation;
   std::vector<Tuple> tuples;
+  // Position of the statement keyword in the source script
+  // (invalid for statements built programmatically).
+  SourceLocation loc = {};
 };
 
 // QUERY <expr>;
 struct QueryStmt {
   ExprRef expr;
+  // Position of the statement keyword in the source script
+  // (invalid for statements built programmatically).
+  SourceLocation loc = {};
 };
 
 // SUMMARY name AS SELECT g1, ..., COUNT() AS n, SUM(a) AS s, ...
@@ -54,6 +73,9 @@ struct QueryStmt {
 // The plain select items must match the GROUP BY list.
 struct SummaryStmt {
   AggregateViewDef def;
+  // Position of the statement keyword in the source script
+  // (invalid for statements built programmatically).
+  SourceLocation loc = {};
 };
 
 using Statement = std::variant<CreateTableStmt, InclusionStmt, ViewStmt,

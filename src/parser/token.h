@@ -5,6 +5,23 @@
 
 namespace dwc {
 
+// A 1-based position in a script. Default-constructed locations are
+// invalid (line 0) and mean "no source position available" — diagnostics
+// built from in-memory objects rather than parsed text carry those.
+struct SourceLocation {
+  size_t line = 0;
+  size_t column = 0;
+
+  bool valid() const { return line > 0; }
+
+  bool operator==(const SourceLocation& other) const {
+    return line == other.line && column == other.column;
+  }
+  bool operator<(const SourceLocation& other) const {
+    return line != other.line ? line < other.line : column < other.column;
+  }
+};
+
 enum class TokenKind {
   kIdentifier,  // relation / attribute names and keywords
   kInt,         // 42, -7
@@ -35,6 +52,8 @@ struct Token {
   // 1-based position for error messages.
   size_t line = 1;
   size_t column = 1;
+
+  SourceLocation location() const { return SourceLocation{line, column}; }
 };
 
 }  // namespace dwc

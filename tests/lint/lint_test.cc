@@ -1,0 +1,331 @@
+#include "lint/linter.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint/diagnostic.h"
+#include "parser/parser.h"
+#include "testing/test_util.h"
+
+namespace dwc {
+namespace {
+
+using ::dwc::testing::MustRun;
+
+const Diagnostic* FindRule(const LintReport& report, std::string_view rule) {
+  for (const Diagnostic& d : report.diagnostics) {
+    if (d.rule == rule) {
+      return &d;
+    }
+  }
+  return nullptr;
+}
+
+std::string Rules(const LintReport& report) {
+  std::string out;
+  for (const Diagnostic& d : report.diagnostics) {
+    out += d.rule;
+    out += ' ';
+  }
+  return out;
+}
+
+// One malformed (or merely suspicious) script and the diagnostic it must
+// produce. `line`/`column` of 0 mean "don't check that coordinate".
+struct LintCase {
+  const char* name;
+  const char* script;
+  const char* rule;
+  LintSeverity severity;
+  size_t line;
+  size_t column;
+};
+
+class LintTableTest : public ::testing::TestWithParam<LintCase> {};
+
+TEST_P(LintTableTest, ReportsRuleWithLocation) {
+  const LintCase& c = GetParam();
+  LintReport report = LintScript(c.script);
+  const Diagnostic* diag = FindRule(report, c.rule);
+  ASSERT_NE(diag, nullptr)
+      << c.name << ": expected " << c.rule << ", got: " << Rules(report);
+  EXPECT_EQ(diag->severity, c.severity) << c.name;
+  if (c.line > 0) {
+    EXPECT_EQ(diag->loc.line, c.line) << c.name;
+  }
+  if (c.column > 0) {
+    EXPECT_EQ(diag->loc.column, c.column) << c.name;
+  }
+}
+
+const LintCase kLintCases[] = {
+    {"parse_error", "CREATE TABLE R(a INT;", "DWC-E001", LintSeverity::kError,
+     1, 0},
+    {"unknown_relation",
+     "CREATE TABLE R(a INT, KEY(a));\n"
+     "VIEW V AS R JOIN Missing;",
+     "DWC-E002", LintSeverity::kError, 2, 18},
+    {"insert_into_unknown_relation", "INSERT INTO Nope VALUES (1);",
+     "DWC-E002", LintSeverity::kError, 1, 1},
+    {"unknown_projection_attribute",
+     "CREATE TABLE R(a INT, KEY(a));\n"
+     "VIEW V AS PROJECT[z](R);",
+     "DWC-E003", LintSeverity::kError, 2, 11},
+    {"unknown_predicate_attribute",
+     "CREATE TABLE R(a INT, KEY(a));\n"
+     "VIEW V AS SELECT[z = 1](R);",
+     "DWC-E003", LintSeverity::kError, 2, 11},
+    {"unknown_key_attribute", "CREATE TABLE R(a INT, KEY(b));", "DWC-E003",
+     LintSeverity::kError, 1, 1},
+    {"union_is_not_psj",
+     "CREATE TABLE R(a INT, KEY(a));\n"
+     "CREATE TABLE S(a INT, KEY(a));\n"
+     "VIEW V AS R UNION S;",
+     "DWC-E004", LintSeverity::kError, 3, 13},
+    {"difference_is_not_psj",
+     "CREATE TABLE R(a INT, KEY(a));\n"
+     "CREATE TABLE S(a INT, KEY(a));\n"
+     "VIEW V AS R MINUS S;",
+     "DWC-E004", LintSeverity::kError, 3, 13},
+    {"self_join",
+     "CREATE TABLE R(a INT, KEY(a));\n"
+     "VIEW V AS R JOIN R;",
+     "DWC-E005", LintSeverity::kError, 2, 18},
+    {"cyclic_inds",
+     "CREATE TABLE R(a INT, KEY(a));\n"
+     "CREATE TABLE S(a INT, KEY(a));\n"
+     "INCLUSION R(a) SUBSETOF S(a);\n"
+     "INCLUSION S(a) SUBSETOF R(a);\n"
+     "VIEW V AS R JOIN S;",
+     "DWC-E006", LintSeverity::kError, 3, 1},
+    {"self_referential_ind",
+     "CREATE TABLE R(a INT, b INT, KEY(a));\n"
+     "INCLUSION R(b) SUBSETOF R(b);\n"
+     "VIEW V AS R;",
+     "DWC-E006", LintSeverity::kError, 2, 1},
+    {"ind_arity_mismatch",
+     "CREATE TABLE R(a INT, b INT, KEY(a));\n"
+     "CREATE TABLE S(a INT, KEY(a));\n"
+     "INCLUSION R(a, b) SUBSETOF S(a);",
+     "DWC-E007", LintSeverity::kError, 3, 1},
+    {"ind_type_mismatch",
+     "CREATE TABLE R(a INT, KEY(a));\n"
+     "CREATE TABLE S(a STRING, KEY(a));\n"
+     "INCLUSION R(a) SUBSETOF S(a);",
+     "DWC-E007", LintSeverity::kError, 3, 1},
+    {"duplicate_table",
+     "CREATE TABLE R(a INT, KEY(a));\n"
+     "CREATE TABLE R(a INT, KEY(a));",
+     "DWC-E008", LintSeverity::kError, 2, 1},
+    {"duplicate_view",
+     "CREATE TABLE R(a INT, KEY(a));\n"
+     "VIEW V AS R;\n"
+     "VIEW V AS R;",
+     "DWC-E008", LintSeverity::kError, 3, 1},
+    {"unsatisfiable_selection",
+     "CREATE TABLE R(a INT, KEY(a));\n"
+     "VIEW V AS SELECT[a > 5 AND a < 3](R);",
+     "DWC-W001", LintSeverity::kWarning, 2, 11},
+    {"tautological_selection",
+     "CREATE TABLE R(a INT, KEY(a));\n"
+     "VIEW V AS SELECT[a = 1 OR a <> 1](R);",
+     "DWC-W002", LintSeverity::kWarning, 2, 11},
+    {"key_projected_away",
+     "CREATE TABLE R(a INT, b INT, KEY(a));\n"
+     "VIEW V AS PROJECT[b](R);",
+     "DWC-W003", LintSeverity::kWarning, 1, 1},
+    {"keyless_base",
+     "CREATE TABLE R(a INT);\n"
+     "VIEW V AS R;",
+     "DWC-W004", LintSeverity::kWarning, 1, 1},
+    {"subsumed_view",
+     "CREATE TABLE R(a INT, b INT, KEY(a));\n"
+     "VIEW Big AS R;\n"
+     "VIEW Small AS PROJECT[a](SELECT[b > 5](R));",
+     "DWC-W005", LintSeverity::kWarning, 3, 1},
+    {"noop_projection",
+     "CREATE TABLE R(a INT, b INT, KEY(a));\n"
+     "VIEW V AS PROJECT[a, b](R);",
+     "DWC-W006", LintSeverity::kWarning, 2, 11},
+    {"stacked_projections",
+     "CREATE TABLE R(a INT, b INT, KEY(a));\n"
+     "VIEW V AS PROJECT[a](PROJECT[a, b](R));",
+     "DWC-W006", LintSeverity::kWarning, 2, 22},
+    {"view_over_view",
+     "CREATE TABLE R(a INT, KEY(a));\n"
+     "VIEW V AS R;\n"
+     "VIEW W AS SELECT[a > 0](V);",
+     "DWC-W007", LintSeverity::kWarning, 3, 25},
+    {"renaming_ind",
+     "CREATE TABLE R(a INT, KEY(a));\n"
+     "CREATE TABLE S(b INT, KEY(b));\n"
+     "INCLUSION R(a) SUBSETOF S(b);\n"
+     "VIEW V AS R JOIN S;",
+     "DWC-N001", LintSeverity::kNote, 3, 1},
+    {"unreferenced_relation",
+     "CREATE TABLE R(a INT, KEY(a));\n"
+     "CREATE TABLE Unused(x INT, KEY(x));\n"
+     "VIEW V AS R;",
+     "DWC-N002", LintSeverity::kNote, 2, 1},
+};
+
+INSTANTIATE_TEST_SUITE_P(Cases, LintTableTest, ::testing::ValuesIn(kLintCases),
+                         [](const ::testing::TestParamInfo<LintCase>& info) {
+                           return std::string(info.param.name);
+                         });
+
+TEST(LintTest, CleanSpecHasNoFindings) {
+  LintReport report = LintScript(
+      "CREATE TABLE Emp(clerk STRING, age INT, KEY(clerk));\n"
+      "CREATE TABLE Sale(item STRING, clerk STRING, KEY(item, clerk));\n"
+      "INCLUSION Sale(clerk) SUBSETOF Emp(clerk);\n"
+      "VIEW Sold AS Sale JOIN Emp;\n");
+  EXPECT_TRUE(report.diagnostics.empty()) << Rules(report);
+  EXPECT_EQ(report.errors, 0u);
+  EXPECT_EQ(report.warnings, 0u);
+  EXPECT_EQ(report.notes, 0u);
+}
+
+TEST(LintTest, CollectsAllFindingsInsteadOfAbortingOnFirst) {
+  // One script, many independent problems: the analyzer must surface every
+  // one of them, unlike the fail-fast AnalyzeAllPsj path.
+  LintReport report = LintScript(
+      "CREATE TABLE R(a INT, b INT, KEY(a));\n"
+      "VIEW V1 AS R JOIN Missing;\n"
+      "VIEW V2 AS R UNION R;\n"
+      "VIEW V3 AS SELECT[a = 1 AND a = 2](R);\n"
+      "VIEW V4 AS PROJECT[z](R);\n");
+  for (const char* rule : {"DWC-E002", "DWC-E004", "DWC-W001", "DWC-E003"}) {
+    EXPECT_NE(FindRule(report, rule), nullptr)
+        << rule << " missing from: " << Rules(report);
+  }
+  EXPECT_GE(report.errors, 3u);
+}
+
+TEST(LintTest, DiagnosticsAreSortedBySourcePosition) {
+  LintReport report = LintScript(
+      "CREATE TABLE R(a INT);\n"
+      "VIEW V1 AS R JOIN Missing;\n"
+      "VIEW V2 AS R UNION R;\n");
+  ASSERT_GE(report.diagnostics.size(), 2u);
+  EXPECT_TRUE(std::is_sorted(report.diagnostics.begin(),
+                             report.diagnostics.end()));
+}
+
+TEST(LintTest, ExampleScriptsAreErrorFree) {
+  std::filesystem::path dir(DWC_EXAMPLE_SCRIPTS_DIR);
+  size_t scripts = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() != ".dwc") {
+      continue;
+    }
+    ++scripts;
+    std::ifstream in(entry.path());
+    ASSERT_TRUE(in.good()) << entry.path();
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    LintReport report = LintScript(buffer.str());
+    EXPECT_EQ(report.errors, 0u)
+        << entry.path() << ": "
+        << FormatDiagnosticsText(report.diagnostics,
+                                 entry.path().filename().string());
+  }
+  EXPECT_GE(scripts, 4u) << "example corpus went missing in " << dir;
+}
+
+TEST(LintTest, LintWarehouseViewsWithoutSourcePositions) {
+  ScriptContext context = MustRun("CREATE TABLE R(a INT, KEY(a));");
+  std::vector<ViewDef> views = {
+      {"V", Expr::Union(Expr::Base("R"), Expr::Base("R"))}};
+  LintReport report = LintWarehouseViews(context.catalog, views);
+  const Diagnostic* diag = FindRule(report, "DWC-E004");
+  ASSERT_NE(diag, nullptr) << Rules(report);
+  EXPECT_FALSE(diag->loc.valid());
+}
+
+TEST(LintTest, SpecifyWarehouseCheckedRejectsBadSpecWithRuleIds) {
+  ScriptContext context = MustRun("CREATE TABLE R(a INT, KEY(a));");
+  std::vector<ViewDef> views = {{"V", Expr::Base("Missing")}};
+  LintReport report;
+  Result<WarehouseSpec> spec =
+      SpecifyWarehouseChecked(context.catalog, views, ComplementOptions(),
+                              &report);
+  ASSERT_FALSE(spec.ok());
+  EXPECT_NE(spec.status().message().find("DWC-E002"), std::string::npos)
+      << spec.status().message();
+  EXPECT_TRUE(report.has_errors());
+}
+
+TEST(LintTest, SpecifyWarehouseCheckedAcceptsGoodSpec) {
+  ScriptContext context = MustRun(
+      "CREATE TABLE Emp(clerk STRING, age INT, KEY(clerk));\n"
+      "CREATE TABLE Sale(item STRING, clerk STRING);\n"
+      "INCLUSION Sale(clerk) SUBSETOF Emp(clerk);\n");
+  std::vector<ViewDef> views = {
+      {"Sold", Expr::Join(Expr::Base("Sale"), Expr::Base("Emp"))}};
+  LintReport report;
+  Result<WarehouseSpec> spec =
+      SpecifyWarehouseChecked(context.catalog, views, ComplementOptions(),
+                              &report);
+  ASSERT_TRUE(spec.ok()) << spec.status().message();
+  // Sale has no key: the analyzer warns (W004) but does not reject.
+  EXPECT_FALSE(report.has_errors());
+  EXPECT_NE(FindRule(report, "DWC-W004"), nullptr) << Rules(report);
+}
+
+TEST(LintTest, JsonOutputContainsRulesAndCounts) {
+  LintReport report = LintScript(
+      "CREATE TABLE R(a INT);\n"
+      "VIEW V AS R JOIN Missing;\n");
+  std::string json = FormatDiagnosticsJson(report.diagnostics, "spec.dwc");
+  EXPECT_NE(json.find("\"file\": \"spec.dwc\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"rule\": \"DWC-E002\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"line\": 2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"errors\": "), std::string::npos) << json;
+}
+
+TEST(LintTest, JsonEscapesQuotesInMessages) {
+  LintReport report = LintScript("VIEW V AS Nope;");
+  std::string json = FormatDiagnosticsJson(report.diagnostics, "a\"b.dwc");
+  EXPECT_NE(json.find("a\\\"b.dwc"), std::string::npos) << json;
+}
+
+TEST(LintTest, RuleCatalogIsGroupedAndQueryable) {
+  const std::vector<LintRule>& rules = LintRules();
+  ASSERT_GE(rules.size(), 6u);
+  // Grouped by severity, numbered within each group; IDs are unique and
+  // every entry is findable by its own ID.
+  EXPECT_TRUE(std::is_sorted(rules.begin(), rules.end(),
+                             [](const LintRule& a, const LintRule& b) {
+                               return a.severity < b.severity;
+                             }));
+  std::set<std::string_view> ids;
+  for (const LintRule& r : rules) {
+    EXPECT_TRUE(ids.insert(r.id).second) << "duplicate rule ID " << r.id;
+    EXPECT_EQ(FindLintRule(r.id), &r);
+  }
+  const LintRule* rule = FindLintRule("DWC-E006");
+  ASSERT_NE(rule, nullptr);
+  EXPECT_EQ(rule->severity, LintSeverity::kError);
+  EXPECT_NE(std::string_view(rule->paper_ref).find("Theorem 2.2"),
+            std::string_view::npos);
+  EXPECT_EQ(FindLintRule("DWC-X999"), nullptr);
+}
+
+TEST(LintTest, ParseErrorLocationRecovered) {
+  LintReport report = LintScript("CREATE TABLE R(a INT, KEY(a));\nVIEW ;");
+  const Diagnostic* diag = FindRule(report, "DWC-E001");
+  ASSERT_NE(diag, nullptr) << Rules(report);
+  EXPECT_EQ(report.diagnostics.size(), 1u);
+  EXPECT_EQ(diag->loc.line, 2u);
+}
+
+}  // namespace
+}  // namespace dwc

@@ -1,0 +1,137 @@
+// dwc_lint: static analyzer for warehouse specification scripts.
+//
+//   dwc_lint [options] <script.dwc> [more.dwc ...]
+//
+// Parses each script and runs every analysis pass (see src/lint/passes.h),
+// reporting all findings with source positions instead of stopping at the
+// first problem. Exit status: 0 when no script has errors, 1 when any
+// does (warnings count as errors under --werror), 2 on usage or I/O
+// failure.
+//
+// Options:
+//   --format=text|json  Output format (default text). JSON output is one
+//                       array with one object per input file.
+//   --werror            Treat warnings as errors for the exit status.
+//   --no-notes          Suppress note-severity findings.
+//   --list-rules        Print the rule catalog and exit.
+//   -                   Read a script from standard input.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/diagnostic.h"
+#include "lint/linter.h"
+
+namespace {
+
+struct Options {
+  bool json = false;
+  bool werror = false;
+  bool notes = true;
+  std::vector<std::string> files;
+};
+
+void PrintUsage(std::ostream& out) {
+  out << "usage: dwc_lint [--format=text|json] [--werror] [--no-notes] "
+         "[--list-rules] <script.dwc>...\n";
+}
+
+void PrintRules(std::ostream& out) {
+  for (const dwc::LintRule& rule : dwc::LintRules()) {
+    out << rule.id << "  " << dwc::LintSeverityName(rule.severity) << "  "
+        << rule.summary;
+    if (rule.paper_ref[0] != '\0') {
+      out << " (" << rule.paper_ref << ")";
+    }
+    out << "\n";
+  }
+}
+
+bool ReadInput(const std::string& file, std::string* out) {
+  if (file == "-") {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    *out = buffer.str();
+    return true;
+  }
+  std::ifstream in(file);
+  if (!in) {
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--format=text") {
+      options.json = false;
+    } else if (arg == "--format=json") {
+      options.json = true;
+    } else if (arg == "--werror") {
+      options.werror = true;
+    } else if (arg == "--no-notes") {
+      options.notes = false;
+    } else if (arg == "--list-rules") {
+      PrintRules(std::cout);
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      PrintUsage(std::cout);
+      return 0;
+    } else if (arg.size() > 1 && arg[0] == '-' && arg != "-") {
+      std::cerr << "dwc_lint: unknown option '" << arg << "'\n";
+      PrintUsage(std::cerr);
+      return 2;
+    } else {
+      options.files.push_back(arg);
+    }
+  }
+  if (options.files.empty()) {
+    PrintUsage(std::cerr);
+    return 2;
+  }
+
+  bool failed = false;
+  std::string json_out = "[";
+  for (size_t i = 0; i < options.files.size(); ++i) {
+    const std::string& file = options.files[i];
+    std::string source;
+    if (!ReadInput(file, &source)) {
+      std::cerr << "dwc_lint: cannot read '" << file << "'\n";
+      return 2;
+    }
+    dwc::LintReport report = dwc::LintScript(source);
+    std::vector<dwc::Diagnostic> shown;
+    for (const dwc::Diagnostic& diagnostic : report.diagnostics) {
+      if (!options.notes &&
+          diagnostic.severity == dwc::LintSeverity::kNote) {
+        continue;
+      }
+      shown.push_back(diagnostic);
+    }
+    std::string label = file == "-" ? "<stdin>" : file;
+    if (options.json) {
+      if (i > 0) {
+        json_out += ", ";
+      }
+      json_out += dwc::FormatDiagnosticsJson(shown, label);
+    } else {
+      std::cout << dwc::FormatDiagnosticsText(shown, label);
+    }
+    failed = failed || report.has_errors() ||
+             (options.werror && report.warnings > 0);
+  }
+  if (options.json) {
+    std::cout << json_out << "]\n";
+  }
+  return failed ? 1 : 0;
+}
