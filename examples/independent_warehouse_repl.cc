@@ -11,7 +11,9 @@
 //
 // Commands: `spec` (show W, C, W^-1), `plan` (maintenance expressions),
 // `state` (warehouse contents), `sources` (ground truth), `check`
-// (consistency), `help`, `quit`. Reads stdin; pipe a script or type.
+// (consistency), `faults` (route deltas through a fault-injecting channel
+// + recovering ingestor), `stats` (what the ingestor did about it),
+// `help`, `quit`. Reads stdin; pipe a script or type.
 //
 // Example session:
 //   CREATE TABLE Emp(clerk STRING, age INT, KEY(clerk));
@@ -33,6 +35,8 @@
 #include "parser/interpreter.h"
 #include "parser/parser.h"
 #include "util/string_util.h"
+#include "warehouse/channel.h"
+#include "warehouse/ingest.h"
 #include "warehouse/persistence.h"
 #include "warehouse/warehouse.h"
 
@@ -95,7 +99,24 @@ class Repl {
           "  INSERT INTO R VALUES (1, 'x'), (2, 'y');\n"
           "  DELETE FROM R VALUES (1, 'x');\n"
           "  QUERY R JOIN S;\n"
-          "commands: warehouse, spec, plan, state, sources, check, save, quit\n";
+          "commands: warehouse, spec, plan, state, sources, check, save,\n"
+          "          faults <drop> <dup> <reorder> <corrupt> [seed],\n"
+          "          faults off, stats, quit\n";
+      return true;
+    }
+    if (lower == "stats") {
+      if (ingestor_ != nullptr) {
+        std::cout << "ingestor: " << ingestor_->stats().ToString() << "\n"
+                  << "channel:  " << channel_->stats().ToString() << "\n";
+      } else {
+        std::cout << "no faulty channel attached; see `faults`\n";
+      }
+      return true;
+    }
+    if (lower == "faults" || lower.rfind("faults ", 0) == 0) {
+      if (RequireWarehouse()) {
+        HandleFaults(lower);
+      }
       return true;
     }
     if (lower == "warehouse") {
@@ -152,6 +173,49 @@ class Repl {
       return true;
     }
     return false;
+  }
+
+  // `faults off` detaches the channel; `faults d p r c [seed]` attaches one
+  // with the given per-delivery rates. Updates then travel source ->
+  // channel -> ingestor instead of being integrated directly, and the
+  // recovery ladder silently repairs whatever the channel mangles.
+  void HandleFaults(const std::string& line) {
+    std::istringstream in(line);
+    std::string command, first;
+    in >> command >> first;
+    if (first == "off") {
+      if (ingestor_ != nullptr) {
+        Status status = ingestor_->Drain();
+        if (!status.ok()) {
+          std::cout << "error: " << status.ToString() << "\n";
+        }
+      }
+      ingestor_.reset();
+      channel_.reset();
+      std::cout << "channel detached; deltas integrate directly again\n";
+      return;
+    }
+    dwc::FaultProfile profile;
+    if (first.empty()) {
+      std::cout << "usage: faults <drop> <dup> <reorder> <corrupt> [seed]\n"
+                   "       faults off\n";
+      return;
+    }
+    profile.drop_rate = std::atof(first.c_str());
+    if (!(in >> profile.duplicate_rate >> profile.reorder_rate >>
+          profile.corrupt_rate)) {
+      std::cout << "usage: faults <drop> <dup> <reorder> <corrupt> [seed]\n";
+      return;
+    }
+    in >> profile.seed;
+    channel_ = std::make_unique<dwc::DeltaChannel>(profile);
+    ingestor_ = std::make_unique<dwc::DeltaIngestor>(
+        warehouse_.get(), source_.get(), channel_.get());
+    std::cout << "faulty channel attached (drop=" << profile.drop_rate
+              << " dup=" << profile.duplicate_rate
+              << " reorder=" << profile.reorder_rate
+              << " corrupt=" << profile.corrupt_rate
+              << " seed=" << profile.seed << "); see `stats`\n";
   }
 
   bool RequireWarehouse() {
@@ -309,7 +373,16 @@ class Repl {
       return delta.status();
     }
     DWC_RETURN_IF_ERROR(source_->db().ValidateConstraints());
-    DWC_RETURN_IF_ERROR(warehouse_->Integrate(*delta));
+    if (ingestor_ != nullptr) {
+      channel_->Send(*delta);
+      for (std::optional<dwc::CanonicalDelta> got = channel_->Poll(); got;
+           got = channel_->Poll()) {
+        DWC_RETURN_IF_ERROR(ingestor_->Receive(*got));
+      }
+      DWC_RETURN_IF_ERROR(ingestor_->Drain());
+    } else {
+      DWC_RETURN_IF_ERROR(warehouse_->Integrate(*delta));
+    }
     std::cout << "integrated: +" << delta->inserts.size() << " / -"
               << delta->deletes.size() << " on " << relation
               << " (source queries: " << source_->query_count() << ")\n";
@@ -320,6 +393,8 @@ class Repl {
   std::shared_ptr<dwc::WarehouseSpec> spec_;
   std::unique_ptr<dwc::Source> source_;
   std::unique_ptr<dwc::Warehouse> warehouse_;
+  std::unique_ptr<dwc::DeltaChannel> channel_;
+  std::unique_ptr<dwc::DeltaIngestor> ingestor_;
   bool quit_ = false;
 };
 

@@ -153,6 +153,13 @@ LintInput BuildLintInput(const ParsedProgram& program, DiagnosticSink* sink) {
                             del->relation, "'"),
                      del->relation);
       }
+    } else if (const auto* delta = std::get_if<DeltaStmt>(&statement)) {
+      if (!catalog->HasRelation(delta->relation)) {
+        sink->Report("DWC-E002", delta->loc,
+                     StrCat("DELTA against undeclared relation '",
+                            delta->relation, "'"),
+                     delta->relation);
+      }
     }
     // QUERY and SUMMARY statements are warehouse-load-time concerns; the
     // specification passes do not inspect them.

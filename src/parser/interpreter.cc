@@ -4,6 +4,7 @@
 #include "algebra/evaluator.h"
 #include "algebra/schema_inference.h"
 #include "parser/parser.h"
+#include "util/checksum.h"
 #include "util/string_util.h"
 
 namespace dwc {
@@ -128,6 +129,35 @@ Result<ScriptContext> RunScript(std::string_view script) {
         DWC_RETURN_IF_ERROR(
             CheckTupleAgainstSchema(tuple, rel->schema(), del->relation));
         rel->Erase(tuple);
+      }
+    } else if (auto* delta = std::get_if<DeltaStmt>(&statement)) {
+      // Journal replay: re-apply the enveloped delta (deletes first, like
+      // the integrator) and re-verify the piggybacked post-state digest —
+      // a damaged or truncated journal fails loudly instead of silently
+      // rebuilding a diverged state.
+      Relation* rel = context.db.FindMutableRelation(delta->relation);
+      if (rel == nullptr) {
+        return Status::NotFound(
+            StrCat("relation '", delta->relation, "' not declared"));
+      }
+      for (const Tuple& tuple : delta->deletes) {
+        DWC_RETURN_IF_ERROR(
+            CheckTupleAgainstSchema(tuple, rel->schema(), delta->relation));
+        rel->Erase(tuple);
+      }
+      for (Tuple& tuple : delta->inserts) {
+        DWC_RETURN_IF_ERROR(
+            CheckTupleAgainstSchema(tuple, rel->schema(), delta->relation));
+        rel->Insert(std::move(tuple));
+      }
+      if (delta->sequence != 0 &&
+          RelationDigest(*rel) != delta->state_digest) {
+        return Status::FailedPrecondition(
+            StrCat("journal replay diverged: after DELTA ", delta->relation,
+                   " seq ", delta->sequence, " (epoch ", delta->epoch,
+                   " from '", delta->source_id, "') the relation digest is ",
+                   DigestToHex(RelationDigest(*rel)), ", journal says ",
+                   DigestToHex(delta->state_digest)));
       }
     } else if (auto* query = std::get_if<QueryStmt>(&statement)) {
       DWC_ASSIGN_OR_RETURN(Relation result, context.Evaluate(query->expr));

@@ -4,6 +4,7 @@
 #include <variant>
 
 #include "parser/lexer.h"
+#include "util/checksum.h"
 #include "util/string_util.h"
 
 namespace dwc {
@@ -149,6 +150,9 @@ class Parser {
       DWC_ASSIGN_OR_RETURN(std::vector<Tuple> tuples, ParseTupleList());
       return Statement(DeleteStmt{std::move(name), std::move(tuples)});
     }
+    if (MatchKeyword("delta")) {
+      return ParseDelta();
+    }
     if (MatchKeyword("query")) {
       DWC_ASSIGN_OR_RETURN(ExprRef expr, ParseExpression());
       return Statement(QueryStmt{std::move(expr)});
@@ -211,6 +215,40 @@ class Parser {
                  "attributes"));
     }
     return Statement(SummaryStmt{std::move(def)});
+  }
+
+  Result<uint64_t> ExpectUnsigned(std::string_view what) {
+    if (Peek().kind != TokenKind::kInt || Peek().int_value < 0) {
+      return ErrorHere(StrCat("expected a non-negative integer for ", what));
+    }
+    return static_cast<uint64_t>(Advance().int_value);
+  }
+
+  Result<Statement> ParseDelta() {
+    DeltaStmt stmt;
+    DWC_ASSIGN_OR_RETURN(stmt.relation, ExpectName());
+    DWC_RETURN_IF_ERROR(ExpectKeyword("source"));
+    if (Peek().kind != TokenKind::kString) {
+      return ErrorHere("expected a quoted source id");
+    }
+    stmt.source_id = Advance().text;
+    DWC_RETURN_IF_ERROR(ExpectKeyword("epoch"));
+    DWC_ASSIGN_OR_RETURN(stmt.epoch, ExpectUnsigned("EPOCH"));
+    DWC_RETURN_IF_ERROR(ExpectKeyword("seq"));
+    DWC_ASSIGN_OR_RETURN(stmt.sequence, ExpectUnsigned("SEQ"));
+    DWC_RETURN_IF_ERROR(ExpectKeyword("state"));
+    if (Peek().kind != TokenKind::kString ||
+        !HexToDigest(Peek().text, &stmt.state_digest)) {
+      return ErrorHere("expected a 16-digit hex state digest");
+    }
+    Advance();
+    if (MatchKeyword("insert")) {
+      DWC_ASSIGN_OR_RETURN(stmt.inserts, ParseTupleList());
+    }
+    if (MatchKeyword("delete")) {
+      DWC_ASSIGN_OR_RETURN(stmt.deletes, ParseTupleList());
+    }
+    return Statement(std::move(stmt));
   }
 
   Result<ValueType> ParseType() {

@@ -1,5 +1,6 @@
 #include "parser/script_io.h"
 
+#include "util/checksum.h"
 #include "util/string_util.h"
 
 namespace dwc {
@@ -12,6 +13,14 @@ std::string SchemaAttrsToScript(const Schema& schema) {
     parts.push_back(StrCat(attr.name, " ", ValueTypeName(attr.type)));
   }
   return Join(parts, ", ");
+}
+
+std::string TupleRowsToScript(const Relation& rel) {
+  std::vector<std::string> rows;
+  for (const Tuple& tuple : rel.SortedTuples()) {
+    rows.push_back(StrCat("(", Join(tuple.values(), ", "), ")"));
+  }
+  return Join(rows, ", ");
 }
 
 }  // namespace
@@ -107,6 +116,20 @@ std::string SummaryToScript(const AggregateViewDef& def) {
   return StrCat("SUMMARY ", def.name, " AS SELECT ", Join(items, ", "),
                 " FROM ", ExprToScript(*def.source), " GROUP BY ",
                 Join(def.group_by, ", "), ";\n");
+}
+
+std::string DeltaToScript(const CanonicalDelta& delta) {
+  std::string out =
+      StrCat("DELTA ", delta.relation, " SOURCE '", delta.source_id,
+             "' EPOCH ", delta.epoch, " SEQ ", delta.sequence, " STATE '",
+             DigestToHex(delta.state_digest), "'");
+  if (!delta.inserts.empty()) {
+    out += StrCat(" INSERT ", TupleRowsToScript(delta.inserts));
+  }
+  if (!delta.deletes.empty()) {
+    out += StrCat(" DELETE ", TupleRowsToScript(delta.deletes));
+  }
+  return out + ";\n";
 }
 
 }  // namespace dwc

@@ -8,6 +8,7 @@
 #include "algebra/view.h"
 #include "relational/catalog.h"
 #include "relational/database.h"
+#include "warehouse/update.h"
 
 namespace dwc {
 
@@ -33,6 +34,11 @@ std::string ViewToScript(const ViewDef& view);
 
 // A SUMMARY statement.
 std::string SummaryToScript(const AggregateViewDef& def);
+
+// A DELTA statement: one enveloped canonical delta in journal-record form
+// (replayed by RunScript, which re-applies it and — for sequenced deltas —
+// re-verifies the piggybacked state digest).
+std::string DeltaToScript(const CanonicalDelta& delta);
 
 }  // namespace dwc
 

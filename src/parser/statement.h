@@ -1,6 +1,7 @@
 #ifndef DWC_PARSER_STATEMENT_H_
 #define DWC_PARSER_STATEMENT_H_
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <variant>
@@ -60,6 +61,26 @@ struct DeleteStmt {
   SourceLocation loc = {};
 };
 
+// DELTA name SOURCE 'id' EPOCH n SEQ n STATE 'hex16'
+//   [INSERT (v, ...), ...] [DELETE (v, ...), ...];
+// One journal record of the fault-tolerant delivery layer: a canonical
+// delta plus its envelope (warehouse/update.h), rendered as DSL so
+// checkpoint + journal replay is an ordinary script run. SEQ 0 marks an
+// unsequenced delta (e.g. a resync correction); STATE is the source's
+// post-apply relation digest in fixed 16-digit hex, '0'*16 when unstamped.
+struct DeltaStmt {
+  std::string relation;
+  std::string source_id;
+  uint64_t epoch = 0;
+  uint64_t sequence = 0;
+  uint64_t state_digest = 0;
+  std::vector<Tuple> inserts;
+  std::vector<Tuple> deletes;
+  // Position of the statement keyword in the source script
+  // (invalid for statements built programmatically).
+  SourceLocation loc = {};
+};
+
 // QUERY <expr>;
 struct QueryStmt {
   ExprRef expr;
@@ -78,8 +99,9 @@ struct SummaryStmt {
   SourceLocation loc = {};
 };
 
-using Statement = std::variant<CreateTableStmt, InclusionStmt, ViewStmt,
-                               InsertStmt, DeleteStmt, QueryStmt, SummaryStmt>;
+using Statement =
+    std::variant<CreateTableStmt, InclusionStmt, ViewStmt, InsertStmt,
+                 DeleteStmt, DeltaStmt, QueryStmt, SummaryStmt>;
 
 }  // namespace dwc
 

@@ -1,0 +1,172 @@
+#ifndef DWC_UTIL_CHECKSUM_H_
+#define DWC_UTIL_CHECKSUM_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "relational/database.h"
+#include "relational/relation.h"
+#include "relational/tuple.h"
+
+namespace dwc {
+
+// Incremental state checksums for the fault-tolerant delivery layer
+// (warehouse/channel.h, warehouse/ingest.h). A relation digest is the XOR of
+// per-tuple digests, so it is order-independent over the tuple set and —
+// given canonical deltas (inserts disjoint from the state, deletes contained
+// in it) — maintainable in O(|delta|): XOR the inserted tuples in and the
+// deleted tuples out. Digests are stable within a process run; the delta
+// journal is replayed in-process, and checkpoint scripts recompute digests
+// from the reconstructed state, so cross-process stability is not required.
+//
+// Header-only: dwc_util sits below dwc_relational in the link order, but
+// these are inline functions compiled into their (relational-linking)
+// consumers.
+
+// splitmix64 finalizer: full-avalanche 64-bit mix.
+inline uint64_t Mix64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return x;
+}
+
+// Position-sensitive digest of one tuple. Stronger mixing than Tuple::Hash
+// (whose low bits feed hash buckets): a single-bit value difference must
+// flip about half the digest, because relation digests XOR these together.
+inline uint64_t TupleDigest(const Tuple& tuple) {
+  uint64_t h = 0x8C9A3B5D17E4F26BULL;
+  for (const Value& value : tuple.values()) {
+    h = Mix64(h ^ (static_cast<uint64_t>(value.Hash()) +
+                   0x9E3779B97F4A7C15ULL));
+  }
+  return Mix64(h ^ tuple.size());
+}
+
+// XOR-fold of TupleDigest over the tuple set (0 for the empty relation).
+inline uint64_t RelationDigest(const Relation& relation) {
+  uint64_t digest = 0;
+  for (const Tuple& tuple : relation.tuples()) {
+    digest ^= TupleDigest(tuple);
+  }
+  return digest;
+}
+
+// Digest of a string (FNV-1a), for folding relation/source names into
+// envelope checksums.
+inline uint64_t StringDigest(std::string_view text) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (char c : text) {
+    h = (h ^ static_cast<unsigned char>(c)) * 0x100000001B3ULL;
+  }
+  return Mix64(h);
+}
+
+// Fixed-width lowercase hex rendering of a digest, and its inverse (used by
+// the DELTA statement in the DSL). HexToDigest rejects anything that is not
+// exactly 16 hex digits.
+inline std::string DigestToHex(uint64_t digest) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = kHex[digest & 0xF];
+    digest >>= 4;
+  }
+  return out;
+}
+
+inline bool HexToDigest(std::string_view hex, uint64_t* digest) {
+  if (hex.size() != 16) {
+    return false;
+  }
+  uint64_t value = 0;
+  for (char c : hex) {
+    value <<= 4;
+    if (c >= '0' && c <= '9') {
+      value |= static_cast<uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      value |= static_cast<uint64_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      value |= static_cast<uint64_t>(c - 'A' + 10);
+    } else {
+      return false;
+    }
+  }
+  *digest = value;
+  return true;
+}
+
+// Per-relation incremental checksums of a database state. The warehouse's
+// ingestion layer tracks one of these for the *base* state it believes the
+// sources are in and compares it against the post-state digest piggybacked
+// on every sequenced delta: a mismatch is a divergence, caught in O(1)
+// instead of an O(|database|) ground-truth comparison.
+class StateDigest {
+ public:
+  StateDigest() = default;
+  explicit StateDigest(const Database& db) { Reset(db); }
+
+  void Reset(const Database& db) {
+    digests_.clear();
+    for (const auto& [name, rel] : db.relations()) {
+      digests_[name] = RelationDigest(rel);
+    }
+  }
+
+  void SetRelation(const std::string& name, const Relation& relation) {
+    digests_[name] = RelationDigest(relation);
+  }
+
+  // O(|delta|) maintenance; exactness relies on the delta being canonical.
+  void Apply(const std::string& name, const Relation& inserts,
+             const Relation& deletes) {
+    uint64_t& digest = digests_[name];
+    for (const Tuple& tuple : inserts.tuples()) {
+      digest ^= TupleDigest(tuple);
+    }
+    for (const Tuple& tuple : deletes.tuples()) {
+      digest ^= TupleDigest(tuple);
+    }
+  }
+
+  // 0 for untracked relations (and for tracked empty ones; ambiguity is
+  // fine, both mean "nothing to diverge from").
+  uint64_t Get(const std::string& name) const {
+    auto it = digests_.find(name);
+    return it == digests_.end() ? 0 : it->second;
+  }
+
+  bool Tracks(const std::string& name) const {
+    return digests_.find(name) != digests_.end();
+  }
+
+  // The per-relation digest map itself, for reconciliation sweeps (the
+  // ingestor's resync rung compares two of these relation by relation).
+  const std::map<std::string, uint64_t>& digests() const { return digests_; }
+
+  // Order-independent digest of the whole state (relation names included,
+  // so moving tuples between relations changes it).
+  uint64_t Combined() const {
+    uint64_t combined = 0;
+    for (const auto& [name, digest] : digests_) {
+      combined ^= Mix64(StringDigest(name) ^ digest);
+    }
+    return combined;
+  }
+
+  bool operator==(const StateDigest& other) const {
+    return digests_ == other.digests_;
+  }
+  bool operator!=(const StateDigest& other) const { return !(*this == other); }
+
+ private:
+  std::map<std::string, uint64_t> digests_;
+};
+
+}  // namespace dwc
+
+#endif  // DWC_UTIL_CHECKSUM_H_

@@ -1,0 +1,148 @@
+#include "warehouse/channel.h"
+
+#include "util/checksum.h"
+#include "util/string_util.h"
+
+namespace dwc {
+
+std::string ChannelStats::ToString() const {
+  return StrCat("sent=", sent, " delivered=", delivered, " dropped=", dropped,
+                " duplicated=", duplicated, " reordered=", reordered,
+                " corrupted=", corrupted,
+                " retransmit_requests=", retransmit_requests,
+                " retransmit_failures=", retransmit_failures);
+}
+
+void DeltaChannel::Corrupt(CanonicalDelta* delta) {
+  ++stats_.corrupted;
+  // Pick the corruption site: payload tuple, sequence, state digest, or the
+  // checksum itself — the receiver must detect all four.
+  switch (rng_.Below(4)) {
+    case 0: {
+      Relation* target = delta->inserts.empty() ? &delta->deletes
+                                                : &delta->inserts;
+      if (target->empty()) {
+        delta->sequence += 1000;
+        return;
+      }
+      std::vector<Tuple> tuples = target->SortedTuples();
+      const Tuple& victim = tuples[rng_.Below(tuples.size())];
+      std::vector<Value> values = victim.values();
+      size_t i = rng_.Below(values.size());
+      switch (values[i].type()) {
+        case ValueType::kInt:
+          values[i] = Value::Int(values[i].AsInt() + 1);
+          break;
+        case ValueType::kDouble:
+          values[i] = Value::Double(values[i].AsDouble() + 1.0);
+          break;
+        case ValueType::kString:
+          values[i] = Value::String(values[i].AsString() + "~");
+          break;
+        case ValueType::kNull:
+          values[i] = Value::Int(13);
+          break;
+      }
+      target->Erase(victim);
+      target->Insert(Tuple(std::move(values)));
+      return;
+    }
+    case 1:
+      delta->sequence += 1000;
+      return;
+    case 2:
+      delta->state_digest = Mix64(delta->state_digest + 1);
+      return;
+    default:
+      delta->payload_digest = Mix64(delta->payload_digest + 1);
+      return;
+  }
+}
+
+bool DeltaChannel::Deliver(const CanonicalDelta& delta, bool retransmission) {
+  if (rng_.Chance(profile_.drop_rate)) {
+    ++stats_.dropped;
+    return false;
+  }
+  CanonicalDelta copy = delta;
+  if (rng_.Chance(profile_.corrupt_rate)) {
+    Corrupt(&copy);
+  }
+  if (!retransmission && rng_.Chance(profile_.reorder_rate) &&
+      profile_.reorder_window > 0) {
+    ++stats_.reordered;
+    delayed_.push_back(
+        Delayed{std::move(copy), 1 + rng_.Below(profile_.reorder_window)});
+  } else {
+    in_flight_.push_back(std::move(copy));
+  }
+  return true;
+}
+
+void DeltaChannel::Send(const CanonicalDelta& delta) {
+  if (delta.empty() || !delta.sequenced()) {
+    return;
+  }
+  ++stats_.sent;
+  log_.emplace(std::make_pair(delta.epoch, delta.sequence), delta);
+  // Duplication forks an extra, independently-faulted delivery attempt.
+  size_t copies = rng_.Chance(profile_.duplicate_rate) ? 2 : 1;
+  if (copies == 2) {
+    ++stats_.duplicated;
+  }
+  for (size_t i = 0; i < copies; ++i) {
+    Deliver(delta, /*retransmission=*/false);
+  }
+  // A send pushes the stream forward: delayed deliveries it overtook get
+  // one step closer to release.
+  for (auto it = delayed_.begin(); it != delayed_.end();) {
+    if (--it->countdown == 0) {
+      in_flight_.push_back(std::move(it->delta));
+      it = delayed_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::optional<CanonicalDelta> DeltaChannel::Poll() {
+  if (in_flight_.empty() && !delayed_.empty()) {
+    // The pipe idled out: everything still held back arrives now.
+    for (Delayed& d : delayed_) {
+      in_flight_.push_back(std::move(d.delta));
+    }
+    delayed_.clear();
+  }
+  if (in_flight_.empty()) {
+    return std::nullopt;
+  }
+  CanonicalDelta next = std::move(in_flight_.front());
+  in_flight_.pop_front();
+  ++stats_.delivered;
+  return next;
+}
+
+Result<CanonicalDelta> DeltaChannel::Retransmit(uint64_t epoch,
+                                                uint64_t sequence) {
+  ++stats_.retransmit_requests;
+  auto it = log_.find(std::make_pair(epoch, sequence));
+  if (it == log_.end()) {
+    ++stats_.retransmit_failures;
+    return Status::NotFound(
+        StrCat("sequence ", sequence, " (epoch ", epoch,
+               ") is no longer in the channel log"));
+  }
+  if (rng_.Chance(profile_.drop_rate)) {
+    ++stats_.dropped;
+    ++stats_.retransmit_failures;
+    return Status::NotFound(
+        StrCat("retransmission of sequence ", sequence, " was lost"));
+  }
+  CanonicalDelta copy = it->second;
+  if (rng_.Chance(profile_.corrupt_rate)) {
+    Corrupt(&copy);
+  }
+  return copy;
+}
+
+}  // namespace dwc

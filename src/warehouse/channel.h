@@ -1,0 +1,107 @@
+#ifndef DWC_WAREHOUSE_CHANNEL_H_
+#define DWC_WAREHOUSE_CHANNEL_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "util/result.h"
+#include "util/rng.h"
+#include "warehouse/update.h"
+
+namespace dwc {
+
+// Fault model for the delta transport between a Source and the integrator.
+// All rates are per delivery attempt (first transmission and retransmission
+// alike); everything is driven by one seeded Rng, so a (profile, seed,
+// update stream) triple reproduces the exact same fault pattern.
+struct FaultProfile {
+  double drop_rate = 0.0;       // Delta silently lost.
+  double duplicate_rate = 0.0;  // Delta delivered twice.
+  double reorder_rate = 0.0;    // Delta delayed behind later traffic.
+  double corrupt_rate = 0.0;    // Payload or envelope mutated in flight.
+  // A delayed delta overtakes at most this many later ones — the bound the
+  // ingestor's reorder buffer is sized against.
+  size_t reorder_window = 4;
+  uint64_t seed = 0;
+
+  bool faultless() const {
+    return drop_rate == 0 && duplicate_rate == 0 && reorder_rate == 0 &&
+           corrupt_rate == 0;
+  }
+};
+
+// Delivery counters, from the channel's own (omniscient) viewpoint. Tests
+// cross-check these against what the ingestor *detected*.
+struct ChannelStats {
+  size_t sent = 0;
+  size_t delivered = 0;
+  size_t dropped = 0;
+  size_t duplicated = 0;
+  size_t reordered = 0;
+  size_t corrupted = 0;
+  size_t retransmit_requests = 0;
+  size_t retransmit_failures = 0;
+
+  std::string ToString() const;
+};
+
+// The lossy pipe between one Source and the warehouse. Send() logs the
+// pristine delta (the source's outbox — what a real reporter keeps until
+// acknowledged) and enqueues a delivery on which the fault profile acts;
+// Poll() hands the integrator the next delivery. Retransmit() models the
+// cheap dashed re-request arrow for a single sequence number: it re-sends
+// from the outbox log, again subject to drop/corrupt faults, so the
+// ingestor's capped-retry ladder has something real to climb.
+class DeltaChannel {
+ public:
+  explicit DeltaChannel(FaultProfile profile = FaultProfile())
+      : profile_(profile), rng_(profile.seed ^ 0xC4A11EDB17ULL) {}
+
+  // Queues a sequenced delta for delivery. Empty/unsequenced deltas are not
+  // sent (a source reports nothing for a no-op update).
+  void Send(const CanonicalDelta& delta);
+
+  // Next delivered delta, faults applied; nullopt once the pipe is drained.
+  std::optional<CanonicalDelta> Poll();
+
+  // True when no deliveries are pending (dropped deltas leave no trace).
+  bool drained() const { return in_flight_.empty(); }
+
+  // Re-request of (epoch, sequence) against the outbox log. Fails when the
+  // log no longer holds the sequence (TruncateLog, or a pre-attachment
+  // delta) or when the re-delivery is itself dropped; a corrupted
+  // re-delivery is returned corrupted, like any delivery.
+  Result<CanonicalDelta> Retransmit(uint64_t epoch, uint64_t sequence);
+
+  // Testing: forget the outbox log, forcing retransmissions to fail and the
+  // ingestor to escalate to source resync.
+  void TruncateLog() { log_.clear(); }
+
+  const ChannelStats& stats() const { return stats_; }
+
+ private:
+  // Applies in-flight faults to one delivery attempt; false = dropped.
+  bool Deliver(const CanonicalDelta& delta, bool retransmission);
+  void Corrupt(CanonicalDelta* delta);
+
+  FaultProfile profile_;
+  Rng rng_;
+  std::deque<CanonicalDelta> in_flight_;
+  // Reordered deliveries: held back until `countdown` later sends have
+  // passed (or the pipe otherwise drains), bounding how far a delta can be
+  // overtaken to profile_.reorder_window.
+  struct Delayed {
+    CanonicalDelta delta;
+    size_t countdown;
+  };
+  std::deque<Delayed> delayed_;
+  std::map<std::pair<uint64_t, uint64_t>, CanonicalDelta> log_;
+  ChannelStats stats_;
+};
+
+}  // namespace dwc
+
+#endif  // DWC_WAREHOUSE_CHANNEL_H_

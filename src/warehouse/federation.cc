@@ -27,7 +27,9 @@ Status Federation::AddSource(const std::string& name, const Database& db,
   for (const std::string& relation : relations) {
     owner_[relation] = name;
   }
-  sources_.emplace(name, std::make_unique<Source>(std::move(slice)));
+  // The source name doubles as the delta-envelope source id, so the
+  // ingestion layer can keep per-source sequencing state.
+  sources_.emplace(name, std::make_unique<Source>(std::move(slice), name));
   return Status::Ok();
 }
 

@@ -1,0 +1,278 @@
+#include "warehouse/ingest.h"
+
+#include "util/string_util.h"
+
+namespace dwc {
+
+std::string IntegrationStats::ToString() const {
+  return StrCat("applied=", applied, " deduped=", deduped,
+                " reordered=", reordered, " corrupt_dropped=", corrupt_dropped,
+                " stale_dropped=", stale_dropped,
+                " gaps_detected=", gaps_detected,
+                " divergences=", divergences,
+                " retransmit_attempts=", retransmit_attempts,
+                " retransmits=", retransmits, " backoff_ticks=", backoff_ticks,
+                " base_resyncs=", base_resyncs, " full_resyncs=", full_resyncs,
+                " source_queries=", source_queries);
+}
+
+DeltaIngestor::DeltaIngestor(Warehouse* warehouse, Source* source,
+                             DeltaChannel* channel, RetryPolicy policy)
+    : warehouse_(warehouse),
+      source_(source),
+      channel_(channel),
+      policy_(policy),
+      epoch_(source->epoch()),
+      next_seq_(source->last_sequence() + 1),
+      digest_(source->digest()) {}
+
+uint64_t DeltaIngestor::FloorFor(const std::string& relation) const {
+  auto it = floor_.find(relation);
+  return it == floor_.end() ? 0 : it->second;
+}
+
+void DeltaIngestor::AdvancePast(uint64_t watermark) {
+  if (watermark + 1 > next_seq_) {
+    next_seq_ = watermark + 1;
+  }
+  while (!buffer_.empty() && buffer_.begin()->first < next_seq_) {
+    buffer_.erase(buffer_.begin());
+    ++stats_.stale_dropped;
+  }
+}
+
+Status DeltaIngestor::Receive(const CanonicalDelta& delta) {
+  if (!delta.sequenced()) {
+    return Status::InvalidArgument(
+        "the ingestor only accepts sequenced deltas (Source stamps them)");
+  }
+  if (delta.epoch < epoch_) {
+    ++stats_.stale_dropped;
+    return Status::Ok();
+  }
+  if (delta.epoch > epoch_) {
+    // Source restarted into a new epoch: the old stream is void.
+    epoch_ = delta.epoch;
+    next_seq_ = 1;
+    stats_.stale_dropped += buffer_.size();
+    buffer_.clear();
+    floor_.clear();
+  }
+  if (!DeltaPayloadIntact(delta)) {
+    // Damaged in flight — anywhere: payload, envelope, or the checksum
+    // itself. Drop it; the sequence hole is recovered like a plain loss.
+    // (If the sequence field itself was damaged, re-requesting the damaged
+    // number would chase a ghost; the true number surfaces as a gap.)
+    ++stats_.corrupt_dropped;
+    return Status::Ok();
+  }
+  if (delta.sequence < next_seq_) {
+    ++stats_.deduped;
+    return Status::Ok();
+  }
+  if (delta.sequence > next_seq_) {
+    auto [it, inserted] = buffer_.emplace(delta.sequence, delta);
+    (void)it;
+    if (!inserted) {
+      ++stats_.deduped;
+      return Status::Ok();
+    }
+    if (delta.sequence > next_seq_ + policy_.reorder_slack ||
+        buffer_.size() > policy_.reorder_slack) {
+      // The hole is older than any reordering bound allows: confirmed gap.
+      DWC_RETURN_IF_ERROR(RecoverMissing());
+    }
+    return Status::Ok();
+  }
+  DWC_RETURN_IF_ERROR(TryApply(delta, /*from_buffer=*/false));
+  return DrainBuffer();
+}
+
+Status DeltaIngestor::Drain() {
+  for (std::optional<CanonicalDelta> delta = channel_->Poll(); delta;
+       delta = channel_->Poll()) {
+    DWC_RETURN_IF_ERROR(Receive(*delta));
+  }
+  // End-of-stream reconciliation. The source's sequence watermark is the
+  // protocol's ack frame: every sequence at or below it was reported, so
+  // anything not yet consumed is a confirmed gap (a trailing drop leaves no
+  // other trace). RecoverMissing always advances next_seq_, so this
+  // terminates.
+  while (epoch_ == source_->epoch() && next_seq_ <= source_->last_sequence()) {
+    DWC_RETURN_IF_ERROR(RecoverMissing());
+  }
+  return Status::Ok();
+}
+
+Status DeltaIngestor::TryApply(const CanonicalDelta& delta, bool from_buffer) {
+  // Invariant: delta.sequence == next_seq_, payload intact, current epoch.
+  if (delta.sequence <= FloorFor(delta.relation)) {
+    // A resync already folded this delta's effect in; consume the sequence
+    // number without re-applying.
+    ++stats_.stale_dropped;
+    ++next_seq_;
+    return Status::Ok();
+  }
+  // Divergence probe before mutating anything: applying the delta to the
+  // state we believe the source had must land on the digest the source
+  // stamped. The checksum was verified, so a mismatch means *our* state is
+  // wrong — re-requesting the same bytes cannot help; go straight to the
+  // ladder's resync rung.
+  uint64_t candidate = digest_.Get(delta.relation);
+  for (const Tuple& tuple : delta.inserts.tuples()) {
+    candidate ^= TupleDigest(tuple);
+  }
+  for (const Tuple& tuple : delta.deletes.tuples()) {
+    candidate ^= TupleDigest(tuple);
+  }
+  if (candidate != delta.state_digest) {
+    ++stats_.divergences;
+    Status status = ResyncBase(delta.relation);
+    if (!status.ok()) {
+      DWC_RETURN_IF_ERROR(FullResync());
+    }
+    // The resync brought the base to source-now, which includes this
+    // delta's effect; its floor (or the full-resync watermark) now covers
+    // it, so consume the sequence.
+    ++next_seq_;
+    return Status::Ok();
+  }
+  Status status = warehouse_->Integrate(delta, source_);
+  if (!status.ok()) {
+    // In-order, intact, digest-matched deltas should integrate; treat a
+    // refusal as divergence and repair through the ladder.
+    ++stats_.divergences;
+    Status resync = ResyncBase(delta.relation);
+    if (!resync.ok()) {
+      DWC_RETURN_IF_ERROR(FullResync());
+    }
+    ++next_seq_;
+    return Status::Ok();
+  }
+  digest_.Apply(delta.relation, delta.inserts, delta.deletes);
+  ++stats_.applied;
+  if (from_buffer) {
+    ++stats_.reordered;
+  }
+  ++next_seq_;
+  return Status::Ok();
+}
+
+Status DeltaIngestor::DrainBuffer() {
+  while (!buffer_.empty()) {
+    auto it = buffer_.begin();
+    if (it->first < next_seq_) {
+      buffer_.erase(it);
+      ++stats_.stale_dropped;
+      continue;
+    }
+    if (it->first != next_seq_) {
+      break;
+    }
+    CanonicalDelta delta = std::move(it->second);
+    buffer_.erase(it);
+    DWC_RETURN_IF_ERROR(TryApply(delta, /*from_buffer=*/true));
+  }
+  return Status::Ok();
+}
+
+Status DeltaIngestor::RecoverMissing() {
+  ++stats_.gaps_detected;
+  const uint64_t missing = next_seq_;
+  // Rung 1: targeted re-request, capped retries, deterministic exponential
+  // backoff (simulated ticks — reproducible, clockless).
+  for (int attempt = 0; attempt < policy_.max_retries; ++attempt) {
+    ++stats_.retransmit_attempts;
+    stats_.backoff_ticks += policy_.base_backoff << attempt;
+    Result<CanonicalDelta> again = channel_->Retransmit(epoch_, missing);
+    if (!again.ok()) {
+      continue;  // Lost again, or fell off the outbox log; retry.
+    }
+    if (!DeltaPayloadIntact(*again) || again->sequence != missing ||
+        again->epoch != epoch_) {
+      ++stats_.corrupt_dropped;
+      continue;
+    }
+    ++stats_.retransmits;
+    DWC_RETURN_IF_ERROR(TryApply(*again, /*from_buffer=*/false));
+    return DrainBuffer();
+  }
+  // Rungs 2/3: the lost delta's relation is unknown, so reconcile digests
+  // against the source and repair exactly what differs.
+  DWC_RETURN_IF_ERROR(Resync());
+  return DrainBuffer();
+}
+
+Status DeltaIngestor::ResyncBase(const std::string& relation) {
+  ++stats_.base_resyncs;
+  ++stats_.source_queries;
+  DWC_ASSIGN_OR_RETURN(Relation actual,
+                       source_->AnswerQuery(Expr::Base(relation)));
+  DWC_ASSIGN_OR_RETURN(Relation mine, warehouse_->ReconstructBase(relation));
+  DWC_ASSIGN_OR_RETURN(Relation truth, actual.AlignTo(mine.schema()));
+  // Corrective canonical delta: what the source has that we don't, minus
+  // what we have that it doesn't.
+  CanonicalDelta corrective;
+  corrective.relation = relation;
+  corrective.inserts = Relation(mine.schema());
+  corrective.deletes = Relation(mine.schema());
+  for (const Tuple& tuple : truth.tuples()) {
+    if (!mine.Contains(tuple)) {
+      corrective.inserts.Insert(tuple);
+    }
+  }
+  for (const Tuple& tuple : mine.tuples()) {
+    if (!truth.Contains(tuple)) {
+      corrective.deletes.Insert(tuple);
+    }
+  }
+  if (!corrective.empty()) {
+    DWC_RETURN_IF_ERROR(warehouse_->Integrate(corrective, source_));
+  }
+  digest_.SetRelation(relation, truth);
+  // Everything the source ever reported for this base is now folded in;
+  // in-flight deltas at or below the watermark are superseded.
+  floor_[relation] = source_->last_sequence_for(relation);
+  return Status::Ok();
+}
+
+Status DeltaIngestor::Resync() {
+  // Cheap out-of-band digest exchange (the Merkle-handshake of the
+  // protocol), then per-base corrections for exactly the differing bases.
+  const StateDigest& truth = source_->digest();
+  for (const auto& [name, theirs] : truth.digests()) {
+    if (!warehouse_->spec().catalog().HasRelation(name)) {
+      continue;  // Source relations outside this warehouse's scope.
+    }
+    if (digest_.Get(name) == theirs) {
+      continue;
+    }
+    Status status = ResyncBase(name);
+    if (!status.ok()) {
+      return FullResync();
+    }
+  }
+  AdvancePast(source_->last_sequence());
+  return Status::Ok();
+}
+
+Status DeltaIngestor::FullResync() {
+  ++stats_.full_resyncs;
+  Database fresh;
+  for (const auto& [name, rel] : source_->db().relations()) {
+    (void)rel;
+    if (!warehouse_->spec().catalog().HasRelation(name)) {
+      continue;
+    }
+    ++stats_.source_queries;
+    DWC_ASSIGN_OR_RETURN(Relation copy, source_->AnswerQuery(Expr::Base(name)));
+    digest_.SetRelation(name, copy);
+    DWC_RETURN_IF_ERROR(fresh.AddRelation(name, std::move(copy)));
+    floor_[name] = source_->last_sequence_for(name);
+  }
+  DWC_RETURN_IF_ERROR(warehouse_->ResetFromSources(fresh));
+  AdvancePast(source_->last_sequence());
+  return Status::Ok();
+}
+
+}  // namespace dwc

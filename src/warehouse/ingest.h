@@ -1,0 +1,143 @@
+#ifndef DWC_WAREHOUSE_INGEST_H_
+#define DWC_WAREHOUSE_INGEST_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "util/checksum.h"
+#include "util/result.h"
+#include "warehouse/channel.h"
+#include "warehouse/source.h"
+#include "warehouse/update.h"
+#include "warehouse/warehouse.h"
+
+namespace dwc {
+
+// Tuning for the recovery ladder's first rung (targeted re-request).
+struct RetryPolicy {
+  // Retransmission attempts per missing sequence before escalating to a
+  // source resync.
+  int max_retries = 3;
+  // Simulated exponential backoff: attempt i costs base_backoff << i ticks,
+  // accumulated in IntegrationStats::backoff_ticks. Deterministic — no
+  // clocks, no jitter — so chaos runs replay exactly.
+  uint64_t base_backoff = 1;
+  // How far ahead of the expected sequence a buffered delta may sit before
+  // the hole is declared a gap (rather than mere reordering still in
+  // flight). Size this at or above the channel's reorder window; an
+  // undersized slack is safe but causes premature (successful)
+  // retransmissions.
+  uint64_t reorder_slack = 8;
+};
+
+// Everything the ingestor did and detected, for tests, the REPL `stats`
+// command, and bench/bench_fault_tolerance.cc.
+struct IntegrationStats {
+  size_t applied = 0;            // Deltas integrated into the warehouse.
+  size_t deduped = 0;            // Duplicate deliveries discarded.
+  size_t reordered = 0;          // Applied out of arrival order (buffered).
+  size_t corrupt_dropped = 0;    // Failed the payload checksum.
+  size_t stale_dropped = 0;      // Superseded by a resync or an old epoch.
+  size_t gaps_detected = 0;      // Missing sequences the ladder recovered.
+  size_t divergences = 0;        // State-digest mismatches detected.
+  size_t retransmit_attempts = 0;
+  size_t retransmits = 0;        // Attempts that recovered the delta.
+  uint64_t backoff_ticks = 0;    // Simulated waiting across all retries.
+  size_t base_resyncs = 0;       // Ladder rung 2: single-base corrections.
+  size_t full_resyncs = 0;       // Ladder rung 3: full fallback rebuilds.
+  size_t source_queries = 0;     // Source queries issued by the ladder.
+
+  std::string ToString() const;
+};
+
+// The warehouse-side endpoint of a DeltaChannel: consumes possibly
+// duplicated / reordered / corrupted / gapped deliveries from one source and
+// keeps the warehouse exactly consistent anyway.
+//
+//   - Duplicates are discarded by sequence number.
+//   - Reordered deltas wait in a bounded buffer until their predecessors
+//     arrive.
+//   - Corrupted deltas (payload checksum mismatch) are dropped; the
+//     resulting hole is recovered like any other gap.
+//   - Gaps and divergences climb a graceful-degradation ladder:
+//       1. targeted re-request of the missing sequence from the channel's
+//          outbox log, capped retries with deterministic exponential
+//          backoff;
+//       2. bounded resync of only the affected base: one source query,
+//          diffed against the W^-1-reconstructed base to form a corrective
+//          canonical delta;
+//       3. full resync: re-pull every base and rebuild the warehouse
+//          (Warehouse::ResetFromSources).
+//     Every source query this costs is counted; on a faultless channel the
+//     ladder never fires and the update-independence guarantee (zero source
+//     queries) is preserved.
+//
+// Attach at a moment when the warehouse is consistent with the source (e.g.
+// right after Warehouse::Load): the ingestor snapshots the source's digests
+// and sequence watermark as its starting point. Single-source; run one
+// ingestor per channel.
+class DeltaIngestor {
+ public:
+  DeltaIngestor(Warehouse* warehouse, Source* source, DeltaChannel* channel,
+                RetryPolicy policy = RetryPolicy());
+
+  // Processes one delivered delta (apply / buffer / dedup / recover).
+  Status Receive(const CanonicalDelta& delta);
+
+  // Polls the channel dry, then reconciles against the source's sequence
+  // watermark (the ack frame of the protocol): any sequence at or below it
+  // that never arrived is a confirmed gap and gets recovered. After a
+  // successful Drain the warehouse has integrated every update the source
+  // ever reported.
+  Status Drain();
+
+  const IntegrationStats& stats() const { return stats_; }
+  uint64_t next_expected() const { return next_seq_; }
+  size_t buffered() const { return buffer_.size(); }
+
+ private:
+  // Applies the delta with sequence == next_seq_: divergence probe first,
+  // then Warehouse::Integrate, then digest bookkeeping. Consumes the
+  // sequence number even when the delta is superseded by a resync
+  // watermark.
+  Status TryApply(const CanonicalDelta& delta, bool from_buffer);
+  // Applies buffered successors of next_seq_ in order, dropping stale ones.
+  Status DrainBuffer();
+  // The ladder, for the missing sequence next_seq_.
+  Status RecoverMissing();
+  // Rung 2 for one base: source query + diff against the reconstructed
+  // base + corrective delta.
+  Status ResyncBase(const std::string& relation);
+  // Rung 2 sweep when the lost delta's relation is unknown: digest
+  // reconciliation against the source, resyncing exactly the differing
+  // bases; escalates to FullResync when a base resync fails.
+  Status Resync();
+  // Rung 3.
+  Status FullResync();
+  // Advances next_seq_ past a resync watermark, dropping superseded
+  // buffered deltas.
+  void AdvancePast(uint64_t watermark);
+  uint64_t FloorFor(const std::string& relation) const;
+
+  Warehouse* warehouse_;
+  Source* source_;
+  DeltaChannel* channel_;
+  RetryPolicy policy_;
+  uint64_t epoch_;
+  uint64_t next_seq_;
+  // Out-of-order arrivals, keyed by sequence; bounded by reorder_slack via
+  // the gap escalation in Receive.
+  std::map<uint64_t, CanonicalDelta> buffer_;
+  // The base-state digests the warehouse believes the source has; compared
+  // against each delta's piggybacked post-state digest.
+  StateDigest digest_;
+  // Per-relation resync watermarks: in-flight deltas at or below the floor
+  // were already folded into a resync and must be skipped, not re-applied.
+  std::map<std::string, uint64_t> floor_;
+  IntegrationStats stats_;
+};
+
+}  // namespace dwc
+
+#endif  // DWC_WAREHOUSE_INGEST_H_

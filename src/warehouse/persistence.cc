@@ -52,4 +52,16 @@ Result<RestoredWarehouse> WarehouseFromScript(
   return restored;
 }
 
+void DeltaJournal::Append(const CanonicalDelta& delta) {
+  script_ += DeltaToScript(delta);
+  ++entries_;
+}
+
+Result<RestoredWarehouse> RecoverWarehouse(
+    const std::string& checkpoint_script, const DeltaJournal& journal,
+    MaintenanceStrategy strategy, const ComplementOptions& options) {
+  return WarehouseFromScript(checkpoint_script + journal.script(), strategy,
+                             options);
+}
+
 }  // namespace dwc

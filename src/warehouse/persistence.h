@@ -28,6 +28,41 @@ Result<RestoredWarehouse> WarehouseFromScript(
     MaintenanceStrategy strategy = MaintenanceStrategy::kIncremental,
     const ComplementOptions& options = ComplementOptions());
 
+// Append-only commit log of integrated deltas, each rendered as a DSL
+// DELTA statement (script_io.h). Append *after* Warehouse::Integrate
+// succeeds: the journal then holds exactly the committed refreshes since
+// the last checkpoint, so no matter where a crash tears the in-memory
+// state, RecoverWarehouse(checkpoint, journal) lands on the last
+// consistent pre-crash state — a half-applied refresh was never journaled.
+class DeltaJournal {
+ public:
+  void Append(const CanonicalDelta& delta);
+
+  // The concatenated DELTA statements since the last Clear().
+  const std::string& script() const { return script_; }
+  size_t entries() const { return entries_; }
+  bool empty() const { return entries_ == 0; }
+
+  // Truncate after taking a fresh checkpoint.
+  void Clear() {
+    script_.clear();
+    entries_ = 0;
+  }
+
+ private:
+  std::string script_;
+  size_t entries_ = 0;
+};
+
+// Checkpoint + journal replay: runs the checkpoint script (WarehouseToScript)
+// with the journal's DELTA records appended and loads a fresh warehouse from
+// the result. Sequenced records re-verify their piggybacked state digests
+// during replay, so a damaged journal fails loudly.
+Result<RestoredWarehouse> RecoverWarehouse(
+    const std::string& checkpoint_script, const DeltaJournal& journal,
+    MaintenanceStrategy strategy = MaintenanceStrategy::kIncremental,
+    const ComplementOptions& options = ComplementOptions());
+
 }  // namespace dwc
 
 #endif  // DWC_WAREHOUSE_PERSISTENCE_H_

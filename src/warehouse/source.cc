@@ -8,32 +8,49 @@
 
 namespace dwc {
 
-Result<CanonicalDelta> Source::Apply(const UpdateOp& op) {
-  Relation* rel = db_.FindMutableRelation(op.relation);
-  if (rel == nullptr) {
-    return Status::NotFound(
-        StrCat("source relation '", op.relation, "' does not exist"));
+uint64_t DeltaPayloadDigest(const CanonicalDelta& delta) {
+  uint64_t h = StringDigest(delta.relation);
+  h = Mix64(h ^ StringDigest(delta.source_id));
+  h = Mix64(h ^ delta.epoch);
+  h = Mix64(h ^ delta.sequence);
+  h = Mix64(h ^ delta.state_digest);
+  // Distinct constants keep "insert t" and "delete t" from cancelling.
+  h = Mix64(h ^ (RelationDigest(delta.inserts) + 0x71D67FFFEDA60000ULL));
+  h = Mix64(h ^ (RelationDigest(delta.deletes) + 0xFFF7EEE000000001ULL));
+  return h;
+}
+
+namespace {
+
+// Validation half of validate-then-apply: every tuple of `op` checked
+// against the schema before any mutation.
+Status ValidateOp(const UpdateOp& op, const Relation& rel) {
+  for (const std::vector<Tuple>* tuples : {&op.deletes, &op.inserts}) {
+    for (const Tuple& tuple : *tuples) {
+      if (tuple.size() != rel.schema().size()) {
+        return Status::InvalidArgument(
+            StrCat("tuple ", tuple.ToString(), " does not match schema of ",
+                   op.relation));
+      }
+    }
   }
+  return Status::Ok();
+}
+
+// Mutation half: cannot fail once ValidateOp passed. Produces the canonical
+// per-op delta (only tuples that actually changed the state, with
+// delete-then-reinsert pairs cancelled).
+CanonicalDelta ApplyValidated(const UpdateOp& op, Relation* rel) {
   CanonicalDelta delta;
   delta.relation = op.relation;
   delta.inserts = Relation(rel->schema());
   delta.deletes = Relation(rel->schema());
   for (const Tuple& tuple : op.deletes) {
-    if (tuple.size() != rel->schema().size()) {
-      return Status::InvalidArgument(
-          StrCat("tuple ", tuple.ToString(), " does not match schema of ",
-                 op.relation));
-    }
     if (rel->Erase(tuple)) {
       delta.deletes.Insert(tuple);
     }
   }
   for (const Tuple& tuple : op.inserts) {
-    if (tuple.size() != rel->schema().size()) {
-      return Status::InvalidArgument(
-          StrCat("tuple ", tuple.ToString(), " does not match schema of ",
-                 op.relation));
-    }
     if (rel->Insert(tuple)) {
       delta.inserts.Insert(tuple);
     }
@@ -54,13 +71,79 @@ Result<CanonicalDelta> Source::Apply(const UpdateOp& op) {
   return delta;
 }
 
+// Undoes a canonical delta against its relation (exact inverse: the delta's
+// inserts were new and its deletes were present).
+void UndoDelta(const CanonicalDelta& delta, Relation* rel) {
+  for (const Tuple& tuple : delta.inserts.tuples()) {
+    rel->Erase(tuple);
+  }
+  for (const Tuple& tuple : delta.deletes.tuples()) {
+    rel->Insert(tuple);
+  }
+}
+
+}  // namespace
+
+void Source::StampEnvelope(CanonicalDelta* delta) {
+  delta->source_id = source_id_;
+  delta->epoch = epoch_;
+  delta->sequence = next_sequence_++;
+  delta->state_digest = digest_.Get(delta->relation);
+  delta->payload_digest = DeltaPayloadDigest(*delta);
+  relation_watermark_[delta->relation] = delta->sequence;
+}
+
+uint64_t Source::last_sequence_for(const std::string& relation) const {
+  auto it = relation_watermark_.find(relation);
+  return it == relation_watermark_.end() ? 0 : it->second;
+}
+
+void Source::BeginEpoch() {
+  ++epoch_;
+  next_sequence_ = 1;
+  relation_watermark_.clear();
+}
+
+Result<CanonicalDelta> Source::Apply(const UpdateOp& op) {
+  Relation* rel = db_.FindMutableRelation(op.relation);
+  if (rel == nullptr) {
+    return Status::NotFound(
+        StrCat("source relation '", op.relation, "' does not exist"));
+  }
+  DWC_RETURN_IF_ERROR(ValidateOp(op, *rel));
+  CanonicalDelta delta = ApplyValidated(op, rel);
+  if (!delta.empty()) {
+    digest_.Apply(delta.relation, delta.inserts, delta.deletes);
+    StampEnvelope(&delta);
+  }
+  return delta;
+}
+
 Result<std::vector<CanonicalDelta>> Source::ApplyTransaction(
     const std::vector<UpdateOp>& ops) {
   // Net deltas per relation; composition keeps them canonical relative to
-  // the pre-transaction state.
+  // the pre-transaction state. Steps apply unstamped — only the net deltas
+  // consume sequence numbers, and their digests must describe the
+  // post-transaction state, not intermediate ones.
   std::map<std::string, CanonicalDelta> net;
+  std::vector<CanonicalDelta> applied;  // Undo log, in application order.
   for (const UpdateOp& op : ops) {
-    DWC_ASSIGN_OR_RETURN(CanonicalDelta step, Apply(op));
+    Relation* rel = db_.FindMutableRelation(op.relation);
+    Status status =
+        rel == nullptr
+            ? Status::NotFound(StrCat("source relation '", op.relation,
+                                      "' does not exist"))
+            : ValidateOp(op, *rel);
+    if (!status.ok()) {
+      // Restore the pre-transaction state: undo the applied prefix in
+      // reverse order.
+      for (auto it = applied.rbegin(); it != applied.rend(); ++it) {
+        UndoDelta(*it, db_.FindMutableRelation(it->relation));
+      }
+      return status;
+    }
+    CanonicalDelta step = ApplyValidated(op, rel);
+    applied.push_back(step);
     auto it = net.find(step.relation);
     if (it == net.end()) {
       std::string relation = step.relation;
@@ -85,6 +168,8 @@ Result<std::vector<CanonicalDelta>> Source::ApplyTransaction(
   for (auto& [relation, delta] : net) {
     (void)relation;
     if (!delta.empty()) {
+      digest_.Apply(delta.relation, delta.inserts, delta.deletes);
+      StampEnvelope(&delta);
       result.push_back(std::move(delta));
     }
   }
@@ -92,7 +177,7 @@ Result<std::vector<CanonicalDelta>> Source::ApplyTransaction(
 }
 
 Result<Relation> Source::AnswerQuery(const ExprRef& query) const {
-  ++query_count_;
+  query_count_.fetch_add(1, std::memory_order_relaxed);
   Environment env = Environment::FromDatabase(db_);
   return EvalExpr(*query, env);
 }

@@ -1,11 +1,15 @@
 #ifndef DWC_WAREHOUSE_SOURCE_H_
 #define DWC_WAREHOUSE_SOURCE_H_
 
+#include <atomic>
+#include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "algebra/expr.h"
 #include "relational/database.h"
+#include "util/checksum.h"
 #include "util/result.h"
 #include "warehouse/update.h"
 
@@ -16,22 +20,37 @@ namespace dwc {
 // an ad-hoc query interface — the expensive channel the paper's whole
 // construction exists to avoid — which counts every access so tests and
 // benchmarks can assert (or measure) source traffic.
+//
+// Reported deltas are stamped with a delivery envelope (source id, epoch,
+// monotone sequence number, post-state digest — see CanonicalDelta) so a
+// downstream DeltaChannel/DeltaIngestor pair can detect duplicated, dropped,
+// reordered and corrupted deliveries. Updates are atomic: a failing op (or a
+// failing op inside a transaction) leaves the source state exactly as it was.
 class Source {
  public:
-  explicit Source(Database db) : db_(std::move(db)) {}
+  explicit Source(Database db, std::string source_id = "")
+      : db_(std::move(db)), source_id_(std::move(source_id)), digest_(db_) {}
 
   const Database& db() const { return db_; }
+  // Direct mutation bypasses the delta envelope; call RefreshDigest()
+  // afterwards if sequenced delivery is in use.
   Database& mutable_db() { return db_; }
 
+  const std::string& source_id() const { return source_id_; }
+  void set_source_id(std::string id) { source_id_ = std::move(id); }
+
   // Applies `op` and returns the canonical delta to report to the
-  // integrator. Fails if the relation is unknown or a tuple is malformed.
+  // integrator. Fails if the relation is unknown or a tuple is malformed;
+  // every tuple is validated before anything mutates, so a failure leaves
+  // the source untouched.
   Result<CanonicalDelta> Apply(const UpdateOp& op);
 
   // Applies `ops` sequentially as one transaction and returns the *net*
   // canonical deltas relative to the pre-transaction state, merged to at
   // most one delta per relation (delete-then-reinsert and
   // insert-then-delete sequences cancel). Feed the result to
-  // Warehouse::IntegrateTransaction.
+  // Warehouse::IntegrateTransaction. On any error the pre-transaction state
+  // is restored (the already-applied prefix is rolled back).
   Result<std::vector<CanonicalDelta>> ApplyTransaction(
       const std::vector<UpdateOp>& ops);
 
@@ -39,12 +58,38 @@ class Source {
   // query_count(): an update-independent warehouse never triggers it.
   Result<Relation> AnswerQuery(const ExprRef& query) const;
 
-  size_t query_count() const { return query_count_; }
-  void ResetQueryCount() { query_count_ = 0; }
+  size_t query_count() const {
+    return query_count_.load(std::memory_order_relaxed);
+  }
+  void ResetQueryCount() { query_count_.store(0, std::memory_order_relaxed); }
+
+  // Delivery-envelope state. `last_sequence` is the highest sequence number
+  // stamped in the current epoch; `last_sequence_for` the highest one that
+  // touched `relation` (the watermark a targeted resync hands back).
+  uint64_t epoch() const { return epoch_; }
+  uint64_t last_sequence() const { return next_sequence_ - 1; }
+  uint64_t last_sequence_for(const std::string& relation) const;
+
+  // Starts a new epoch (models a source restart/resync): the sequence
+  // counter rewinds to the beginning of the new epoch.
+  void BeginEpoch();
+
+  // Recomputes the incremental per-relation digests from db_ — required
+  // after external mutation through mutable_db().
+  void RefreshDigest() { digest_.Reset(db_); }
+  const StateDigest& digest() const { return digest_; }
 
  private:
+  // Stamps the envelope onto a freshly produced non-empty delta.
+  void StampEnvelope(CanonicalDelta* delta);
+
   Database db_;
-  mutable size_t query_count_ = 0;
+  std::string source_id_;
+  StateDigest digest_;
+  uint64_t epoch_ = 1;
+  uint64_t next_sequence_ = 1;
+  std::map<std::string, uint64_t> relation_watermark_;
+  mutable std::atomic<size_t> query_count_ = 0;
 };
 
 }  // namespace dwc

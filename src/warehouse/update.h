@@ -22,13 +22,46 @@ struct UpdateOp {
 // canonicalized deltas — `inserts` contains only tuples that were actually
 // new, `deletes` only tuples that were actually present. The maintenance
 // expressions assume this canonical form.
+//
+// Non-empty deltas additionally carry a delivery envelope stamped by the
+// reporting Source: its id, a per-source epoch, a sequence number that is
+// monotone within the epoch (shared across that source's relations, so the
+// integrator can detect gaps without knowing which relation a lost delta
+// touched), and a digest of the affected relation's post-apply state. The
+// fault-tolerant channel and ingestion layer (channel.h, ingest.h) use the
+// envelope for dedup, reordering, gap and divergence detection; sequence 0
+// marks an unsequenced delta (empty, or built by hand in tests), which the
+// ingestion layer applies without sequencing checks.
 struct CanonicalDelta {
   std::string relation;
   Relation inserts;
   Relation deletes;
 
+  std::string source_id;
+  uint64_t epoch = 0;
+  uint64_t sequence = 0;
+  // XOR-of-tuple-digests of the source's `relation` after applying this
+  // delta (util/checksum.h); the integrator's divergence check.
+  uint64_t state_digest = 0;
+  // DeltaPayloadDigest over the other fields, stamped at the source; the
+  // receiver recomputes it, so any in-flight mutation (payload, envelope,
+  // or this field itself) is detected.
+  uint64_t payload_digest = 0;
+
   bool empty() const { return inserts.empty() && deletes.empty(); }
+  bool sequenced() const { return sequence != 0; }
 };
+
+// Envelope + payload checksum of a delta: covers the relation name, the
+// envelope fields (except payload_digest itself) and every tuple.
+// Recomputable by any hop, so in-flight corruption is detectable without
+// trusting the carrier. Defined in source.cc.
+uint64_t DeltaPayloadDigest(const CanonicalDelta& delta);
+
+// True when the delta's stamped payload_digest matches its content.
+inline bool DeltaPayloadIntact(const CanonicalDelta& delta) {
+  return delta.payload_digest == DeltaPayloadDigest(delta);
+}
 
 }  // namespace dwc
 

@@ -54,8 +54,47 @@ Status Warehouse::MaterializeFrom(const Environment& base_env) {
   return Status::Ok();
 }
 
+Status Warehouse::BeginIntegration(
+    const std::vector<const CanonicalDelta*>& deltas) {
+  hook_step_ = 0;
+  for (const CanonicalDelta* delta : deltas) {
+    if (!spec_->catalog().HasRelation(delta->relation)) {
+      return Status::NotFound(StrCat("delta targets unknown base relation '",
+                                     delta->relation, "'"));
+    }
+    if (!validate_deltas_ || delta->empty() ||
+        spec_->FindInverse(delta->relation) == nullptr) {
+      continue;
+    }
+    // Canonical-form check against the reconstructed base: inserts must be
+    // new, deletes must be present. Rejecting here keeps every later phase
+    // infallible-by-construction on the delta's account.
+    DWC_ASSIGN_OR_RETURN(Relation base, ReconstructBase(delta->relation));
+    DWC_ASSIGN_OR_RETURN(Relation inserts,
+                         delta->inserts.AlignTo(base.schema()));
+    for (const Tuple& tuple : inserts.tuples()) {
+      if (base.Contains(tuple)) {
+        return Status::InvalidArgument(
+            StrCat("non-canonical delta for '", delta->relation,
+                   "': insert ", tuple.ToString(), " is already present"));
+      }
+    }
+    DWC_ASSIGN_OR_RETURN(Relation deletes,
+                         delta->deletes.AlignTo(base.schema()));
+    for (const Tuple& tuple : deletes.tuples()) {
+      if (!base.Contains(tuple)) {
+        return Status::InvalidArgument(
+            StrCat("non-canonical delta for '", delta->relation,
+                   "': delete ", tuple.ToString(), " is not present"));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
 Status Warehouse::Integrate(const CanonicalDelta& delta,
                             const Source* source) {
+  DWC_RETURN_IF_ERROR(BeginIntegration({&delta}));
   switch (strategy_) {
     case MaintenanceStrategy::kIncremental:
       return IntegrateIncremental(delta);
@@ -89,6 +128,7 @@ Status Warehouse::IntegrateTransaction(
   if (nonempty.empty()) {
     return Status::Ok();
   }
+  DWC_RETURN_IF_ERROR(BeginIntegration(nonempty));
   switch (strategy_) {
     case MaintenanceStrategy::kIncremental: {
       if (nonempty.size() == 1) {
@@ -141,13 +181,18 @@ Status Warehouse::ApplyPlanned(
   Evaluator evaluator(&env);
 
   // Evaluate all deltas against the *old* state first, then apply.
+  // Everything fallible (evaluation, relation lookup, schema alignment)
+  // happens in this phase, before the first mutation — the commit phase
+  // below cannot fail on the delta's account.
   struct Pending {
     std::string relation;
+    Relation* target;
     Relation plus;
     Relation minus;
   };
   std::vector<Pending> pending;
   for (const auto& [relation, pair] : per_relation_plan) {
+    DWC_RETURN_IF_ERROR(HookStep());
     Result<Relation> plus = evaluator.Materialize(*pair.plus);
     if (!plus.ok()) {
       return plus.status();
@@ -156,8 +201,21 @@ Status Warehouse::ApplyPlanned(
     if (!minus.ok()) {
       return minus.status();
     }
-    pending.push_back(Pending{relation, std::move(plus).value(),
-                              std::move(minus).value()});
+    Relation* target = state_.FindMutableRelation(relation);
+    if (target == nullptr) {
+      return Status::Internal(
+          StrCat("warehouse relation '", relation, "' missing"));
+    }
+    Result<Relation> plus_aligned = plus->AlignTo(target->schema());
+    if (!plus_aligned.ok()) {
+      return plus_aligned.status();
+    }
+    Result<Relation> minus_aligned = minus->AlignTo(target->schema());
+    if (!minus_aligned.ok()) {
+      return minus_aligned.status();
+    }
+    pending.push_back(Pending{relation, target, std::move(plus_aligned).value(),
+                              std::move(minus_aligned).value()});
   }
 
   // Summary tables: derive (and cache) the exact deltas of each aggregate's
@@ -195,6 +253,7 @@ Status Warehouse::ApplyPlanned(
         if (!touched) {
           continue;
         }
+        DWC_RETURN_IF_ERROR(HookStep());
         std::string cache_key =
             StrCat(name, "|", Join(changed, ","));
         auto cached = aggregate_delta_cache_.find(cache_key);
@@ -224,39 +283,71 @@ Status Warehouse::ApplyPlanned(
     }
   }
 
-  for (Pending& p : pending) {
-    Relation* rel = state_.FindMutableRelation(p.relation);
-    if (rel == nullptr) {
-      return Status::Internal(
-          StrCat("warehouse relation '", p.relation, "' missing"));
+  // Commit phase. A failing HookStep() here simulates a crash: it returns
+  // immediately *without* rollback, leaving torn in-memory state that the
+  // caller must discard and recover via checkpoint + journal replay
+  // (persistence.h). Genuine failures (aggregate fold errors) instead roll
+  // back through the O(|delta|) undo log so the error contract stays
+  // "state unchanged".
+  struct Undo {
+    Relation* target;
+    std::vector<Tuple> inserted;
+    std::vector<Tuple> erased;
+  };
+  std::vector<Undo> undo;
+  undo.reserve(pending.size());
+  auto rollback_relations = [&undo]() {
+    for (auto it = undo.rbegin(); it != undo.rend(); ++it) {
+      for (const Tuple& tuple : it->inserted) {
+        it->target->Erase(tuple);
+      }
+      for (const Tuple& tuple : it->erased) {
+        it->target->Insert(tuple);
+      }
     }
+  };
+  for (Pending& p : pending) {
+    DWC_RETURN_IF_ERROR(HookStep());
+    Undo u{p.target, {}, {}};
     // Apply deletions before insertions: the delta pair is exact, so the
     // two sets are disjoint and order only matters for storage churn.
-    Result<Relation> minus_aligned = p.minus.AlignTo(rel->schema());
-    if (!minus_aligned.ok()) {
-      return minus_aligned.status();
+    for (const Tuple& tuple : p.minus.tuples()) {
+      if (p.target->Erase(tuple)) {
+        u.erased.push_back(tuple);
+      }
     }
-    for (const Tuple& tuple : minus_aligned->tuples()) {
-      rel->Erase(tuple);
+    for (const Tuple& tuple : p.plus.tuples()) {
+      if (p.target->Insert(tuple)) {
+        u.inserted.push_back(tuple);
+      }
     }
-    Result<Relation> plus_aligned = p.plus.AlignTo(rel->schema());
-    if (!plus_aligned.ok()) {
-      return plus_aligned.status();
-    }
-    for (const Tuple& tuple : plus_aligned->tuples()) {
-      rel->Insert(tuple);
-    }
+    undo.push_back(std::move(u));
   }
 
   // Fold aggregate deltas against the new state (MIN/MAX group recomputes
-  // read the updated fact views).
+  // read the updated fact views). Each touched view is snapshotted first
+  // (summary tables are small) so a fold failure restores it exactly.
   if (!aggregate_pending.empty()) {
+    std::vector<std::pair<AggregateView*, AggregateView>> saved;
+    saved.reserve(aggregate_pending.size());
     Environment new_env = Env();
     for (AggregatePending& p : aggregate_pending) {
-      DWC_RETURN_IF_ERROR(p.view->ApplyDelta(p.plus, p.minus, new_env));
+      DWC_RETURN_IF_ERROR(HookStep());
+      saved.emplace_back(p.view, *p.view);
+      Status status = p.view->ApplyDelta(p.plus, p.minus, new_env);
+      if (!status.ok()) {
+        for (auto it = saved.rbegin(); it != saved.rend(); ++it) {
+          *it->first = it->second;
+        }
+        rollback_relations();
+        return status;
+      }
     }
   }
-  return Status::Ok();
+  // Final commit point: a crash here happens after all mutations but before
+  // the caller journals the delta, so recovery replays up to the previous
+  // refresh.
+  return HookStep();
 }
 
 Status Warehouse::AddAggregateView(AggregateViewDef def) {
@@ -303,6 +394,9 @@ Status Warehouse::ReinitializeAggregates() {
 Status Warehouse::IntegrateRecompute(
     const std::vector<const CanonicalDelta*>& deltas) {
   // Reconstruct the base state through W^-1, apply the deltas, re-derive.
+  // All of this happens on a local copy, so failures before the state swap
+  // leave the warehouse untouched.
+  DWC_RETURN_IF_ERROR(HookStep());
   Result<Database> bases = ReconstructSources();
   if (!bases.ok()) {
     return bases.status();
@@ -329,8 +423,27 @@ Status Warehouse::IntegrateRecompute(
     }
   }
   Environment env = Environment::FromDatabase(*bases);
+  if (aggregates_.empty()) {
+    // MaterializeFrom builds the new state fully before swapping, so a
+    // failure leaves the old state in place.
+    DWC_RETURN_IF_ERROR(MaterializeFrom(env));
+    return HookStep();
+  }
+  // Aggregate re-init mutates views in place; snapshot for rollback. The
+  // copies are acceptable on this already-O(|database|) path.
+  Database old_state = state_;
+  std::map<std::string, AggregateView> old_aggregates = aggregates_;
   DWC_RETURN_IF_ERROR(MaterializeFrom(env));
-  return ReinitializeAggregates();
+  // A crash between the swap and aggregate re-init leaves torn state the
+  // caller discards (checkpoint + journal recovery).
+  DWC_RETURN_IF_ERROR(HookStep());
+  Status status = ReinitializeAggregates();
+  if (!status.ok()) {
+    state_ = std::move(old_state);
+    aggregates_ = std::move(old_aggregates);
+    return status;
+  }
+  return HookStep();
 }
 
 Status Warehouse::IntegrateQuerySource(const Source& source) {
@@ -365,8 +478,21 @@ Status Warehouse::IntegrateQuerySource(const Source& source) {
     DWC_RETURN_IF_ERROR(fresh.AddRelation(view.name, std::move(rel).value()));
     env.Bind(view.name, fresh.FindRelation(view.name));
   }
+  DWC_RETURN_IF_ERROR(HookStep());
+  if (aggregates_.empty()) {
+    state_ = std::move(fresh);
+    return HookStep();
+  }
+  Database old_state = std::move(state_);
+  std::map<std::string, AggregateView> old_aggregates = aggregates_;
   state_ = std::move(fresh);
-  return ReinitializeAggregates();
+  Status status = ReinitializeAggregates();
+  if (!status.ok()) {
+    state_ = std::move(old_state);
+    aggregates_ = std::move(old_aggregates);
+    return status;
+  }
+  return HookStep();
 }
 
 Result<Relation> Warehouse::AnswerQuery(const ExprRef& query,
@@ -404,6 +530,39 @@ Result<Relation> Warehouse::AnswerQuery(const ExprRef& query,
     *stats = evaluator.stats();
   }
   return result;
+}
+
+Status Warehouse::ResetFromSources(const Database& sources) {
+  Environment env = Environment::FromDatabase(sources);
+  if (aggregates_.empty()) {
+    return MaterializeFrom(env);
+  }
+  Database old_state = state_;
+  std::map<std::string, AggregateView> old_aggregates = aggregates_;
+  DWC_RETURN_IF_ERROR(MaterializeFrom(env));
+  Status status = ReinitializeAggregates();
+  if (!status.ok()) {
+    state_ = std::move(old_state);
+    aggregates_ = std::move(old_aggregates);
+    return status;
+  }
+  return Status::Ok();
+}
+
+Result<Relation> Warehouse::ReconstructBase(const std::string& name) const {
+  const ExprRef* inverse = spec_->FindInverse(name);
+  if (inverse == nullptr) {
+    return Status::NotFound(
+        StrCat("base relation '", name, "' has no inverse expression"));
+  }
+  Environment env = Env();
+  Evaluator evaluator(&env);
+  DWC_ASSIGN_OR_RETURN(Relation rel, evaluator.Materialize(**inverse));
+  const Schema* declared = spec_->catalog().FindSchema(name);
+  if (declared != nullptr && !(rel.schema() == *declared)) {
+    DWC_ASSIGN_OR_RETURN(rel, rel.AlignTo(*declared));
+  }
+  return rel;
 }
 
 Result<Database> Warehouse::ReconstructSources() const {

@@ -1,6 +1,7 @@
 #ifndef DWC_WAREHOUSE_WAREHOUSE_H_
 #define DWC_WAREHOUSE_WAREHOUSE_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -93,6 +94,36 @@ class Warehouse {
   // one-to-one mapping, inverted). Used by consistency checks and tests.
   Result<Database> ReconstructSources() const;
 
+  // Rebuilds one base relation through its inverse expression (aligned to
+  // the declared schema). NotFound when the base has no inverse — e.g. a
+  // partial warehouse. Used by delta validation and the recovery ladder's
+  // targeted resync (ingest.h).
+  Result<Relation> ReconstructBase(const std::string& name) const;
+
+  // Rung 3 of the recovery ladder (ingest.h): rematerializes every
+  // warehouse relation from a fresh copy of the base state and
+  // re-initializes the aggregates, abandoning whatever the current state
+  // holds. Leaves the old state in place on failure.
+  Status ResetFromSources(const Database& sources);
+
+  // When enabled, Integrate/IntegrateTransaction reconstruct each affected
+  // base through W^-1 and reject non-canonical deltas (an insert already
+  // present, or a delete of an absent tuple) before touching any state.
+  // Off by default: the check costs O(|base|) per refresh, which would
+  // forfeit the O(|delta|) incremental story on trusted channels; the
+  // fault-tolerant ingestion layer and the tests enable it.
+  void set_validate_deltas(bool validate) { validate_deltas_ = validate; }
+  bool validate_deltas() const { return validate_deltas_; }
+
+  // Testing hook for the crash-injection harness: invoked with a step index
+  // that increases through each integration call; a non-OK return aborts
+  // integration at exactly that internal step, simulating a crash whose
+  // partial state is then discarded by checkpoint + journal recovery
+  // (persistence.h). Pass nullptr to clear.
+  void SetIntegrationHook(std::function<Status(int)> hook) {
+    integration_hook_ = std::move(hook);
+  }
+
   // An evaluation environment over the warehouse state (including
   // materialized aggregate views).
   Environment Env() const {
@@ -111,6 +142,13 @@ class Warehouse {
   Status IntegrateIncremental(const CanonicalDelta& delta);
   Status IntegrateRecompute(const std::vector<const CanonicalDelta*>& deltas);
   Status IntegrateQuerySource(const Source& source);
+  // Shared entry checks: known base relation, and (when enabled) canonical
+  // form against the W^-1-reconstructed base. Resets the hook step counter.
+  Status BeginIntegration(const std::vector<const CanonicalDelta*>& deltas);
+  // Crash-injection hook call site; no-op without a hook installed.
+  Status HookStep() {
+    return integration_hook_ ? integration_hook_(hook_step_++) : Status::Ok();
+  }
   // Shared incremental core: evaluates `per_relation_plan` against the old
   // state with every delta bound, applies the results, then folds summary
   // tables.
@@ -133,6 +171,9 @@ class Warehouse {
   std::map<std::string, DeltaPair> aggregate_delta_cache_;
   // Cached transaction plans keyed by the comma-joined sorted base set.
   std::map<std::string, std::map<std::string, DeltaPair>> transaction_plans_;
+  bool validate_deltas_ = false;
+  std::function<Status(int)> integration_hook_;
+  int hook_step_ = 0;
 };
 
 // Verifies that every warehouse relation equals its definition evaluated on

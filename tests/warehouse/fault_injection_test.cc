@@ -1,0 +1,187 @@
+// Chaos property test: a star-schema warehouse fed through a faulty
+// DeltaChannel (drops, duplicates, bounded reordering, corruption) must,
+// after DeltaIngestor::Drain, be exactly consistent with the source — and
+// the update-independence guarantee must degrade gracefully: zero source
+// queries when no gap was injected, and otherwise only the queries the
+// recovery ladder counted.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/warehouse_spec.h"
+#include "testing/test_util.h"
+#include "util/rng.h"
+#include "warehouse/channel.h"
+#include "warehouse/ingest.h"
+#include "warehouse/warehouse.h"
+#include "workload/star_schema.h"
+#include "workload/update_stream.h"
+
+namespace dwc {
+namespace {
+
+class FaultInjectionTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void BuildHarness(const FaultProfile& profile) {
+    StarSchemaConfig config;
+    config.customers = 10;
+    config.suppliers = 5;
+    config.parts = 12;
+    config.locations = 3;
+    config.orders = 30;
+    config.sales = 60;
+    config.seed = GetParam();
+    Result<StarSchema> star = BuildStarSchema(config);
+    DWC_ASSERT_OK(star);
+    spec_ = std::make_shared<WarehouseSpec>(
+        *SpecifyWarehouse(star->catalog, star->views));
+    source_ = std::make_unique<Source>(star->db, "star");
+    Result<Warehouse> warehouse = Warehouse::Load(spec_, source_->db());
+    DWC_ASSERT_OK(warehouse);
+    warehouse_ = std::make_unique<Warehouse>(std::move(warehouse).value());
+    channel_ = std::make_unique<DeltaChannel>(profile);
+    // Attached while warehouse == source: the ingestor snapshots this as its
+    // known-consistent starting point.
+    ingestor_ = std::make_unique<DeltaIngestor>(warehouse_.get(),
+                                                source_.get(), channel_.get());
+  }
+
+  // Forwards every currently deliverable delta into the ingestor.
+  void Pump() {
+    for (std::optional<CanonicalDelta> got = channel_->Poll(); got;
+         got = channel_->Poll()) {
+      DWC_ASSERT_OK(ingestor_->Receive(*got));
+    }
+  }
+
+  // Runs `steps` random source updates (every 5th a multi-relation
+  // transaction) through the channel, pumping deliveries as they arrive,
+  // then drains and reconciles.
+  void RunStream(int steps) {
+    Rng rng(GetParam() * 131 + 9);
+    std::vector<std::string> updatable = {"Sales", "Orders", "Customer",
+                                          "Supplier", "Part", "Location"};
+    UpdateStreamOptions options;
+    options.max_inserts = 3;
+    options.max_deletes = 2;
+    options.db_options.int_domain = 100000;
+    for (int step = 0; step < steps; ++step) {
+      if (step % 5 == 4) {
+        std::vector<UpdateOp> ops;
+        Source scratch(source_->db());
+        size_t n = 1 + rng.Below(3);
+        for (size_t i = 0; i < n; ++i) {
+          Result<UpdateOp> op = GenerateRandomUpdate(
+              scratch.db(), updatable[rng.Below(updatable.size())], &rng,
+              options);
+          DWC_ASSERT_OK(op);
+          DWC_ASSERT_OK(scratch.Apply(*op));
+          ops.push_back(std::move(op).value());
+        }
+        Result<std::vector<CanonicalDelta>> deltas =
+            source_->ApplyTransaction(ops);
+        DWC_ASSERT_OK(deltas);
+        for (const CanonicalDelta& delta : *deltas) {
+          channel_->Send(delta);
+        }
+      } else {
+        Result<UpdateOp> op = GenerateRandomUpdate(
+            source_->db(), updatable[rng.Below(updatable.size())], &rng,
+            options);
+        DWC_ASSERT_OK(op);
+        Result<CanonicalDelta> delta = source_->Apply(*op);
+        DWC_ASSERT_OK(delta);
+        channel_->Send(*delta);
+      }
+      Pump();
+      // Periodic full reconciliation mid-stream: convergence must not
+      // depend on reaching the end of the run.
+      if (step % 10 == 9) {
+        DWC_ASSERT_OK(ingestor_->Drain());
+        DWC_ASSERT_OK(CheckConsistency(*warehouse_, source_->db()));
+      }
+    }
+    DWC_ASSERT_OK(ingestor_->Drain());
+  }
+
+  std::shared_ptr<WarehouseSpec> spec_;
+  std::unique_ptr<Source> source_;
+  std::unique_ptr<Warehouse> warehouse_;
+  std::unique_ptr<DeltaChannel> channel_;
+  std::unique_ptr<DeltaIngestor> ingestor_;
+};
+
+TEST_P(FaultInjectionTest, DuplicatesAndReorderingNeverTouchTheSource) {
+  // No drops, no corruption: every delta eventually arrives intact, so the
+  // ladder must recover purely from the channel (dedup + buffering +
+  // outbox retransmission) and the zero-source-queries guarantee of
+  // update independence must survive unscathed.
+  FaultProfile profile;
+  profile.duplicate_rate = 0.2;
+  profile.reorder_rate = 0.2;
+  profile.seed = GetParam();
+  BuildHarness(profile);
+  RunStream(40);
+  DWC_ASSERT_OK(CheckConsistency(*warehouse_, source_->db()));
+  EXPECT_EQ(source_->query_count(), 0u);
+  EXPECT_EQ(ingestor_->stats().source_queries, 0u);
+  EXPECT_EQ(ingestor_->stats().base_resyncs, 0u);
+  EXPECT_EQ(ingestor_->stats().full_resyncs, 0u);
+  EXPECT_EQ(ingestor_->buffered(), 0u);
+}
+
+TEST_P(FaultInjectionTest, MixedFaultsUpToTwentyPercentConverge) {
+  FaultProfile profile;
+  profile.drop_rate = 0.1;
+  profile.duplicate_rate = 0.1;
+  profile.reorder_rate = 0.2;
+  profile.corrupt_rate = 0.05;
+  profile.seed = GetParam();
+  BuildHarness(profile);
+  RunStream(40);
+  DWC_ASSERT_OK(CheckConsistency(*warehouse_, source_->db()));
+  // Graceful degradation: the source may have been queried, but only by
+  // the counted ladder rungs — never behind the stats' back.
+  EXPECT_EQ(source_->query_count(), ingestor_->stats().source_queries);
+  EXPECT_EQ(ingestor_->buffered(), 0u);
+  EXPECT_EQ(ingestor_->next_expected(), source_->last_sequence() + 1);
+}
+
+TEST_P(FaultInjectionTest, HeavyLossConvergesThroughTheLadder) {
+  FaultProfile profile;
+  profile.drop_rate = 0.2;
+  profile.corrupt_rate = 0.2;
+  profile.seed = GetParam();
+  BuildHarness(profile);
+  RunStream(40);
+  DWC_ASSERT_OK(CheckConsistency(*warehouse_, source_->db()));
+  EXPECT_EQ(source_->query_count(), ingestor_->stats().source_queries);
+  // At 20% drop over a 40+ delta stream the ladder cannot stay idle.
+  EXPECT_GT(ingestor_->stats().gaps_detected, 0u);
+  EXPECT_GT(ingestor_->stats().retransmit_attempts, 0u);
+}
+
+TEST_P(FaultInjectionTest, SameSeedReplaysToIdenticalStats) {
+  FaultProfile profile;
+  profile.drop_rate = 0.1;
+  profile.duplicate_rate = 0.1;
+  profile.reorder_rate = 0.1;
+  profile.corrupt_rate = 0.1;
+  profile.seed = GetParam();
+  BuildHarness(profile);
+  RunStream(40);
+  IntegrationStats first = ingestor_->stats();
+  ChannelStats first_channel = channel_->stats();
+  BuildHarness(profile);
+  RunStream(40);
+  EXPECT_EQ(ingestor_->stats().ToString(), first.ToString());
+  EXPECT_EQ(channel_->stats().ToString(), first_channel.ToString());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultInjectionTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace dwc

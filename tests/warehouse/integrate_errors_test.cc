@@ -1,0 +1,155 @@
+// Warehouse::Integrate / IntegrateTransaction error paths: rejected deltas
+// must leave the warehouse state (and its aggregates) exactly unchanged —
+// validate-then-apply, not apply-then-notice.
+
+#include <gtest/gtest.h>
+
+#include "core/warehouse_spec.h"
+#include "testing/test_util.h"
+#include "util/checksum.h"
+#include "warehouse/source.h"
+#include "warehouse/warehouse.h"
+
+namespace dwc {
+namespace {
+
+using ::dwc::testing::Figure1Script;
+using ::dwc::testing::I;
+using ::dwc::testing::MustRun;
+using ::dwc::testing::S;
+using ::dwc::testing::T;
+
+class IntegrateErrorsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    context_ = MustRun(Figure1Script(/*with_constraints=*/true));
+    Result<WarehouseSpec> spec =
+        SpecifyWarehouse(context_.catalog, context_.views);
+    DWC_ASSERT_OK(spec);
+    spec_ = std::make_shared<WarehouseSpec>(std::move(spec).value());
+    source_ = std::make_unique<Source>(context_.db, "s1");
+    Result<Warehouse> warehouse = Warehouse::Load(spec_, source_->db());
+    DWC_ASSERT_OK(warehouse);
+    warehouse_ = std::make_unique<Warehouse>(std::move(warehouse).value());
+  }
+
+  // Fingerprint of the full warehouse state, for exact no-change checks.
+  uint64_t Fingerprint() const {
+    return StateDigest(warehouse_->state()).Combined();
+  }
+
+  Relation EmpRelation(std::vector<Tuple> tuples) const {
+    Relation rel(*spec_->catalog().FindSchema("Emp"));
+    for (Tuple& tuple : tuples) {
+      rel.Insert(std::move(tuple));
+    }
+    return rel;
+  }
+
+  ScriptContext context_;
+  std::shared_ptr<WarehouseSpec> spec_;
+  std::unique_ptr<Source> source_;
+  std::unique_ptr<Warehouse> warehouse_;
+};
+
+TEST_F(IntegrateErrorsTest, UnknownRelationIsRejectedBeforeAnyWork) {
+  uint64_t before = Fingerprint();
+  CanonicalDelta delta;
+  delta.relation = "Nope";
+  delta.inserts = EmpRelation({T({S("Nina"), I(27)})});
+  Status status = warehouse_->Integrate(delta);
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(Fingerprint(), before);
+  DWC_ASSERT_OK(CheckConsistency(*warehouse_, source_->db()));
+}
+
+TEST_F(IntegrateErrorsTest, NonCanonicalInsertRejectedWhenValidating) {
+  warehouse_->set_validate_deltas(true);
+  uint64_t before = Fingerprint();
+  CanonicalDelta delta;
+  delta.relation = "Emp";
+  // 'Mary' is already present: not a canonical insert.
+  delta.inserts = EmpRelation({T({S("Mary"), I(23)})});
+  Status status = warehouse_->Integrate(delta);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Fingerprint(), before);
+  DWC_ASSERT_OK(CheckConsistency(*warehouse_, source_->db()));
+}
+
+TEST_F(IntegrateErrorsTest, NonCanonicalDeleteRejectedWhenValidating) {
+  warehouse_->set_validate_deltas(true);
+  uint64_t before = Fingerprint();
+  CanonicalDelta delta;
+  delta.relation = "Emp";
+  delta.deletes = EmpRelation({T({S("Ghost"), I(1)})});  // Not present.
+  Status status = warehouse_->Integrate(delta);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Fingerprint(), before);
+  DWC_ASSERT_OK(CheckConsistency(*warehouse_, source_->db()));
+}
+
+TEST_F(IntegrateErrorsTest, ValidationIsOffByDefault) {
+  // The canonicity check costs O(|base|) per refresh; trusted channels skip
+  // it. (What a non-canonical delta then does to the state is the caller's
+  // problem — this only documents that the check is opt-in.)
+  EXPECT_FALSE(warehouse_->validate_deltas());
+}
+
+TEST_F(IntegrateErrorsTest, TransactionWithDuplicateRelationEntriesRejected) {
+  uint64_t before = Fingerprint();
+  CanonicalDelta first;
+  first.relation = "Emp";
+  first.inserts = EmpRelation({T({S("Nina"), I(27)})});
+  CanonicalDelta second;
+  second.relation = "Emp";
+  second.inserts = EmpRelation({T({S("Omar"), I(31)})});
+  Status status = warehouse_->IntegrateTransaction({first, second});
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Fingerprint(), before);
+  DWC_ASSERT_OK(CheckConsistency(*warehouse_, source_->db()));
+}
+
+TEST_F(IntegrateErrorsTest, TransactionWithUnknownRelationRejected) {
+  uint64_t before = Fingerprint();
+  CanonicalDelta good;
+  good.relation = "Emp";
+  good.inserts = EmpRelation({T({S("Nina"), I(27)})});
+  CanonicalDelta bad;
+  bad.relation = "Nope";
+  bad.inserts = EmpRelation({T({S("Omar"), I(31)})});
+  Status status = warehouse_->IntegrateTransaction({good, bad});
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(Fingerprint(), before);
+  DWC_ASSERT_OK(CheckConsistency(*warehouse_, source_->db()));
+}
+
+TEST_F(IntegrateErrorsTest, EmptyTransactionIsANoOp) {
+  uint64_t before = Fingerprint();
+  DWC_ASSERT_OK(warehouse_->IntegrateTransaction({}));
+  CanonicalDelta empty;
+  empty.relation = "Emp";
+  DWC_ASSERT_OK(warehouse_->IntegrateTransaction({empty}));
+  EXPECT_EQ(Fingerprint(), before);
+}
+
+TEST_F(IntegrateErrorsTest, ReconstructBaseRoundTripsAndRejectsUnknown) {
+  Result<Relation> emp = warehouse_->ReconstructBase("Emp");
+  DWC_ASSERT_OK(emp);
+  EXPECT_TRUE(
+      testing::RelationsEqual(*emp, *source_->db().FindRelation("Emp")));
+  EXPECT_EQ(warehouse_->ReconstructBase("Nope").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(IntegrateErrorsTest, ValidDeltaStillIntegratesUnderValidation) {
+  warehouse_->set_validate_deltas(true);
+  Result<CanonicalDelta> delta =
+      source_->Apply({"Emp", {T({S("Nina"), I(27)})}, {}});
+  DWC_ASSERT_OK(delta);
+  DWC_ASSERT_OK(warehouse_->Integrate(*delta));
+  DWC_ASSERT_OK(CheckConsistency(*warehouse_, source_->db()));
+  EXPECT_EQ(source_->query_count(), 0u);
+}
+
+}  // namespace
+}  // namespace dwc

@@ -1,0 +1,169 @@
+// Source atomicity and the delta delivery envelope: a failing op (or a
+// failing op inside a transaction) must leave the source byte-identical to
+// its pre-call state, and every reported delta must carry a consistent
+// source id / epoch / sequence / state digest / payload checksum.
+
+#include "warehouse/source.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+#include "util/checksum.h"
+
+namespace dwc {
+namespace {
+
+using ::dwc::testing::Figure1Script;
+using ::dwc::testing::I;
+using ::dwc::testing::MustRun;
+using ::dwc::testing::S;
+using ::dwc::testing::T;
+
+class SourceAtomicityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    context_ = MustRun(Figure1Script(/*with_constraints=*/false));
+    source_ = std::make_unique<Source>(context_.db, "s1");
+  }
+
+  ScriptContext context_;
+  std::unique_ptr<Source> source_;
+};
+
+TEST_F(SourceAtomicityTest, ApplyWithOneBadTupleMutatesNothing) {
+  // Regression: Apply used to mutate tuple-by-tuple, so an op mixing good
+  // and bad tuples left the good prefix applied. All tuples must be
+  // validated before the first mutation.
+  Database before = source_->db();
+  uint64_t digest_before = source_->digest().Combined();
+  uint64_t seq_before = source_->last_sequence();
+  UpdateOp mixed{"Emp",
+                 {T({S("Nina"), I(27)}), T({S("bad-arity")})},
+                 {T({S("Paula"), I(32)})}};
+  Result<CanonicalDelta> delta = source_->Apply(mixed);
+  EXPECT_EQ(delta.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(source_->db().SameStateAs(before));
+  EXPECT_EQ(source_->digest().Combined(), digest_before);
+  // A failed op must not consume a sequence number either (the integrator
+  // would see a permanent gap).
+  EXPECT_EQ(source_->last_sequence(), seq_before);
+}
+
+TEST_F(SourceAtomicityTest, ApplyUnknownRelationMutatesNothing) {
+  Database before = source_->db();
+  UpdateOp op{"Nope", {T({I(1)})}, {}};
+  EXPECT_EQ(source_->Apply(op).status().code(), StatusCode::kNotFound);
+  EXPECT_TRUE(source_->db().SameStateAs(before));
+}
+
+TEST_F(SourceAtomicityTest, FailedTransactionRestoresPreTransactionState) {
+  // Regression: ApplyTransaction used to abort mid-stream, leaving the
+  // already-applied prefix in place. The prefix must be rolled back.
+  Database before = source_->db();
+  uint64_t digest_before = source_->digest().Combined();
+  uint64_t seq_before = source_->last_sequence();
+  std::vector<UpdateOp> ops = {
+      {"Emp", {T({S("Nina"), I(27)})}, {}},
+      {"Sale", {T({S("radio"), S("Nina")})}, {T({S("PC"), S("John")})}},
+      {"Emp", {T({S("bad-arity")})}, {}},  // Fails here.
+  };
+  Result<std::vector<CanonicalDelta>> deltas = source_->ApplyTransaction(ops);
+  EXPECT_EQ(deltas.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(source_->db().SameStateAs(before));
+  EXPECT_EQ(source_->digest().Combined(), digest_before);
+  EXPECT_EQ(source_->last_sequence(), seq_before);
+}
+
+TEST_F(SourceAtomicityTest, TransactionUnknownRelationMidStreamRollsBack) {
+  Database before = source_->db();
+  std::vector<UpdateOp> ops = {
+      {"Emp", {T({S("Nina"), I(27)})}, {}},
+      {"Nope", {T({I(1)})}, {}},
+  };
+  EXPECT_EQ(source_->ApplyTransaction(ops).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_TRUE(source_->db().SameStateAs(before));
+}
+
+TEST_F(SourceAtomicityTest, EnvelopeIsStampedAndMonotoneAcrossRelations) {
+  Result<CanonicalDelta> d1 =
+      source_->Apply({"Emp", {T({S("Nina"), I(27)})}, {}});
+  DWC_ASSERT_OK(d1);
+  Result<CanonicalDelta> d2 =
+      source_->Apply({"Sale", {T({S("radio"), S("Nina")})}, {}});
+  DWC_ASSERT_OK(d2);
+  EXPECT_EQ(d1->source_id, "s1");
+  EXPECT_EQ(d1->epoch, 1u);
+  // One shared counter across the source's relations: gaps are detectable
+  // without knowing which relation the lost delta touched.
+  EXPECT_EQ(d2->sequence, d1->sequence + 1);
+  EXPECT_TRUE(DeltaPayloadIntact(*d1));
+  EXPECT_TRUE(DeltaPayloadIntact(*d2));
+  // The piggybacked digest is the post-apply relation state.
+  EXPECT_EQ(d1->state_digest,
+            RelationDigest(*source_->db().FindRelation("Emp")));
+  EXPECT_EQ(d2->state_digest,
+            RelationDigest(*source_->db().FindRelation("Sale")));
+  EXPECT_EQ(source_->last_sequence_for("Emp"), d1->sequence);
+  EXPECT_EQ(source_->last_sequence_for("Sale"), d2->sequence);
+}
+
+TEST_F(SourceAtomicityTest, NoOpUpdatesConsumeNoSequenceNumbers) {
+  uint64_t seq_before = source_->last_sequence();
+  // Deleting an absent tuple and re-inserting a present one are both no-ops
+  // after canonicalization.
+  Result<CanonicalDelta> noop =
+      source_->Apply({"Emp", {T({S("Mary"), I(23)})}, {T({S("Ghost"), I(1)})}});
+  DWC_ASSERT_OK(noop);
+  EXPECT_TRUE(noop->empty());
+  EXPECT_FALSE(noop->sequenced());
+  EXPECT_EQ(source_->last_sequence(), seq_before);
+}
+
+TEST_F(SourceAtomicityTest, TransactionStampsNetDeltasWithFinalDigests) {
+  std::vector<UpdateOp> ops = {
+      {"Emp", {T({S("Nina"), I(27)})}, {}},
+      {"Emp", {T({S("Omar"), I(31)})}, {T({S("Nina"), I(27)})}},
+      {"Sale", {T({S("radio"), S("Omar")})}, {}},
+  };
+  Result<std::vector<CanonicalDelta>> deltas = source_->ApplyTransaction(ops);
+  DWC_ASSERT_OK(deltas);
+  ASSERT_EQ(deltas->size(), 2u);  // Net deltas, one per touched relation.
+  for (const CanonicalDelta& delta : *deltas) {
+    EXPECT_TRUE(DeltaPayloadIntact(delta));
+    // Digests describe the post-transaction state, not intermediates.
+    EXPECT_EQ(delta.state_digest,
+              RelationDigest(*source_->db().FindRelation(delta.relation)));
+    // Insert-then-delete inside the transaction cancelled.
+    EXPECT_FALSE(delta.inserts.Contains(T({S("Nina"), I(27)})));
+  }
+  // Exactly one sequence number per net delta.
+  EXPECT_EQ(source_->last_sequence(), 2u);
+}
+
+TEST_F(SourceAtomicityTest, BeginEpochRewindsSequencesAndWatermarks) {
+  DWC_ASSERT_OK(source_->Apply({"Emp", {T({S("Nina"), I(27)})}, {}}));
+  EXPECT_EQ(source_->epoch(), 1u);
+  EXPECT_EQ(source_->last_sequence(), 1u);
+  source_->BeginEpoch();
+  EXPECT_EQ(source_->epoch(), 2u);
+  EXPECT_EQ(source_->last_sequence(), 0u);
+  EXPECT_EQ(source_->last_sequence_for("Emp"), 0u);
+  Result<CanonicalDelta> next =
+      source_->Apply({"Emp", {T({S("Omar"), I(31)})}, {}});
+  DWC_ASSERT_OK(next);
+  EXPECT_EQ(next->epoch, 2u);
+  EXPECT_EQ(next->sequence, 1u);
+}
+
+TEST_F(SourceAtomicityTest, QueryCountTracksAdHocQueries) {
+  EXPECT_EQ(source_->query_count(), 0u);
+  DWC_ASSERT_OK(source_->AnswerQuery(Expr::Base("Emp")));
+  DWC_ASSERT_OK(source_->AnswerQuery(Expr::Base("Sale")));
+  EXPECT_EQ(source_->query_count(), 2u);
+  source_->ResetQueryCount();
+  EXPECT_EQ(source_->query_count(), 0u);
+}
+
+}  // namespace
+}  // namespace dwc
