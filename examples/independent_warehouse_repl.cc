@@ -13,7 +13,10 @@
 // `state` (warehouse contents), `sources` (ground truth), `check`
 // (consistency), `faults` (route deltas through a fault-injecting channel
 // + recovering ingestor), `stats` (what the ingestor did about it),
-// `help`, `quit`. Reads stdin; pipe a script or type.
+// `storage <dir>` (WAL + checkpoint durability for every integrated
+// delta), `storage stats`, `checkpoint` (force one now), `recover <dir>`
+// (resume a crashed session from its storage directory), `help`, `quit`.
+// Reads stdin; pipe a script or type.
 //
 // Example session:
 //   CREATE TABLE Emp(clerk STRING, age INT, KEY(clerk));
@@ -34,6 +37,8 @@
 #include "core/warehouse_spec.h"
 #include "parser/interpreter.h"
 #include "parser/parser.h"
+#include "storage/durable.h"
+#include "storage/vfs.h"
 #include "util/string_util.h"
 #include "warehouse/channel.h"
 #include "warehouse/ingest.h"
@@ -101,7 +106,8 @@ class Repl {
           "  QUERY R JOIN S;\n"
           "commands: warehouse, spec, plan, state, sources, check, save,\n"
           "          faults <drop> <dup> <reorder> <corrupt> [seed],\n"
-          "          faults off, stats, quit\n";
+          "          faults off, stats, storage <dir>, storage stats,\n"
+          "          checkpoint, recover <dir>, quit\n";
       return true;
     }
     if (lower == "stats") {
@@ -117,6 +123,40 @@ class Repl {
       if (RequireWarehouse()) {
         HandleFaults(lower);
       }
+      return true;
+    }
+    if (lower == "storage stats") {
+      if (durable_ != nullptr) {
+        std::cout << "storage (" << durable_->dir() << "):\n"
+                  << durable_->stats().ToString() << "\n";
+      } else {
+        std::cout << "no storage attached; see `storage <dir>`\n";
+      }
+      return true;
+    }
+    if (lower == "storage" || lower.rfind("storage ", 0) == 0) {
+      if (RequireWarehouse()) {
+        HandleStorage(line);
+      }
+      return true;
+    }
+    if (lower == "checkpoint") {
+      if (durable_ == nullptr) {
+        std::cout << "no storage attached; see `storage <dir>`\n";
+      } else {
+        Status status = durable_->Checkpoint();
+        if (status.ok()) {
+          std::cout << "checkpoint " << durable_->stats().checkpoint_id
+                    << " committed; WAL truncated to segment "
+                    << durable_->stats().segment_id << "\n";
+        } else {
+          std::cout << "error: " << status.ToString() << "\n";
+        }
+      }
+      return true;
+    }
+    if (lower == "recover" || lower.rfind("recover ", 0) == 0) {
+      HandleRecover(line);
       return true;
     }
     if (lower == "warehouse") {
@@ -211,11 +251,73 @@ class Repl {
     channel_ = std::make_unique<dwc::DeltaChannel>(profile);
     ingestor_ = std::make_unique<dwc::DeltaIngestor>(
         warehouse_.get(), source_.get(), channel_.get());
+    if (durable_ != nullptr) {
+      durable_->Attach(ingestor_.get());
+    }
     std::cout << "faulty channel attached (drop=" << profile.drop_rate
               << " dup=" << profile.duplicate_rate
               << " reorder=" << profile.reorder_rate
               << " corrupt=" << profile.corrupt_rate
               << " seed=" << profile.seed << "); see `stats`\n";
+  }
+
+  // `storage <dir>`: bootstrap WAL + checkpoint durability into `dir`.
+  // Every delta integrated from here on is fsync'd before the statement
+  // reports success, and `recover <dir>` resurrects the session.
+  void HandleStorage(const std::string& line) {
+    std::istringstream in(line);
+    std::string command, dir;
+    in >> command >> dir;
+    if (dir.empty()) {
+      std::cout << "usage: storage <dir> | storage stats\n";
+      return;
+    }
+    if (durable_ != nullptr) {
+      std::cout << "storage already attached at '" << durable_->dir()
+                << "'\n";
+      return;
+    }
+    dwc::Result<std::unique_ptr<dwc::DurableWarehouse>> durable =
+        dwc::DurableWarehouse::Bootstrap(
+            &vfs_, dir, warehouse_.get(),
+            dwc::JournalStamp{source_->epoch(), source_->last_sequence()});
+    if (!durable.ok()) {
+      std::cout << "error: " << durable.status().ToString() << "\n";
+      return;
+    }
+    durable_ = std::move(durable).value();
+    if (ingestor_ != nullptr) {
+      durable_->Attach(ingestor_.get());
+    }
+    std::cout << "storage attached at '" << dir
+              << "': checkpoint 1 committed, WAL open\n";
+  }
+
+  // `recover <dir>`: replace the whole session with the recovered one.
+  void HandleRecover(const std::string& line) {
+    std::istringstream in(line);
+    std::string command, dir;
+    in >> command >> dir;
+    if (dir.empty()) {
+      std::cout << "usage: recover <dir>\n";
+      return;
+    }
+    dwc::Result<dwc::DurableWarehouse::Resumed> resumed =
+        dwc::DurableWarehouse::Resume(&vfs_, dir);
+    if (!resumed.ok()) {
+      std::cout << "error: " << resumed.status().ToString() << "\n";
+      return;
+    }
+    // The recovered warehouse replaces the live session wholesale; the
+    // ingestor/channel, if any, referenced the old objects and must go.
+    ingestor_.reset();
+    channel_.reset();
+    spec_ = resumed->recovered.restored.spec;
+    source_ = std::move(resumed->recovered.restored.source);
+    warehouse_ = std::move(resumed->recovered.restored.warehouse);
+    durable_ = std::move(resumed->durable);
+    std::cout << "recovered: " << resumed->recovered.report.ToString()
+              << "\n";
   }
 
   bool RequireWarehouse() {
@@ -380,6 +482,9 @@ class Repl {
         DWC_RETURN_IF_ERROR(ingestor_->Receive(*got));
       }
       DWC_RETURN_IF_ERROR(ingestor_->Drain());
+    } else if (durable_ != nullptr) {
+      // Integrate-then-log: the delta is fsync'd before we report success.
+      DWC_RETURN_IF_ERROR(durable_->Integrate(*delta, source_.get()));
     } else {
       DWC_RETURN_IF_ERROR(warehouse_->Integrate(*delta));
     }
@@ -395,6 +500,8 @@ class Repl {
   std::unique_ptr<dwc::Warehouse> warehouse_;
   std::unique_ptr<dwc::DeltaChannel> channel_;
   std::unique_ptr<dwc::DeltaIngestor> ingestor_;
+  dwc::PosixVfs vfs_;
+  std::unique_ptr<dwc::DurableWarehouse> durable_;
   bool quit_ = false;
 };
 

@@ -1,0 +1,205 @@
+#include "storage/durable.h"
+
+#include <utility>
+#include <vector>
+
+#include "parser/script_io.h"
+#include "util/string_util.h"
+
+namespace dwc {
+
+namespace {
+
+bool AtOrBelow(uint64_t epoch, uint64_t sequence, const JournalStamp& stamp) {
+  if (epoch != stamp.epoch) {
+    return epoch < stamp.epoch;
+  }
+  return sequence <= stamp.sequence;
+}
+
+}  // namespace
+
+std::string StorageStats::ToString() const {
+  return StrCat("wal_appends=", wal_appends, " wal_skips=", wal_skips,
+                " wal_bytes=", wal_bytes, " checkpoints=", checkpoints,
+                " policy_checkpoints=", policy_checkpoints,
+                " reset_checkpoints=", reset_checkpoints,
+                " checkpoint_id=", checkpoint_id, " segment_id=", segment_id,
+                " journal_bytes=", journal_bytes,
+                " journal_records=", journal_records,
+                " stamp=", stamp.epoch, ":", stamp.sequence,
+                " last=", last.epoch, ":", last.sequence);
+}
+
+Result<std::unique_ptr<DurableWarehouse>> DurableWarehouse::Bootstrap(
+    Vfs* vfs, std::string dir, Warehouse* warehouse, JournalStamp stamp,
+    StorageOptions options) {
+  DWC_RETURN_IF_ERROR(vfs->CreateDir(dir));
+  std::unique_ptr<DurableWarehouse> durable(
+      new DurableWarehouse(vfs, std::move(dir), warehouse, options));
+  DWC_ASSIGN_OR_RETURN(std::string script, WarehouseToScript(*warehouse));
+  DWC_ASSIGN_OR_RETURN(
+      Manifest manifest,
+      WriteCheckpoint(vfs, durable->dir_, script, /*checkpoint_id=*/1, stamp,
+                      /*wal_start=*/1));
+  durable->checkpoint_id_ = manifest.checkpoint_id;
+  durable->stamp_ = stamp;
+  durable->checkpoints_ = 1;
+  DWC_ASSIGN_OR_RETURN(
+      durable->wal_,
+      WalWriter::Open(vfs, durable->dir_, /*segment_id=*/1,
+                      /*existing_bytes=*/0, options.wal));
+  return durable;
+}
+
+Result<DurableWarehouse::Resumed> DurableWarehouse::Resume(
+    Vfs* vfs, std::string dir, StorageOptions options,
+    MaintenanceStrategy strategy, const ComplementOptions& complement_options) {
+  Resumed resumed;
+  RecoveryManager manager(vfs, dir);
+  DWC_ASSIGN_OR_RETURN(
+      resumed.recovered,
+      manager.Recover(/*repair=*/true, strategy, complement_options));
+  const RecoveredStorage& recovered = resumed.recovered;
+  std::unique_ptr<DurableWarehouse> durable(new DurableWarehouse(
+      vfs, std::move(dir), recovered.restored.warehouse.get(), options));
+  durable->journal_ = recovered.journal;
+  durable->stamp_ = recovered.manifest.stamp;
+  durable->checkpoint_id_ = recovered.manifest.checkpoint_id;
+  durable->checkpoints_ = recovered.manifest.checkpoint_id;
+  DWC_ASSIGN_OR_RETURN(
+      durable->wal_,
+      WalWriter::Open(vfs, durable->dir_, recovered.report.next_segment_id,
+                      recovered.report.next_segment_bytes, options.wal));
+  resumed.durable = std::move(durable);
+  return resumed;
+}
+
+JournalStamp DurableWarehouse::CurrentStamp() const {
+  return journal_.has_sequenced() ? journal_.last() : stamp_;
+}
+
+Status DurableWarehouse::Integrate(const CanonicalDelta& delta,
+                                   Source* source) {
+  DWC_RETURN_IF_ERROR(warehouse_->Integrate(delta, source));
+  return Append(delta);
+}
+
+Status DurableWarehouse::Append(const CanonicalDelta& delta) {
+  const std::string script = DeltaToScript(delta);
+  DWC_ASSIGN_OR_RETURN(size_t framed,
+                       wal_->Append(delta.epoch, delta.sequence, script));
+  journal_.AppendScript(script, delta.epoch, delta.sequence);
+  ++wal_appends_;
+  wal_bytes_ += framed;
+  return MaybePolicyCheckpoint();
+}
+
+Status DurableWarehouse::NoteConsumed(uint64_t epoch, uint64_t sequence) {
+  if (sequence == 0 || AtOrBelow(epoch, sequence, CurrentStamp())) {
+    return Status::Ok();  // Already covered by the log or the checkpoint.
+  }
+  DWC_ASSIGN_OR_RETURN(size_t framed, wal_->Append(epoch, sequence, ""));
+  journal_.NoteConsumed(epoch, sequence);
+  ++wal_skips_;
+  wal_bytes_ += framed;
+  return MaybePolicyCheckpoint();
+}
+
+Status DurableWarehouse::Checkpoint() { return DoCheckpoint(CurrentStamp()); }
+
+Status DurableWarehouse::OnCommit(const CommitEvent& event) {
+  switch (event.kind) {
+    case CommitEvent::Kind::kDelta:
+      return Append(*event.delta);
+    case CommitEvent::Kind::kSkip:
+    case CommitEvent::Kind::kResync:
+      // Both are acknowledged watermark movements whose effects are already
+      // in the log (kResync's corrections arrived as kDelta events).
+      return NoteConsumed(event.epoch, event.sequence);
+    case CommitEvent::Kind::kReset: {
+      // The rebuild came from source queries — nothing in the log can
+      // reproduce it. Checkpoint the post-reset state immediately.
+      JournalStamp stamp{event.epoch, event.sequence};
+      if (AtOrBelow(stamp.epoch, stamp.sequence, CurrentStamp())) {
+        stamp = CurrentStamp();
+      }
+      ++reset_checkpoints_;
+      return DoCheckpoint(stamp);
+    }
+  }
+  return Status::Internal("unhandled commit event kind");
+}
+
+void DurableWarehouse::Attach(DeltaIngestor* ingestor) {
+  ingestor->set_commit_hook(
+      [this](const CommitEvent& event) { return OnCommit(event); });
+}
+
+Status DurableWarehouse::MaybePolicyCheckpoint() {
+  if (!options_.policy.ShouldCheckpoint(journal_)) {
+    return Status::Ok();
+  }
+  ++policy_checkpoints_;
+  return DoCheckpoint(CurrentStamp());
+}
+
+Status DurableWarehouse::DoCheckpoint(JournalStamp stamp) {
+  DWC_ASSIGN_OR_RETURN(std::string script, WarehouseToScript(*warehouse_));
+  // Fresh segment first: the manifest about to be committed names it as
+  // wal-start, and a manifest must never point at a segment the directory
+  // does not durably hold.
+  DWC_RETURN_IF_ERROR(wal_->RotateTo(wal_->segment_id() + 1));
+  const uint64_t wal_start = wal_->segment_id();
+  DWC_ASSIGN_OR_RETURN(
+      Manifest manifest,
+      WriteCheckpoint(vfs_, dir_, script, checkpoint_id_ + 1, stamp,
+                      wal_start));
+  checkpoint_id_ = manifest.checkpoint_id;
+  stamp_ = stamp;
+  journal_.Clear();
+  ++checkpoints_;
+  // The manifest no longer references the old checkpoint or the rotated
+  // segments: sweep them. A crash mid-sweep just leaves garbage for the
+  // next recovery's sweep.
+  DWC_ASSIGN_OR_RETURN(std::vector<std::string> names, vfs_->ListDir(dir_));
+  bool removed = false;
+  for (const std::string& name : names) {
+    bool keep = name == kManifestName || name == manifest.checkpoint_file;
+    if (name.rfind("wal-", 0) == 0) {
+      uint64_t id = 0;
+      for (char ch : name.substr(4)) {
+        if (ch < '0' || ch > '9') break;
+        id = id * 10 + static_cast<uint64_t>(ch - '0');
+      }
+      keep = id >= wal_start;
+    }
+    if (!keep) {
+      DWC_RETURN_IF_ERROR(vfs_->Remove(JoinPath(dir_, name)));
+      removed = true;
+    }
+  }
+  if (removed) {
+    DWC_RETURN_IF_ERROR(vfs_->SyncDir(dir_));
+  }
+  return Status::Ok();
+}
+
+StorageStats DurableWarehouse::stats() const {
+  StorageStats stats;
+  stats.wal_appends = wal_appends_;
+  stats.wal_skips = wal_skips_;
+  stats.wal_bytes = wal_bytes_;
+  stats.checkpoints = checkpoints_;
+  stats.policy_checkpoints = policy_checkpoints_;
+  stats.reset_checkpoints = reset_checkpoints_;
+  stats.checkpoint_id = checkpoint_id_;
+  stats.segment_id = wal_ != nullptr ? wal_->segment_id() : 0;
+  stats.journal_bytes = journal_.bytes();
+  stats.journal_records = journal_.entries();
+  stats.stamp = stamp_;
+  stats.last = CurrentStamp();
+  return stats;
+}
+
+}  // namespace dwc

@@ -1,0 +1,314 @@
+#include "storage/fault_vfs.h"
+
+#include <algorithm>
+
+#include "util/checksum.h"
+#include "util/string_util.h"
+
+namespace dwc {
+
+std::string FaultVfs::DirOf(const std::string& path) {
+  size_t slash = path.rfind('/');
+  return slash == std::string::npos ? std::string() : path.substr(0, slash);
+}
+
+Status FaultVfs::ChargeOp(const char* what, const std::string& path) {
+  if (crashed_) {
+    return Status::Internal(
+        StrCat("injected crash: process is dead (", what, " '", path, "')"));
+  }
+  if (op_count_ == crash_at_) {
+    crashed_ = true;
+    return Status::Internal(StrCat("injected crash at I/O op ", op_count_,
+                                   " (", what, " '", path, "')"));
+  }
+  ++op_count_;
+  return Status::Ok();
+}
+
+// File handle over a shared node. Handles die across a crash: the vfs bumps
+// its generation when materializing a post-crash disk, and a stale handle's
+// operations fail (the process that held it is gone).
+class FaultFile : public VfsFile {
+ public:
+  FaultFile(FaultVfs* vfs, std::shared_ptr<FaultVfs::Node> node,
+            std::string path, uint64_t generation)
+      : vfs_(vfs),
+        node_(std::move(node)),
+        path_(std::move(path)),
+        generation_(generation) {}
+
+  Status Append(std::string_view data) override {
+    DWC_RETURN_IF_ERROR(Check("append"));
+    Status charge = vfs_->ChargeOp("append", path_);
+    if (!charge.ok()) {
+      if (vfs_->crashed_) {
+        // The write the process died inside may have partially reached the
+        // device: apply a seeded prefix as pending bytes, which the crash
+        // materialization will then tear like any other un-synced data.
+        Rng rng(Mix64(vfs_->profile_.seed ^ (vfs_->op_count_ * 0x9E3779B9ULL)));
+        size_t partial = static_cast<size_t>(rng.Below(data.size() + 1));
+        node_->data.append(data.substr(0, partial));
+      }
+      return charge;
+    }
+    node_->data.append(data);
+    return Status::Ok();
+  }
+
+  Status Sync() override {
+    DWC_RETURN_IF_ERROR(Check("sync"));
+    DWC_RETURN_IF_ERROR(vfs_->ChargeOp("sync", path_));
+    node_->synced = node_->data.size();
+    return Status::Ok();
+  }
+
+  Status Close() override {
+    closed_ = true;
+    return Status::Ok();
+  }
+
+ private:
+  Status Check(const char* what) const {
+    if (closed_) {
+      return Status::FailedPrecondition(
+          StrCat(what, " on closed file '", path_, "'"));
+    }
+    if (generation_ != vfs_->generation_) {
+      return Status::FailedPrecondition(
+          StrCat(what, " on stale handle '", path_,
+                 "' (the process holding it crashed)"));
+    }
+    return Status::Ok();
+  }
+
+  FaultVfs* vfs_;
+  std::shared_ptr<FaultVfs::Node> node_;
+  std::string path_;
+  uint64_t generation_;
+  bool closed_ = false;
+};
+
+Result<std::unique_ptr<VfsFile>> FaultVfs::Create(const std::string& path) {
+  DWC_RETURN_IF_ERROR(ChargeOp("create", path));
+  std::string parent = DirOf(path);
+  if (!parent.empty() && dirs_.find(parent) == dirs_.end()) {
+    return Status::NotFound("no such directory: " + parent);
+  }
+  auto node = std::make_shared<Node>();
+  live_[path] = node;
+  pending_meta_.push_back({MetaOp::Kind::kLink, path, "", node});
+  return std::unique_ptr<VfsFile>(
+      new FaultFile(this, node, path, generation_));
+}
+
+Result<std::unique_ptr<VfsFile>> FaultVfs::OpenAppend(
+    const std::string& path) {
+  auto it = live_.find(path);
+  if (it == live_.end()) {
+    return Status::NotFound("no such file: " + path);
+  }
+  return std::unique_ptr<VfsFile>(
+      new FaultFile(this, it->second, path, generation_));
+}
+
+Result<std::string> FaultVfs::ReadFile(const std::string& path) {
+  auto it = live_.find(path);
+  if (it == live_.end()) {
+    return Status::NotFound("no such file: " + path);
+  }
+  return it->second->data;
+}
+
+Status FaultVfs::Truncate(const std::string& path, uint64_t size) {
+  DWC_RETURN_IF_ERROR(ChargeOp("truncate", path));
+  auto it = live_.find(path);
+  if (it == live_.end()) {
+    return Status::NotFound("no such file: " + path);
+  }
+  Node& node = *it->second;
+  if (size > node.data.size()) {
+    return Status::InvalidArgument("truncate cannot extend: " + path);
+  }
+  node.data.resize(size);
+  node.synced = std::min(node.synced, node.data.size());
+  return Status::Ok();
+}
+
+Status FaultVfs::Rename(const std::string& from, const std::string& to) {
+  DWC_RETURN_IF_ERROR(ChargeOp("rename", from));
+  auto it = live_.find(from);
+  if (it == live_.end()) {
+    return Status::NotFound("no such file: " + from);
+  }
+  live_[to] = it->second;
+  live_.erase(it);
+  pending_meta_.push_back({MetaOp::Kind::kRename, from, to, nullptr});
+  return Status::Ok();
+}
+
+Status FaultVfs::Remove(const std::string& path) {
+  DWC_RETURN_IF_ERROR(ChargeOp("remove", path));
+  if (live_.erase(path) == 0) {
+    return Status::NotFound("no such file: " + path);
+  }
+  pending_meta_.push_back({MetaOp::Kind::kUnlink, path, "", nullptr});
+  return Status::Ok();
+}
+
+Status FaultVfs::CreateDir(const std::string& dir) {
+  DWC_RETURN_IF_ERROR(ChargeOp("mkdir", dir));
+  dirs_.insert(dir);
+  return Status::Ok();
+}
+
+Status FaultVfs::SyncDir(const std::string& dir) {
+  DWC_RETURN_IF_ERROR(ChargeOp("sync-dir", dir));
+  std::vector<MetaOp> remaining;
+  for (MetaOp& op : pending_meta_) {
+    const std::string& anchor =
+        op.kind == MetaOp::Kind::kRename ? op.to : op.path;
+    if (DirOf(anchor) != dir) {
+      remaining.push_back(std::move(op));
+      continue;
+    }
+    switch (op.kind) {
+      case MetaOp::Kind::kLink:
+        durable_[op.path] = op.node;
+        break;
+      case MetaOp::Kind::kUnlink:
+        durable_.erase(op.path);
+        break;
+      case MetaOp::Kind::kRename: {
+        auto it = durable_.find(op.path);
+        if (it != durable_.end()) {
+          durable_[op.to] = it->second;
+          durable_.erase(op.path);
+        }
+        break;
+      }
+    }
+  }
+  pending_meta_ = std::move(remaining);
+  return Status::Ok();
+}
+
+Result<std::vector<std::string>> FaultVfs::ListDir(const std::string& dir) {
+  if (dirs_.find(dir) == dirs_.end()) {
+    return Status::NotFound("no such directory: " + dir);
+  }
+  std::vector<std::string> names;
+  for (const auto& [path, node] : live_) {
+    (void)node;
+    if (DirOf(path) == dir) {
+      names.push_back(path.substr(dir.size() + 1));
+    }
+  }
+  return names;  // live_ is sorted by path, so names are sorted.
+}
+
+Result<bool> FaultVfs::Exists(const std::string& path) {
+  return live_.find(path) != live_.end() ||
+         dirs_.find(path) != dirs_.end();
+}
+
+Result<uint64_t> FaultVfs::FileSize(const std::string& path) {
+  auto it = live_.find(path);
+  if (it == live_.end()) {
+    return Status::NotFound("no such file: " + path);
+  }
+  return static_cast<uint64_t>(it->second->data.size());
+}
+
+void FaultVfs::CrashAndLose() {
+  Rng rng(Mix64(profile_.seed ^ (op_count_ * 0xC2B2AE3D27D4EB4FULL)));
+  // 1. Un-synced directory operations survive or vanish, independently.
+  for (const MetaOp& op : pending_meta_) {
+    if (!rng.Chance(profile_.meta_survival_rate)) {
+      ++dropped_meta_ops_;
+      continue;
+    }
+    switch (op.kind) {
+      case MetaOp::Kind::kLink:
+        durable_[op.path] = op.node;
+        break;
+      case MetaOp::Kind::kUnlink:
+        durable_.erase(op.path);
+        break;
+      case MetaOp::Kind::kRename: {
+        auto it = durable_.find(op.path);
+        if (it != durable_.end()) {
+          durable_[op.to] = it->second;
+          durable_.erase(op.path);
+        }
+        break;
+      }
+    }
+  }
+  pending_meta_.clear();
+  // 2. Per surviving file: synced bytes survive; pending bytes are lost,
+  // except that a torn write may leave a prefix — possibly with garbage.
+  std::map<std::string, std::shared_ptr<Node>> survivors;
+  for (const auto& [path, node] : durable_) {
+    std::string content = node->data.substr(0, node->synced);
+    size_t pending = node->data.size() - node->synced;
+    if (pending > 0 && rng.Chance(profile_.torn_tail_rate)) {
+      size_t keep = static_cast<size_t>(rng.Below(pending + 1));
+      if (keep > 0) {
+        ++torn_tails_;
+        std::string tail = node->data.substr(node->synced, keep);
+        if (rng.Chance(profile_.tail_garbage_rate)) {
+          size_t at = static_cast<size_t>(rng.Below(tail.size()));
+          tail[at] = static_cast<char>(
+              static_cast<unsigned char>(tail[at]) ^
+              (1u << rng.Below(8)));
+        }
+        content += tail;
+      }
+    }
+    auto fresh = std::make_shared<Node>();
+    fresh->data = std::move(content);
+    fresh->synced = fresh->data.size();
+    survivors[path] = std::move(fresh);
+  }
+  durable_ = survivors;
+  live_ = std::move(survivors);
+  crashed_ = false;
+  crash_at_ = kNoCrash;
+  ++generation_;
+}
+
+Status FaultVfs::FlipBit(const std::string& path, uint64_t offset, int bit) {
+  auto it = live_.find(path);
+  if (it == live_.end()) {
+    return Status::NotFound("no such file: " + path);
+  }
+  Node& node = *it->second;
+  if (offset >= node.data.size()) {
+    return Status::OutOfRange(
+        StrCat("offset ", offset, " past end of '", path, "' (",
+               node.data.size(), " bytes)"));
+  }
+  node.data[offset] = static_cast<char>(
+      static_cast<unsigned char>(node.data[offset]) ^ (1u << (bit & 7)));
+  return Status::Ok();
+}
+
+Status FaultVfs::DumpTo(Vfs* target, const std::string& src_dir,
+                        const std::string& dst_dir) const {
+  DWC_RETURN_IF_ERROR(target->CreateDir(dst_dir));
+  const std::string prefix = src_dir + "/";
+  for (const auto& [path, node] : live_) {
+    if (path.rfind(prefix, 0) != 0) {
+      continue;
+    }
+    std::string dst = JoinPath(dst_dir, path.substr(prefix.size()));
+    DWC_ASSIGN_OR_RETURN(std::unique_ptr<VfsFile> file, target->Create(dst));
+    DWC_RETURN_IF_ERROR(file->Append(node->data));
+    DWC_RETURN_IF_ERROR(file->Sync());
+    DWC_RETURN_IF_ERROR(file->Close());
+  }
+  return target->SyncDir(dst_dir);
+}
+
+}  // namespace dwc

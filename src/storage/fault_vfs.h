@@ -1,0 +1,145 @@
+#ifndef DWC_STORAGE_FAULT_VFS_H_
+#define DWC_STORAGE_FAULT_VFS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "storage/vfs.h"
+#include "util/rng.h"
+
+namespace dwc {
+
+// How a FaultVfs crash mangles the state it loses. Everything is driven by
+// (seed ^ crash-op-index), so a (profile, workload, crash point) triple
+// reproduces the exact same post-crash disk — the storage analogue of
+// channel.h's FaultProfile.
+struct StorageFaultProfile {
+  uint64_t seed = 0;
+  // Given a file has un-fsynced appended bytes at crash time: probability
+  // that a *prefix* of them survives (a torn write) instead of all of them
+  // vanishing. The surviving prefix length is uniform in [0, pending].
+  double torn_tail_rate = 0.5;
+  // Probability that the surviving torn prefix additionally has one bit
+  // flipped (a torn sector holding garbage).
+  double tail_garbage_rate = 0.25;
+  // Probability that an un-fsync'd directory operation (file creation,
+  // rename, removal whose parent directory was never SyncDir'd) survives
+  // the crash anyway. Real filesystems land anywhere on this spectrum;
+  // 0.5 exercises both outcomes across seeds.
+  double meta_survival_rate = 0.5;
+};
+
+// An in-memory filesystem with a disk's crash semantics, for certifying the
+// WAL / checkpoint / recovery protocols:
+//
+//   - Appended bytes are "pending" until VfsFile::Sync(); a crash loses
+//     pending bytes, possibly leaving a torn (and possibly garbage) prefix.
+//   - Directory operations (Create/Rename/Remove) are pending until
+//     SyncDir; a crash keeps or drops each un-synced one independently.
+//   - A crash can be scheduled at any mutating-I/O operation index
+//     (ScheduleCrashAtOp): that operation and every later one fail with
+//     kInternal, modeling the process dying mid-syscall. CrashAndLose()
+//     then materializes the surviving disk, and the test recovers from it.
+//
+// Reads/lists observe the live (pre-crash) view, like a running process's
+// page cache. Single-directory workloads only (that is all the storage
+// layer uses); nested directories are supported as plain paths.
+class FaultVfs : public Vfs {
+ public:
+  explicit FaultVfs(StorageFaultProfile profile = StorageFaultProfile())
+      : profile_(profile) {}
+
+  // --- Vfs ---
+  Result<std::unique_ptr<VfsFile>> Create(const std::string& path) override;
+  Result<std::unique_ptr<VfsFile>> OpenAppend(
+      const std::string& path) override;
+  Result<std::string> ReadFile(const std::string& path) override;
+  Status Truncate(const std::string& path, uint64_t size) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status Remove(const std::string& path) override;
+  Status CreateDir(const std::string& dir) override;
+  Status SyncDir(const std::string& dir) override;
+  Result<std::vector<std::string>> ListDir(const std::string& dir) override;
+  Result<bool> Exists(const std::string& path) override;
+  Result<uint64_t> FileSize(const std::string& path) override;
+
+  // --- crash scheduling ---
+  // Index of the next mutating I/O op (Append/Sync/Create/Rename/Remove/
+  // Truncate/SyncDir). A clean run's final count is the crash-matrix
+  // sweep's upper bound.
+  uint64_t op_count() const { return op_count_; }
+  // The op with index `op` (and every later one) fails with kInternal.
+  void ScheduleCrashAtOp(uint64_t op) { crash_at_ = op; }
+  void ClearCrashSchedule() { crash_at_ = kNoCrash; }
+  bool crashed() const { return crashed_; }
+
+  // Materializes the post-crash disk: un-synced bytes are torn off (per
+  // profile), un-synced directory ops survive or vanish (per profile), and
+  // the live view is rebuilt from the survivors. Also callable without a
+  // scheduled crash (models power loss at an idle moment). The vfs is
+  // usable again afterwards; the op counter keeps counting.
+  void CrashAndLose();
+
+  // --- targeted corruption (tests / corpus runs) ---
+  // Flips bit `bit` (0-7) of the byte at `offset`, bypassing all checks —
+  // bit rot on the platter. Affects synced and pending data alike.
+  Status FlipBit(const std::string& path, uint64_t offset, int bit);
+
+  // Copies the current live tree under `src_dir` into `dst_dir` on
+  // `target` (used to export a failing crash-matrix disk for post-mortem
+  // inspection with dwc_recover).
+  Status DumpTo(Vfs* target, const std::string& src_dir,
+                const std::string& dst_dir) const;
+
+  // Number of times CrashAndLose tore a tail / dropped a pending meta op,
+  // for tests asserting the fault machinery actually fired.
+  uint64_t torn_tails() const { return torn_tails_; }
+  uint64_t dropped_meta_ops() const { return dropped_meta_ops_; }
+
+ private:
+  friend class FaultFile;
+
+  struct Node {
+    std::string data;
+    // Bytes [0, synced) survive a crash intact; bytes past it are pending.
+    size_t synced = 0;
+  };
+
+  struct MetaOp {
+    enum class Kind { kLink, kUnlink, kRename };
+    Kind kind;
+    std::string path;           // kLink/kUnlink target, kRename source.
+    std::string to;             // kRename destination.
+    std::shared_ptr<Node> node; // kLink only.
+  };
+
+  // Charges one mutating op against the crash schedule; kInternal once
+  // the crash point is reached.
+  Status ChargeOp(const char* what, const std::string& path);
+  static std::string DirOf(const std::string& path);
+
+  StorageFaultProfile profile_;
+  std::map<std::string, std::shared_ptr<Node>> live_;
+  // Directory entries as of the last applied metadata sync; node contents
+  // are shared with live_ (fsync durability is tracked per node).
+  std::map<std::string, std::shared_ptr<Node>> durable_;
+  std::vector<MetaOp> pending_meta_;
+  std::set<std::string> dirs_;
+
+  static constexpr uint64_t kNoCrash = ~0ULL;
+  uint64_t op_count_ = 0;
+  uint64_t crash_at_ = kNoCrash;
+  bool crashed_ = false;
+  // Bumped by CrashAndLose; open handles from before the crash are stale.
+  uint64_t generation_ = 0;
+  uint64_t torn_tails_ = 0;
+  uint64_t dropped_meta_ops_ = 0;
+};
+
+}  // namespace dwc
+
+#endif  // DWC_STORAGE_FAULT_VFS_H_

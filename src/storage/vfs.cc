@@ -1,0 +1,218 @@
+#include "storage/vfs.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "util/string_util.h"
+
+namespace dwc {
+
+std::string JoinPath(std::string_view dir, std::string_view name) {
+  if (dir.empty()) {
+    return std::string(name);
+  }
+  std::string out(dir);
+  if (out.back() != '/') {
+    out += '/';
+  }
+  out += name;
+  return out;
+}
+
+namespace {
+
+Status ErrnoStatus(const char* op, const std::string& path) {
+  return Status::Internal(
+      StrCat(op, " '", path, "' failed: ", std::strerror(errno)));
+}
+
+class PosixFile : public VfsFile {
+ public:
+  PosixFile(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+  ~PosixFile() override { (void)Close(); }
+
+  Status Append(std::string_view data) override {
+    if (fd_ < 0) {
+      return Status::FailedPrecondition("append on closed file " + path_);
+    }
+    size_t written = 0;
+    while (written < data.size()) {
+      ssize_t n = ::write(fd_, data.data() + written, data.size() - written);
+      if (n < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        return ErrnoStatus("write", path_);
+      }
+      written += static_cast<size_t>(n);
+    }
+    return Status::Ok();
+  }
+
+  Status Sync() override {
+    if (fd_ < 0) {
+      return Status::FailedPrecondition("sync on closed file " + path_);
+    }
+    if (::fsync(fd_) != 0) {
+      return ErrnoStatus("fsync", path_);
+    }
+    return Status::Ok();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) {
+      return Status::Ok();
+    }
+    int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) {
+      return ErrnoStatus("close", path_);
+    }
+    return Status::Ok();
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<VfsFile>> PosixVfs::Create(const std::string& path) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return ErrnoStatus("create", path);
+  }
+  return std::unique_ptr<VfsFile>(new PosixFile(fd, path));
+}
+
+Result<std::unique_ptr<VfsFile>> PosixVfs::OpenAppend(
+    const std::string& path) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_APPEND);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return Status::NotFound("no such file: " + path);
+    }
+    return ErrnoStatus("open-append", path);
+  }
+  return std::unique_ptr<VfsFile>(new PosixFile(fd, path));
+}
+
+Result<std::string> PosixVfs::ReadFile(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return Status::NotFound("no such file: " + path);
+    }
+    return ErrnoStatus("open", path);
+  }
+  std::string out;
+  char buf[1 << 16];
+  while (true) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      Status status = ErrnoStatus("read", path);
+      ::close(fd);
+      return status;
+    }
+    if (n == 0) {
+      break;
+    }
+    out.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+Status PosixVfs::Truncate(const std::string& path, uint64_t size) {
+  if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+    return ErrnoStatus("truncate", path);
+  }
+  return Status::Ok();
+}
+
+Status PosixVfs::Rename(const std::string& from, const std::string& to) {
+  if (::rename(from.c_str(), to.c_str()) != 0) {
+    return ErrnoStatus("rename", from);
+  }
+  return Status::Ok();
+}
+
+Status PosixVfs::Remove(const std::string& path) {
+  if (::unlink(path.c_str()) != 0) {
+    return ErrnoStatus("unlink", path);
+  }
+  return Status::Ok();
+}
+
+Status PosixVfs::CreateDir(const std::string& dir) {
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return ErrnoStatus("mkdir", dir);
+  }
+  return Status::Ok();
+}
+
+Status PosixVfs::SyncDir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return ErrnoStatus("open-dir", dir);
+  }
+  Status status = Status::Ok();
+  if (::fsync(fd) != 0) {
+    // Some filesystems refuse fsync on directories; that is a real
+    // durability hole, report it.
+    status = ErrnoStatus("fsync-dir", dir);
+  }
+  ::close(fd);
+  return status;
+}
+
+Result<std::vector<std::string>> PosixVfs::ListDir(const std::string& dir) {
+  DIR* handle = ::opendir(dir.c_str());
+  if (handle == nullptr) {
+    return ErrnoStatus("opendir", dir);
+  }
+  std::vector<std::string> names;
+  while (struct dirent* entry = ::readdir(handle)) {
+    std::string name = entry->d_name;
+    if (name == "." || name == "..") {
+      continue;
+    }
+    names.push_back(std::move(name));
+  }
+  ::closedir(handle);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Result<bool> PosixVfs::Exists(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) == 0) {
+    return true;
+  }
+  if (errno == ENOENT) {
+    return false;
+  }
+  return ErrnoStatus("stat", path);
+}
+
+Result<uint64_t> PosixVfs::FileSize(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    return ErrnoStatus("stat", path);
+  }
+  return static_cast<uint64_t>(st.st_size);
+}
+
+}  // namespace dwc

@@ -1,0 +1,104 @@
+#ifndef DWC_STORAGE_VFS_H_
+#define DWC_STORAGE_VFS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+
+namespace dwc {
+
+// Minimal filesystem abstraction under the durability layer (wal.h,
+// checkpoint.h, recovery.h). Two backends: PosixVfs (real files, real
+// fsync) and FaultVfs (fault_vfs.h — an in-memory filesystem with the
+// crash semantics of a real disk: un-fsynced data does not survive, torn
+// writes happen, directory entries need their own fsync).
+//
+// The interface is deliberately append-only-plus-rename: that is all a WAL
+// and an atomic-checkpoint protocol need, and it keeps the fault model
+// tractable. Paths are plain '/'-joined strings; storage lives in a single
+// flat directory.
+
+// An open writable file (created or opened for append).
+class VfsFile {
+ public:
+  virtual ~VfsFile() = default;
+
+  // Appends `data` at the end of the file. Buffered: not durable until
+  // Sync().
+  virtual Status Append(std::string_view data) = 0;
+
+  // fsync: everything appended so far survives a crash.
+  virtual Status Sync() = 0;
+
+  // Closes the handle (without implying durability). Idempotent.
+  virtual Status Close() = 0;
+};
+
+class Vfs {
+ public:
+  virtual ~Vfs() = default;
+
+  // Creates (or truncates) `path` for writing. The new directory entry is
+  // durable only after SyncDir on the parent.
+  virtual Result<std::unique_ptr<VfsFile>> Create(const std::string& path) = 0;
+
+  // Opens an existing file for appending.
+  virtual Result<std::unique_ptr<VfsFile>> OpenAppend(
+      const std::string& path) = 0;
+
+  // Whole-file read.
+  virtual Result<std::string> ReadFile(const std::string& path) = 0;
+
+  // Shrinks `path` to `size` bytes (recovery's torn-tail cleanup).
+  virtual Status Truncate(const std::string& path, uint64_t size) = 0;
+
+  // Atomically replaces `to` with `from` (POSIX rename semantics). Durable
+  // only after SyncDir on the parent.
+  virtual Status Rename(const std::string& from, const std::string& to) = 0;
+
+  virtual Status Remove(const std::string& path) = 0;
+
+  // Creates `dir` if absent; ok when it already exists.
+  virtual Status CreateDir(const std::string& dir) = 0;
+
+  // fsync on the directory: pending entry creations/renames/removals
+  // survive a crash.
+  virtual Status SyncDir(const std::string& dir) = 0;
+
+  // File names (not paths) directly inside `dir`, sorted.
+  virtual Result<std::vector<std::string>> ListDir(const std::string& dir) = 0;
+
+  virtual Result<bool> Exists(const std::string& path) = 0;
+
+  virtual Result<uint64_t> FileSize(const std::string& path) = 0;
+};
+
+// "<dir>/<name>"; just string assembly, no normalization.
+std::string JoinPath(std::string_view dir, std::string_view name);
+
+// The real thing: POSIX files, POSIX fsync. Crash-consistency of the
+// storage formats over this backend is exactly what FaultVfs's adversarial
+// schedule certifies.
+class PosixVfs : public Vfs {
+ public:
+  Result<std::unique_ptr<VfsFile>> Create(const std::string& path) override;
+  Result<std::unique_ptr<VfsFile>> OpenAppend(
+      const std::string& path) override;
+  Result<std::string> ReadFile(const std::string& path) override;
+  Status Truncate(const std::string& path, uint64_t size) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status Remove(const std::string& path) override;
+  Status CreateDir(const std::string& dir) override;
+  Status SyncDir(const std::string& dir) override;
+  Result<std::vector<std::string>> ListDir(const std::string& dir) override;
+  Result<bool> Exists(const std::string& path) override;
+  Result<uint64_t> FileSize(const std::string& path) override;
+};
+
+}  // namespace dwc
+
+#endif  // DWC_STORAGE_VFS_H_

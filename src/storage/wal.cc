@@ -1,0 +1,180 @@
+#include "storage/wal.h"
+
+#include <cstdio>
+
+#include "util/checksum.h"
+#include "util/string_util.h"
+
+namespace dwc {
+
+namespace {
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+uint32_t GetU32(std::string_view in, size_t at) {
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | static_cast<unsigned char>(in[at + static_cast<size_t>(i)]);
+  }
+  return v;
+}
+
+uint64_t GetU64(std::string_view in, size_t at) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | static_cast<unsigned char>(in[at + static_cast<size_t>(i)]);
+  }
+  return v;
+}
+
+}  // namespace
+
+std::string WalSegmentName(uint64_t id) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "wal-%016llu.log",
+                static_cast<unsigned long long>(id));
+  return buf;
+}
+
+std::string EncodeWalRecord(uint64_t epoch, uint64_t sequence,
+                            std::string_view payload) {
+  std::string body;
+  body.reserve(kWalHeaderSize - 4 + payload.size());
+  PutU32(&body, static_cast<uint32_t>(payload.size()));
+  PutU64(&body, epoch);
+  PutU64(&body, sequence);
+  body.append(payload);
+  std::string frame;
+  frame.reserve(kWalHeaderSize + payload.size());
+  PutU32(&frame, Crc32(body));
+  frame += body;
+  return frame;
+}
+
+Result<WalSegmentScan> ScanWalSegment(Vfs* vfs, const std::string& path) {
+  DWC_ASSIGN_OR_RETURN(std::string content, vfs->ReadFile(path));
+  WalSegmentScan scan;
+  if (content.size() < kWalMagicSize) {
+    // The preamble itself never became durable: an empty (torn-at-birth)
+    // segment.
+    scan.torn_tail = !content.empty();
+    scan.truncated_bytes = content.size();
+    scan.valid_bytes = 0;
+    return scan;
+  }
+  if (content.compare(0, kWalMagicSize, kWalMagic, kWalMagicSize) != 0) {
+    return Status::FailedPrecondition(
+        StrCat("WAL segment '", path, "' has a corrupt magic preamble"));
+  }
+  size_t offset = kWalMagicSize;
+  while (offset < content.size()) {
+    const size_t remaining = content.size() - offset;
+    if (remaining < kWalHeaderSize) {
+      scan.torn_tail = true;
+      break;
+    }
+    const uint32_t crc = GetU32(content, offset);
+    const uint32_t length = GetU32(content, offset + 4);
+    if (length > kWalMaxRecordBytes ||
+        static_cast<uint64_t>(length) + kWalHeaderSize > remaining) {
+      // The declared payload runs past end-of-file (or is absurd): the
+      // record was cut short before it was ever whole. Torn tail.
+      scan.torn_tail = true;
+      break;
+    }
+    const std::string_view body(content.data() + offset + 4,
+                                kWalHeaderSize - 4 + length);
+    if (Crc32(body) != crc) {
+      if (offset + kWalHeaderSize + length == content.size()) {
+        // The damaged record is the very last thing in the segment: it was
+        // never followed by a durable successor, so treating it as a torn
+        // (un-committed) tail is safe.
+        scan.torn_tail = true;
+        break;
+      }
+      // Valid frames follow the damaged one: committed history rotted.
+      // This must not be silently truncated — fail with the exact spot.
+      return Status::FailedPrecondition(
+          StrCat("WAL segment '", path, "' is corrupt at offset ", offset,
+                 ": record CRC mismatch with ",
+                 content.size() - offset - kWalHeaderSize - length,
+                 " committed bytes after it; refusing to recover past "
+                 "silent data loss"));
+    }
+    WalRecord record;
+    record.epoch = GetU64(content, offset + 8);
+    record.sequence = GetU64(content, offset + 16);
+    record.payload = content.substr(offset + kWalHeaderSize, length);
+    record.offset = offset;
+    scan.records.push_back(std::move(record));
+    offset += kWalHeaderSize + length;
+  }
+  scan.valid_bytes = offset;
+  scan.truncated_bytes = content.size() - offset;
+  return scan;
+}
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Open(Vfs* vfs, std::string dir,
+                                                   uint64_t segment_id,
+                                                   uint64_t existing_bytes,
+                                                   WalWriterOptions options) {
+  std::unique_ptr<WalWriter> writer(
+      new WalWriter(vfs, std::move(dir), options));
+  DWC_RETURN_IF_ERROR(writer->OpenSegment(segment_id, existing_bytes));
+  return writer;
+}
+
+Status WalWriter::OpenSegment(uint64_t segment_id, uint64_t existing_bytes) {
+  const std::string path = JoinPath(dir_, WalSegmentName(segment_id));
+  if (existing_bytes > 0) {
+    DWC_ASSIGN_OR_RETURN(file_, vfs_->OpenAppend(path));
+  } else {
+    // Fresh segment: preamble, fsync, and make the directory entry durable
+    // before any record lands in it — a recovered manifest must never point
+    // at a segment the directory forgot.
+    DWC_ASSIGN_OR_RETURN(file_, vfs_->Create(path));
+    DWC_RETURN_IF_ERROR(file_->Append(std::string_view(kWalMagic,
+                                                       kWalMagicSize)));
+    DWC_RETURN_IF_ERROR(file_->Sync());
+    DWC_RETURN_IF_ERROR(vfs_->SyncDir(dir_));
+    existing_bytes = kWalMagicSize;
+  }
+  segment_id_ = segment_id;
+  segment_bytes_ = existing_bytes;
+  return Status::Ok();
+}
+
+Result<size_t> WalWriter::Append(uint64_t epoch, uint64_t sequence,
+                                 std::string_view payload) {
+  if (segment_bytes_ >= options_.segment_max_bytes) {
+    DWC_RETURN_IF_ERROR(RotateTo(segment_id_ + 1));
+  }
+  const std::string frame = EncodeWalRecord(epoch, sequence, payload);
+  DWC_RETURN_IF_ERROR(file_->Append(frame));
+  if (options_.sync_each_record) {
+    DWC_RETURN_IF_ERROR(file_->Sync());
+  }
+  segment_bytes_ += frame.size();
+  return frame.size();
+}
+
+Status WalWriter::RotateTo(uint64_t segment_id) {
+  if (file_ != nullptr) {
+    DWC_RETURN_IF_ERROR(file_->Sync());
+    DWC_RETURN_IF_ERROR(file_->Close());
+  }
+  ++segments_rotated_;
+  return OpenSegment(segment_id, /*existing_bytes=*/0);
+}
+
+}  // namespace dwc

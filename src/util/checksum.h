@@ -1,6 +1,7 @@
 #ifndef DWC_UTIL_CHECKSUM_H_
 #define DWC_UTIL_CHECKSUM_H_
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -54,6 +55,63 @@ inline uint64_t RelationDigest(const Relation& relation) {
     digest ^= TupleDigest(tuple);
   }
   return digest;
+}
+
+// CRC-32 (ISO-HDLC: polynomial 0xEDB88320, reflected, init/xorout
+// 0xFFFFFFFF), table-driven. This is the storage layer's framing checksum
+// (storage/wal.h, storage/checkpoint.h): unlike the XOR-fold digests above
+// it detects burst errors and byte reordering, which is what torn sectors
+// and bit rot actually look like. `seed` chains incremental computation:
+// Crc32(b, Crc32(a)) == Crc32(ab).
+inline uint32_t Crc32(std::string_view data, uint32_t seed = 0) {
+  static const auto table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1) ? 0xEDB88320U ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  uint32_t crc = seed ^ 0xFFFFFFFFU;
+  for (char ch : data) {
+    crc = table[(crc ^ static_cast<unsigned char>(ch)) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFU;
+}
+
+// Fixed-width lowercase hex of a CRC-32, and its inverse (manifest framing).
+inline std::string Crc32ToHex(uint32_t crc) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out(8, '0');
+  for (int i = 7; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = kHex[crc & 0xF];
+    crc >>= 4;
+  }
+  return out;
+}
+
+inline bool HexToCrc32(std::string_view hex, uint32_t* crc) {
+  if (hex.size() != 8) {
+    return false;
+  }
+  uint32_t value = 0;
+  for (char c : hex) {
+    value <<= 4;
+    if (c >= '0' && c <= '9') {
+      value |= static_cast<uint32_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      value |= static_cast<uint32_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      value |= static_cast<uint32_t>(c - 'A' + 10);
+    } else {
+      return false;
+    }
+  }
+  *crc = value;
+  return true;
 }
 
 // Digest of a string (FNV-1a), for folding relation/source names into

@@ -31,6 +31,20 @@ uint64_t DeltaIngestor::FloorFor(const std::string& relation) const {
   return it == floor_.end() ? 0 : it->second;
 }
 
+Status DeltaIngestor::FireCommit(CommitEvent::Kind kind,
+                                 const CanonicalDelta* delta,
+                                 uint64_t sequence) {
+  if (!commit_hook_) {
+    return Status::Ok();
+  }
+  CommitEvent event;
+  event.kind = kind;
+  event.delta = delta;
+  event.epoch = epoch_;
+  event.sequence = sequence;
+  return commit_hook_(event);
+}
+
 void DeltaIngestor::AdvancePast(uint64_t watermark) {
   if (watermark + 1 > next_seq_) {
     next_seq_ = watermark + 1;
@@ -111,7 +125,7 @@ Status DeltaIngestor::TryApply(const CanonicalDelta& delta, bool from_buffer) {
     // number without re-applying.
     ++stats_.stale_dropped;
     ++next_seq_;
-    return Status::Ok();
+    return FireCommit(CommitEvent::Kind::kSkip, nullptr, delta.sequence);
   }
   // Divergence probe before mutating anything: applying the delta to the
   // state we believe the source had must land on the digest the source
@@ -135,7 +149,7 @@ Status DeltaIngestor::TryApply(const CanonicalDelta& delta, bool from_buffer) {
     // delta's effect; its floor (or the full-resync watermark) now covers
     // it, so consume the sequence.
     ++next_seq_;
-    return Status::Ok();
+    return FireCommit(CommitEvent::Kind::kSkip, nullptr, delta.sequence);
   }
   Status status = warehouse_->Integrate(delta, source_);
   if (!status.ok()) {
@@ -147,7 +161,7 @@ Status DeltaIngestor::TryApply(const CanonicalDelta& delta, bool from_buffer) {
       DWC_RETURN_IF_ERROR(FullResync());
     }
     ++next_seq_;
-    return Status::Ok();
+    return FireCommit(CommitEvent::Kind::kSkip, nullptr, delta.sequence);
   }
   digest_.Apply(delta.relation, delta.inserts, delta.deletes);
   ++stats_.applied;
@@ -155,7 +169,7 @@ Status DeltaIngestor::TryApply(const CanonicalDelta& delta, bool from_buffer) {
     ++stats_.reordered;
   }
   ++next_seq_;
-  return Status::Ok();
+  return FireCommit(CommitEvent::Kind::kDelta, &delta, delta.sequence);
 }
 
 Status DeltaIngestor::DrainBuffer() {
@@ -228,6 +242,10 @@ Status DeltaIngestor::ResyncBase(const std::string& relation) {
   }
   if (!corrective.empty()) {
     DWC_RETURN_IF_ERROR(warehouse_->Integrate(corrective, source_));
+    // The corrective delta is ordinary replayable history: logged
+    // unsequenced (the watermark jump it enables is reported separately).
+    DWC_RETURN_IF_ERROR(
+        FireCommit(CommitEvent::Kind::kDelta, &corrective, 0));
   }
   digest_.SetRelation(relation, truth);
   // Everything the source ever reported for this base is now folded in;
@@ -253,7 +271,7 @@ Status DeltaIngestor::Resync() {
     }
   }
   AdvancePast(source_->last_sequence());
-  return Status::Ok();
+  return FireCommit(CommitEvent::Kind::kResync, nullptr, next_seq_ - 1);
 }
 
 Status DeltaIngestor::FullResync() {
@@ -272,7 +290,9 @@ Status DeltaIngestor::FullResync() {
   }
   DWC_RETURN_IF_ERROR(warehouse_->ResetFromSources(fresh));
   AdvancePast(source_->last_sequence());
-  return Status::Ok();
+  // A reset is not replayable from logged deltas (it came from source
+  // queries): the hook must take a fresh checkpoint.
+  return FireCommit(CommitEvent::Kind::kReset, nullptr, next_seq_ - 1);
 }
 
 }  // namespace dwc

@@ -2,6 +2,7 @@
 #define DWC_WAREHOUSE_INGEST_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 
@@ -51,6 +52,38 @@ struct IntegrationStats {
   std::string ToString() const;
 };
 
+// One committed state transition of the warehouse, reported to the commit
+// hook *after* the in-memory state changed. The storage layer
+// (storage/durable.h) uses these to write-ahead-log exactly what happened:
+//
+//   kDelta  — a delta was integrated. `delta` points at it for the duration
+//             of the call. Sequenced deltas carry their envelope sequence;
+//             corrective deltas synthesized by a base resync are
+//             unsequenced (sequence 0) but equally replayable.
+//   kSkip   — `sequence` was consumed without integrating anything (floor-
+//             superseded, or its effect was folded in by a resync): an
+//             acknowledged jump the log must record, or replay would see a
+//             gap.
+//   kResync — a digest-reconciliation resync advanced the watermark to
+//             `sequence`. The per-base corrections were already reported as
+//             kDelta events, so the log replays this like a kSkip.
+//   kReset  — a full resync rebuilt the warehouse from source queries.
+//             *Not* replayable from the log; the storage layer must take a
+//             fresh checkpoint.
+//
+// A hook error aborts the ingest call that triggered it: the in-memory
+// state is ahead of the log, and the process is expected to treat that as
+// fatal (crash and recover from the log, which is exactly consistent).
+struct CommitEvent {
+  enum class Kind { kDelta, kSkip, kResync, kReset };
+  Kind kind = Kind::kDelta;
+  const CanonicalDelta* delta = nullptr;  // kDelta only; borrowed.
+  uint64_t epoch = 0;
+  uint64_t sequence = 0;  // Consumed sequence, or the watermark jumped to.
+};
+
+using CommitHook = std::function<Status(const CommitEvent&)>;
+
 // The warehouse-side endpoint of a DeltaChannel: consumes possibly
 // duplicated / reordered / corrupted / gapped deliveries from one source and
 // keeps the warehouse exactly consistent anyway.
@@ -96,6 +129,10 @@ class DeltaIngestor {
   uint64_t next_expected() const { return next_seq_; }
   size_t buffered() const { return buffer_.size(); }
 
+  // Installs the durability hook (see CommitEvent). Pass an empty function
+  // to detach.
+  void set_commit_hook(CommitHook hook) { commit_hook_ = std::move(hook); }
+
  private:
   // Applies the delta with sequence == next_seq_: divergence probe first,
   // then Warehouse::Integrate, then digest bookkeeping. Consumes the
@@ -119,6 +156,9 @@ class DeltaIngestor {
   // buffered deltas.
   void AdvancePast(uint64_t watermark);
   uint64_t FloorFor(const std::string& relation) const;
+  // Reports one committed transition to the hook (no-op when unset).
+  Status FireCommit(CommitEvent::Kind kind, const CanonicalDelta* delta,
+                    uint64_t sequence);
 
   Warehouse* warehouse_;
   Source* source_;
@@ -136,6 +176,7 @@ class DeltaIngestor {
   // were already folded into a resync and must be skipped, not re-applied.
   std::map<std::string, uint64_t> floor_;
   IntegrationStats stats_;
+  CommitHook commit_hook_;
 };
 
 }  // namespace dwc

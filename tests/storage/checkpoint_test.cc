@@ -1,0 +1,285 @@
+// Atomic checkpoints, the self-checksummed manifest, and the recovery path
+// over them: bootstrap → log → crash → resume, plus the two damage
+// acceptance cases — a bit-corrupted committed WAL record fails loudly with
+// segment + offset, and a torn tail is truncated cleanly.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "core/warehouse_spec.h"
+#include "storage/checkpoint.h"
+#include "storage/durable.h"
+#include "storage/fault_vfs.h"
+#include "storage/recovery.h"
+#include "storage/wal.h"
+#include "testing/test_util.h"
+#include "util/checksum.h"
+#include "warehouse/source.h"
+#include "warehouse/warehouse.h"
+
+namespace dwc {
+namespace {
+
+using ::dwc::testing::Figure1Script;
+using ::dwc::testing::I;
+using ::dwc::testing::MustRun;
+using ::dwc::testing::S;
+using ::dwc::testing::T;
+
+TEST(ManifestTest, SerializeParseRoundTrip) {
+  Manifest manifest;
+  manifest.checkpoint_id = 7;
+  manifest.checkpoint_file = CheckpointFileName(7);
+  manifest.checkpoint_crc = 0xDEADBEEF;
+  manifest.stamp = {3, 41};
+  manifest.wal_start = 12;
+  Result<Manifest> parsed = Manifest::Parse(manifest.Serialize());
+  DWC_ASSERT_OK(parsed);
+  EXPECT_EQ(parsed->checkpoint_id, 7u);
+  EXPECT_EQ(parsed->checkpoint_file, manifest.checkpoint_file);
+  EXPECT_EQ(parsed->checkpoint_crc, 0xDEADBEEFu);
+  EXPECT_EQ(parsed->stamp, (JournalStamp{3, 41}));
+  EXPECT_EQ(parsed->wal_start, 12u);
+}
+
+TEST(ManifestTest, SelfChecksumCatchesAnyDamage) {
+  Manifest manifest;
+  manifest.checkpoint_file = CheckpointFileName(1);
+  manifest.stamp = {1, 5};
+  std::string text = manifest.Serialize();
+  for (size_t at = 0; at < text.size() - 1; ++at) {
+    std::string damaged = text;
+    damaged[at] ^= 0x10;
+    EXPECT_FALSE(Manifest::Parse(damaged).ok()) << "flip at byte " << at;
+  }
+  // Truncations (torn manifest writes) are caught too.
+  for (size_t keep : {size_t{0}, size_t{5}, text.size() / 2,
+                      text.size() - 3}) {
+    EXPECT_FALSE(Manifest::Parse(text.substr(0, keep)).ok())
+        << "truncated to " << keep;
+  }
+}
+
+class StorageRecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    context_ = MustRun(Figure1Script(/*with_constraints=*/true));
+    spec_ = std::make_shared<WarehouseSpec>(
+        *SpecifyWarehouse(context_.catalog, context_.views));
+    source_ = std::make_unique<Source>(context_.db, "s1");
+    Result<Warehouse> warehouse = Warehouse::Load(spec_, source_->db());
+    DWC_ASSERT_OK(warehouse);
+    warehouse_ = std::make_unique<Warehouse>(std::move(warehouse).value());
+  }
+
+  // Bootstraps storage for the freshly loaded warehouse.
+  std::unique_ptr<DurableWarehouse> MustBootstrap(
+      StorageOptions options = StorageOptions()) {
+    Result<std::unique_ptr<DurableWarehouse>> durable = DurableWarehouse::
+        Bootstrap(&vfs_, "wh", warehouse_.get(),
+                  JournalStamp{source_->epoch(), source_->last_sequence()},
+                  options);
+    EXPECT_TRUE(durable.ok()) << durable.status().ToString();
+    return std::move(durable).value();
+  }
+
+  // Applies `op` at the source and integrates it durably.
+  void MustIntegrate(DurableWarehouse* durable, const UpdateOp& op) {
+    Result<CanonicalDelta> delta = source_->Apply(op);
+    DWC_ASSERT_OK(delta);
+    DWC_ASSERT_OK(durable->Integrate(*delta, source_.get()));
+  }
+
+  static uint64_t Fingerprint(const Warehouse& warehouse) {
+    return StateDigest(warehouse.state()).Combined();
+  }
+
+  ScriptContext context_;
+  std::shared_ptr<WarehouseSpec> spec_;
+  std::unique_ptr<Source> source_;
+  std::unique_ptr<Warehouse> warehouse_;
+  FaultVfs vfs_;
+};
+
+TEST_F(StorageRecoveryTest, BootstrapThenResumeWithEmptyWal) {
+  std::unique_ptr<DurableWarehouse> durable = MustBootstrap();
+  const uint64_t fingerprint = Fingerprint(*warehouse_);
+  vfs_.CrashAndLose();
+  Result<DurableWarehouse::Resumed> resumed =
+      DurableWarehouse::Resume(&vfs_, "wh");
+  DWC_ASSERT_OK(resumed);
+  EXPECT_EQ(Fingerprint(*resumed->recovered.restored.warehouse), fingerprint);
+  EXPECT_EQ(resumed->recovered.report.records_replayed, 0u);
+  // Replay is pure log application: zero source queries.
+  EXPECT_EQ(resumed->recovered.restored.source->query_count(), 0u);
+}
+
+TEST_F(StorageRecoveryTest, LoggedDeltasSurviveACrash) {
+  std::unique_ptr<DurableWarehouse> durable = MustBootstrap();
+  MustIntegrate(durable.get(), {"Emp", {T({S("Nina"), I(27)})}, {}});
+  MustIntegrate(durable.get(), {"Sale", {T({S("radio"), S("Nina")})}, {}});
+  MustIntegrate(durable.get(),
+                {"Sale", {T({S("tv"), S("Nina")})},
+                 {T({S("PC"), S("John")})}});
+  const uint64_t fingerprint = Fingerprint(*warehouse_);
+  const StorageStats stats = durable->stats();
+  EXPECT_EQ(stats.wal_appends, 3u);
+  EXPECT_GT(stats.wal_bytes, 0u);
+  vfs_.CrashAndLose();
+  Result<DurableWarehouse::Resumed> resumed =
+      DurableWarehouse::Resume(&vfs_, "wh");
+  DWC_ASSERT_OK(resumed);
+  EXPECT_EQ(resumed->recovered.report.records_replayed, 3u);
+  EXPECT_EQ(Fingerprint(*resumed->recovered.restored.warehouse), fingerprint);
+  EXPECT_EQ(resumed->recovered.restored.source->query_count(), 0u);
+  EXPECT_EQ(resumed->durable->stats().last,
+            (JournalStamp{source_->epoch(), source_->last_sequence()}));
+  // The resumed instance keeps logging and checkpointing.
+  Result<CanonicalDelta> more =
+      source_->Apply({"Emp", {T({S("Omar"), I(31)})}, {}});
+  DWC_ASSERT_OK(more);
+  DWC_ASSERT_OK(resumed->durable->Integrate(*more, source_.get()));
+  DWC_ASSERT_OK(resumed->durable->Checkpoint());
+}
+
+TEST_F(StorageRecoveryTest, PolicyCheckpointBoundsTheJournal) {
+  StorageOptions options;
+  options.policy.max_records = 2;
+  std::unique_ptr<DurableWarehouse> durable = MustBootstrap(options);
+  MustIntegrate(durable.get(), {"Emp", {T({S("Nina"), I(27)})}, {}});
+  MustIntegrate(durable.get(), {"Emp", {T({S("Omar"), I(31)})}, {}});
+  MustIntegrate(durable.get(), {"Emp", {T({S("Pia"), I(29)})}, {}});
+  const StorageStats stats = durable->stats();
+  EXPECT_GE(stats.policy_checkpoints, 1u);
+  EXPECT_LT(stats.journal_records, 2u);  // Policy kept the backlog bounded.
+  // Recovery replays only the post-checkpoint suffix.
+  const uint64_t fingerprint = Fingerprint(*warehouse_);
+  vfs_.CrashAndLose();
+  Result<DurableWarehouse::Resumed> resumed =
+      DurableWarehouse::Resume(&vfs_, "wh");
+  DWC_ASSERT_OK(resumed);
+  EXPECT_LT(resumed->recovered.report.records_replayed, 2u);
+  EXPECT_EQ(Fingerprint(*resumed->recovered.restored.warehouse), fingerprint);
+}
+
+TEST_F(StorageRecoveryTest, CheckpointRotationSweepsOldSegmentsAndSnapshots) {
+  std::unique_ptr<DurableWarehouse> durable = MustBootstrap();
+  MustIntegrate(durable.get(), {"Emp", {T({S("Nina"), I(27)})}, {}});
+  DWC_ASSERT_OK(durable->Checkpoint());
+  MustIntegrate(durable.get(), {"Emp", {T({S("Omar"), I(31)})}, {}});
+  Result<std::vector<std::string>> names = vfs_.ListDir("wh");
+  DWC_ASSERT_OK(names);
+  // Exactly one checkpoint, one manifest, one live segment: old ones are
+  // garbage-collected at each checkpoint commit.
+  size_t checkpoints = 0;
+  size_t segments = 0;
+  for (const std::string& name : *names) {
+    checkpoints += name.rfind("checkpoint-", 0) == 0;
+    segments += name.rfind("wal-", 0) == 0;
+  }
+  EXPECT_EQ(checkpoints, 1u);
+  EXPECT_EQ(segments, 1u);
+  EXPECT_EQ(durable->stats().checkpoint_id, 2u);
+  EXPECT_EQ(durable->stats().segment_id, 2u);
+}
+
+TEST_F(StorageRecoveryTest, TornWalTailIsTruncatedCleanly) {
+  std::unique_ptr<DurableWarehouse> durable = MustBootstrap();
+  MustIntegrate(durable.get(), {"Emp", {T({S("Nina"), I(27)})}, {}});
+  const uint64_t fingerprint = Fingerprint(*warehouse_);
+  // A torn write at the tail: half a frame that never finished committing.
+  const std::string segment = JoinPath("wh", WalSegmentName(1));
+  std::string frame = EncodeWalRecord(1, 2, "never committed");
+  Result<std::unique_ptr<VfsFile>> file = vfs_.OpenAppend(segment);
+  DWC_ASSERT_OK(file);
+  DWC_ASSERT_OK((*file)->Append(frame.substr(0, frame.size() / 2)));
+  Result<uint64_t> dirty_size = vfs_.FileSize(segment);
+  DWC_ASSERT_OK(dirty_size);
+  Result<DurableWarehouse::Resumed> resumed =
+      DurableWarehouse::Resume(&vfs_, "wh");
+  DWC_ASSERT_OK(resumed);
+  EXPECT_TRUE(resumed->recovered.report.torn_tail);
+  EXPECT_EQ(resumed->recovered.report.truncated_bytes, frame.size() / 2);
+  EXPECT_EQ(resumed->recovered.report.records_replayed, 1u);
+  EXPECT_EQ(Fingerprint(*resumed->recovered.restored.warehouse), fingerprint);
+  // Repair actually cut the tail off disk.
+  Result<uint64_t> clean_size = vfs_.FileSize(segment);
+  DWC_ASSERT_OK(clean_size);
+  EXPECT_EQ(*clean_size, *dirty_size - frame.size() / 2);
+}
+
+TEST_F(StorageRecoveryTest, BitCorruptedCommittedRecordFailsLoudly) {
+  std::unique_ptr<DurableWarehouse> durable = MustBootstrap();
+  MustIntegrate(durable.get(), {"Emp", {T({S("Nina"), I(27)})}, {}});
+  MustIntegrate(durable.get(), {"Emp", {T({S("Omar"), I(31)})}, {}});
+  // Bit rot inside the FIRST record's payload — committed history, with a
+  // valid record after it. Recovery must refuse, naming segment + offset.
+  const std::string segment = JoinPath("wh", WalSegmentName(1));
+  DWC_ASSERT_OK(vfs_.FlipBit(segment, kWalMagicSize + kWalHeaderSize + 4, 2));
+  Result<DurableWarehouse::Resumed> resumed =
+      DurableWarehouse::Resume(&vfs_, "wh");
+  ASSERT_FALSE(resumed.ok());
+  EXPECT_EQ(resumed.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(resumed.status().message().find(WalSegmentName(1)),
+            std::string::npos)
+      << resumed.status().message();
+  EXPECT_NE(resumed.status().message().find("offset"), std::string::npos)
+      << resumed.status().message();
+}
+
+TEST_F(StorageRecoveryTest, CorruptedCheckpointSnapshotFailsItsCrc) {
+  std::unique_ptr<DurableWarehouse> durable = MustBootstrap();
+  Result<Manifest> manifest = ReadManifest(&vfs_, "wh");
+  DWC_ASSERT_OK(manifest);
+  DWC_ASSERT_OK(
+      vfs_.FlipBit(JoinPath("wh", manifest->checkpoint_file), 40, 1));
+  Result<DurableWarehouse::Resumed> resumed =
+      DurableWarehouse::Resume(&vfs_, "wh");
+  ASSERT_FALSE(resumed.ok());
+  EXPECT_EQ(resumed.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(resumed.status().message().find("checksum"), std::string::npos)
+      << resumed.status().message();
+}
+
+TEST_F(StorageRecoveryTest, WalNotContinuingTheStampIsRejected) {
+  std::unique_ptr<DurableWarehouse> durable = MustBootstrap();
+  // Forge a WAL whose first record pretends to be sequence 2 while the
+  // checkpoint stamp is sequence 0: sequence 1 was lost somewhere.
+  Result<CanonicalDelta> skipped =
+      source_->Apply({"Emp", {T({S("Nina"), I(27)})}, {}});
+  DWC_ASSERT_OK(skipped);
+  Result<CanonicalDelta> forged =
+      source_->Apply({"Emp", {T({S("Omar"), I(31)})}, {}});
+  DWC_ASSERT_OK(forged);
+  DWC_ASSERT_OK(durable->Append(*forged));
+  Result<DurableWarehouse::Resumed> resumed =
+      DurableWarehouse::Resume(&vfs_, "wh");
+  ASSERT_FALSE(resumed.ok());
+  EXPECT_EQ(resumed.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(resumed.status().message().find("does not continue"),
+            std::string::npos)
+      << resumed.status().message();
+}
+
+TEST_F(StorageRecoveryTest, InspectDescribesTheDirectory) {
+  std::unique_ptr<DurableWarehouse> durable = MustBootstrap();
+  MustIntegrate(durable.get(), {"Emp", {T({S("Nina"), I(27)})}, {}});
+  RecoveryManager manager(&vfs_, "wh");
+  Result<std::string> inspect = manager.Inspect();
+  DWC_ASSERT_OK(inspect);
+  EXPECT_NE(inspect->find("MANIFEST: ok"), std::string::npos) << *inspect;
+  EXPECT_NE(inspect->find("checkpoint-"), std::string::npos) << *inspect;
+  EXPECT_NE(inspect->find("1 record(s)"), std::string::npos) << *inspect;
+  // Inspect stays usable (and non-failing) on damage — that is its job.
+  DWC_ASSERT_OK(
+      vfs_.FlipBit(JoinPath("wh", WalSegmentName(1)), kWalMagicSize + 1, 1));
+  MustIntegrate(durable.get(), {"Emp", {T({S("Omar"), I(31)})}, {}});
+  Result<std::string> damaged = manager.Inspect();
+  DWC_ASSERT_OK(damaged);
+  EXPECT_NE(damaged->find("CORRUPT"), std::string::npos) << *damaged;
+}
+
+}  // namespace
+}  // namespace dwc

@@ -1,0 +1,285 @@
+// The crash matrix: a fixed ingest workload is run over FaultVfs with a
+// crash injected at every mutating-I/O operation index, across many fault
+// seeds. After each crash the directory is recovered with
+// DurableWarehouse::Resume and checked against a digest oracle recorded by
+// a clean reference run:
+//
+//   durability   — every acknowledged sequence survives the crash;
+//   consistency  — the recovered state is byte-for-byte some committed
+//                  prefix state (fingerprint matches the oracle), never a
+//                  torn in-between;
+//   independence — replay never queries the source.
+//
+// On failure the surviving disk is exported to $DWC_CRASH_DUMP_DIR for
+// post-mortem with dwc_recover --inspect (CI uploads it as an artifact).
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/warehouse_spec.h"
+#include "storage/durable.h"
+#include "storage/fault_vfs.h"
+#include "storage/wal.h"
+#include "testing/test_util.h"
+#include "util/checksum.h"
+#include "util/string_util.h"
+#include "warehouse/channel.h"
+#include "warehouse/ingest.h"
+#include "warehouse/source.h"
+#include "warehouse/warehouse.h"
+
+namespace dwc {
+namespace {
+
+using ::dwc::testing::Figure1Script;
+using ::dwc::testing::I;
+using ::dwc::testing::MustRun;
+using ::dwc::testing::S;
+using ::dwc::testing::T;
+
+// The same short stream crash_recovery_test uses (respects the inclusion
+// Sale(clerk) <= Emp(clerk)); a forced checkpoint after the third delta
+// puts the whole checkpoint protocol inside the crash sweep too.
+std::vector<UpdateOp> Stream() {
+  return {
+      {"Emp", {T({S("Nina"), I(27)})}, {}},
+      {"Sale", {T({S("radio"), S("Nina")})}, {}},
+      {"Emp", {T({S("Omar"), I(31)})}, {}},
+      {"Sale", {T({S("tv"), S("Omar")})}, {T({S("radio"), S("Nina")})}},
+      {"Emp", {}, {T({S("Nina"), I(27)})}},
+      {"Sale", {T({S("camera"), S("Omar")})}, {T({S("PC"), S("John")})}},
+  };
+}
+constexpr size_t kCheckpointAfterOp = 3;
+
+uint64_t Fingerprint(const Warehouse& warehouse) {
+  return StateDigest(warehouse.state()).Combined();
+}
+
+struct RunResult {
+  bool bootstrap_ok = false;  // The bootstrap checkpoint committed.
+  bool crashed = false;       // The injected crash fired.
+  uint64_t last_acked = 0;    // Highest sequence whose Drain() returned OK.
+  uint64_t total_ops = 0;     // vfs op count at the end (clean runs only).
+  Status failure;             // Any NON-injected failure: always a test bug.
+};
+
+// Runs the workload against `vfs` until completion or the injected crash.
+// A clean run passes `digest_by_seq` to record the oracle: the warehouse
+// fingerprint after every acknowledged sequence (and after bootstrap, keyed
+// by sequence 0). The workload itself is deterministic and vfs-independent,
+// so the oracle from one run applies to all of them.
+RunResult RunWorkload(FaultVfs* vfs,
+                      std::map<uint64_t, uint64_t>* digest_by_seq) {
+  RunResult out;
+  ScriptContext context = MustRun(Figure1Script(/*with_constraints=*/true));
+  auto spec = std::make_shared<WarehouseSpec>(
+      *SpecifyWarehouse(context.catalog, context.views));
+  Source source(context.db, "s1");
+  Result<Warehouse> warehouse = Warehouse::Load(spec, source.db());
+  if (!warehouse.ok()) {
+    out.failure = warehouse.status();
+    return out;
+  }
+  DeltaChannel channel;  // Faultless: storage faults are today's subject.
+  DeltaIngestor ingestor(&warehouse.value(), &source, &channel);
+
+  Result<std::unique_ptr<DurableWarehouse>> durable = DurableWarehouse::
+      Bootstrap(vfs, "wh", &warehouse.value(),
+                JournalStamp{source.epoch(), source.last_sequence()});
+  if (!durable.ok()) {
+    out.crashed = vfs->crashed();
+    if (!out.crashed) out.failure = durable.status();
+    return out;
+  }
+  out.bootstrap_ok = true;
+  (*durable)->Attach(&ingestor);
+  if (digest_by_seq != nullptr) {
+    (*digest_by_seq)[source.last_sequence()] = Fingerprint(*warehouse);
+  }
+
+  size_t op_index = 0;
+  for (const UpdateOp& op : Stream()) {
+    Result<CanonicalDelta> delta = source.Apply(op);
+    if (!delta.ok()) {
+      out.failure = delta.status();
+      return out;
+    }
+    channel.Send(*delta);
+    Status status = ingestor.Drain();
+    if (!status.ok()) {
+      out.crashed = vfs->crashed();
+      if (!out.crashed) out.failure = status;
+      return out;
+    }
+    out.last_acked = source.last_sequence();
+    if (digest_by_seq != nullptr) {
+      (*digest_by_seq)[out.last_acked] = Fingerprint(*warehouse);
+    }
+    if (++op_index == kCheckpointAfterOp) {
+      Status checkpointed = (*durable)->Checkpoint();
+      if (!checkpointed.ok()) {
+        out.crashed = vfs->crashed();
+        if (!out.crashed) out.failure = checkpointed;
+        return out;
+      }
+    }
+  }
+  out.total_ops = vfs->op_count();
+  return out;
+}
+
+// Exports the post-crash disk for dwc_recover --inspect when the matrix
+// fails and DWC_CRASH_DUMP_DIR is set (CI uploads it as an artifact).
+void DumpFailingDisk(const FaultVfs& vfs, uint64_t seed, uint64_t crash_at) {
+  const char* dump_dir = std::getenv("DWC_CRASH_DUMP_DIR");
+  if (dump_dir == nullptr) {
+    std::cerr << "set DWC_CRASH_DUMP_DIR to export the failing disk\n";
+    return;
+  }
+  PosixVfs posix;
+  Status made = posix.CreateDir(dump_dir);
+  const std::string dst =
+      JoinPath(dump_dir, StrCat("crash-seed", seed, "-op", crash_at));
+  Status dumped = made.ok() ? vfs.DumpTo(&posix, "wh", dst) : made;
+  if (dumped.ok()) {
+    std::cerr << "failing post-crash disk exported to " << dst << "\n";
+  } else {
+    std::cerr << "disk export failed: " << dumped.ToString() << "\n";
+  }
+}
+
+TEST(CrashMatrixTest, EveryCrashPointRecoversACommittedState) {
+  std::map<uint64_t, uint64_t> digest_by_seq;
+  uint64_t total_ops = 0;
+  {
+    FaultVfs vfs;
+    RunResult clean = RunWorkload(&vfs, &digest_by_seq);
+    ASSERT_TRUE(clean.failure.ok()) << clean.failure.ToString();
+    ASSERT_FALSE(clean.crashed);
+    ASSERT_EQ(clean.last_acked, Stream().size());
+    total_ops = clean.total_ops;
+  }
+  ASSERT_GT(total_ops, 20u);  // The sweep has real coverage.
+
+  size_t resumed_runs = 0;
+  size_t unrecoverable_runs = 0;
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    for (uint64_t crash_at = 0; crash_at < total_ops; ++crash_at) {
+      SCOPED_TRACE(StrCat("seed ", seed, ", crash at op ", crash_at));
+      StorageFaultProfile profile;
+      profile.seed = seed;
+      FaultVfs vfs(profile);
+      vfs.ScheduleCrashAtOp(crash_at);
+      RunResult run = RunWorkload(&vfs, nullptr);
+      ASSERT_TRUE(run.failure.ok()) << run.failure.ToString();
+      ASSERT_TRUE(run.crashed);  // crash_at < total_ops always fires.
+      vfs.CrashAndLose();
+
+      Result<DurableWarehouse::Resumed> resumed =
+          DurableWarehouse::Resume(&vfs, "wh");
+      if (!resumed.ok()) {
+        // Only legitimate before the bootstrap checkpoint ever committed —
+        // there is nothing durable to recover yet, and nothing was acked.
+        EXPECT_FALSE(run.bootstrap_ok) << resumed.status().ToString();
+        EXPECT_EQ(run.last_acked, 0u);
+        ++unrecoverable_runs;
+      } else {
+        ++resumed_runs;
+        const JournalStamp resume = resumed->recovered.report.resume;
+        // Durability: every acknowledged sequence survived.
+        EXPECT_GE(resume.sequence, run.last_acked);
+        // Consistency: the recovered state is exactly the committed state
+        // at that sequence — never a torn hybrid.
+        auto oracle = digest_by_seq.find(resume.sequence);
+        ASSERT_NE(oracle, digest_by_seq.end())
+            << "recovered to unknown sequence " << resume.sequence;
+        EXPECT_EQ(Fingerprint(*resumed->recovered.restored.warehouse),
+                  oracle->second);
+        // Update independence: replay is pure log application.
+        EXPECT_EQ(resumed->recovered.restored.source->query_count(), 0u);
+      }
+      if (::testing::Test::HasFailure()) {
+        DumpFailingDisk(vfs, seed, crash_at);
+        FAIL() << "stopping the sweep at the first failing crash point";
+      }
+    }
+  }
+  // The sweep exercised both regimes: recoverable crashes dominate, and the
+  // earliest ops (before the first manifest commit) are the only
+  // unrecoverable ones.
+  EXPECT_GT(resumed_runs, unrecoverable_runs);
+  EXPECT_GT(unrecoverable_runs, 0u);
+}
+
+// The damage corpus (the dwc_chaos side of the matrix): every seed's clean
+// directory is damaged two ways and must classify each correctly —
+// garbage appended past the committed tail truncates cleanly; bit rot
+// inside committed history fails loudly naming the segment.
+TEST(CrashMatrixTest, DamageCorpusClassifiesTornTailsAndRot) {
+  std::map<uint64_t, uint64_t> digest_by_seq;
+  {
+    FaultVfs vfs;
+    RunResult clean = RunWorkload(&vfs, &digest_by_seq);
+    ASSERT_TRUE(clean.failure.ok()) << clean.failure.ToString();
+  }
+  const uint64_t final_seq = Stream().size();
+
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    SCOPED_TRACE(StrCat("seed ", seed));
+    // Torn tail: garbage that never was a committed record.
+    {
+      StorageFaultProfile profile;
+      profile.seed = seed;
+      FaultVfs vfs(profile);
+      RunResult run = RunWorkload(&vfs, nullptr);
+      ASSERT_TRUE(run.failure.ok()) << run.failure.ToString();
+      // The live segment is the highest-numbered one; smear 1..24 junk
+      // bytes over its end (a header fragment, or a frame that can never
+      // complete).
+      const std::string segment = JoinPath("wh", WalSegmentName(2));
+      const size_t junk = 1 + static_cast<size_t>(seed) * 3;
+      Result<std::unique_ptr<VfsFile>> file = vfs.OpenAppend(segment);
+      DWC_ASSERT_OK(file);
+      DWC_ASSERT_OK((*file)->Append(std::string(junk, '\xFF')));
+      Result<DurableWarehouse::Resumed> resumed =
+          DurableWarehouse::Resume(&vfs, "wh");
+      DWC_ASSERT_OK(resumed);
+      EXPECT_TRUE(resumed->recovered.report.torn_tail);
+      EXPECT_EQ(resumed->recovered.report.truncated_bytes, junk);
+      EXPECT_EQ(resumed->recovered.report.resume.sequence, final_seq);
+      EXPECT_EQ(Fingerprint(*resumed->recovered.restored.warehouse),
+                digest_by_seq.at(final_seq));
+    }
+    // Bit rot inside a committed record with committed records after it.
+    {
+      StorageFaultProfile profile;
+      profile.seed = seed;
+      FaultVfs vfs(profile);
+      RunResult run = RunWorkload(&vfs, nullptr);
+      ASSERT_TRUE(run.failure.ok()) << run.failure.ToString();
+      const std::string segment = JoinPath("wh", WalSegmentName(2));
+      // Inside the first record's payload (the DELTA keyword region) —
+      // never the length field, so the damage is unambiguously rot.
+      DWC_ASSERT_OK(vfs.FlipBit(
+          segment, kWalMagicSize + kWalHeaderSize + 1 + seed,
+          static_cast<int>(seed % 8)));
+      Result<DurableWarehouse::Resumed> resumed =
+          DurableWarehouse::Resume(&vfs, "wh");
+      ASSERT_FALSE(resumed.ok());
+      EXPECT_EQ(resumed.status().code(), StatusCode::kFailedPrecondition);
+      EXPECT_NE(resumed.status().message().find(WalSegmentName(2)),
+                std::string::npos)
+          << resumed.status().message();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dwc

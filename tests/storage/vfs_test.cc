@@ -1,0 +1,239 @@
+// The two Vfs backends: PosixVfs against a real temp directory, and
+// FaultVfs's crash semantics — fsync'd bytes survive, pending bytes tear,
+// un-synced directory entries survive probabilistically, scheduled crashes
+// kill every subsequent I/O op.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "storage/fault_vfs.h"
+#include "storage/vfs.h"
+#include "testing/test_util.h"
+
+namespace dwc {
+namespace {
+
+// ---------- PosixVfs ----------
+
+class PosixVfsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/dwc_vfs_test_XXXXXX";
+    ASSERT_NE(::mkdtemp(tmpl), nullptr);
+    root_ = tmpl;
+  }
+  void TearDown() override {
+    std::string cmd = "rm -rf '" + root_ + "'";
+    ASSERT_EQ(std::system(cmd.c_str()), 0);
+  }
+
+  PosixVfs vfs_;
+  std::string root_;
+};
+
+TEST_F(PosixVfsTest, CreateAppendReadRoundTrip) {
+  const std::string path = JoinPath(root_, "a.txt");
+  Result<std::unique_ptr<VfsFile>> file = vfs_.Create(path);
+  DWC_ASSERT_OK(file);
+  DWC_ASSERT_OK((*file)->Append("hello "));
+  DWC_ASSERT_OK((*file)->Append("world"));
+  DWC_ASSERT_OK((*file)->Sync());
+  DWC_ASSERT_OK((*file)->Close());
+  Result<std::string> content = vfs_.ReadFile(path);
+  DWC_ASSERT_OK(content);
+  EXPECT_EQ(*content, "hello world");
+  Result<uint64_t> size = vfs_.FileSize(path);
+  DWC_ASSERT_OK(size);
+  EXPECT_EQ(*size, 11u);
+}
+
+TEST_F(PosixVfsTest, OpenAppendExtends) {
+  const std::string path = JoinPath(root_, "a.txt");
+  {
+    Result<std::unique_ptr<VfsFile>> file = vfs_.Create(path);
+    DWC_ASSERT_OK(file);
+    DWC_ASSERT_OK((*file)->Append("one"));
+    DWC_ASSERT_OK((*file)->Close());
+  }
+  {
+    Result<std::unique_ptr<VfsFile>> file = vfs_.OpenAppend(path);
+    DWC_ASSERT_OK(file);
+    DWC_ASSERT_OK((*file)->Append("+two"));
+    DWC_ASSERT_OK((*file)->Close());
+  }
+  Result<std::string> content = vfs_.ReadFile(path);
+  DWC_ASSERT_OK(content);
+  EXPECT_EQ(*content, "one+two");
+}
+
+TEST_F(PosixVfsTest, RenameRemoveListExistTruncate) {
+  const std::string a = JoinPath(root_, "a");
+  const std::string b = JoinPath(root_, "b");
+  {
+    Result<std::unique_ptr<VfsFile>> file = vfs_.Create(a);
+    DWC_ASSERT_OK(file);
+    DWC_ASSERT_OK((*file)->Append("0123456789"));
+    DWC_ASSERT_OK((*file)->Close());
+  }
+  DWC_ASSERT_OK(vfs_.Rename(a, b));
+  Result<bool> gone = vfs_.Exists(a);
+  DWC_ASSERT_OK(gone);
+  EXPECT_FALSE(*gone);
+  DWC_ASSERT_OK(vfs_.Truncate(b, 4));
+  Result<std::string> content = vfs_.ReadFile(b);
+  DWC_ASSERT_OK(content);
+  EXPECT_EQ(*content, "0123");
+  Result<std::vector<std::string>> names = vfs_.ListDir(root_);
+  DWC_ASSERT_OK(names);
+  ASSERT_EQ(names->size(), 1u);
+  EXPECT_EQ((*names)[0], "b");
+  DWC_ASSERT_OK(vfs_.Remove(b));
+  names = vfs_.ListDir(root_);
+  DWC_ASSERT_OK(names);
+  EXPECT_TRUE(names->empty());
+  DWC_ASSERT_OK(vfs_.SyncDir(root_));
+}
+
+TEST_F(PosixVfsTest, MissingFilesAreNotFound) {
+  EXPECT_EQ(vfs_.ReadFile(JoinPath(root_, "nope")).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(vfs_.OpenAppend(JoinPath(root_, "nope")).status().code(),
+            StatusCode::kNotFound);
+}
+
+// ---------- FaultVfs ----------
+
+TEST(FaultVfsTest, SyncedBytesSurviveACrashPendingBytesMayNot) {
+  StorageFaultProfile profile;
+  profile.seed = 7;
+  profile.torn_tail_rate = 0.0;  // Pending bytes always vanish entirely.
+  FaultVfs vfs(profile);
+  DWC_ASSERT_OK(vfs.CreateDir("d"));
+  Result<std::unique_ptr<VfsFile>> file = vfs.Create("d/f");
+  DWC_ASSERT_OK(file);
+  DWC_ASSERT_OK((*file)->Append("durable"));
+  DWC_ASSERT_OK((*file)->Sync());
+  DWC_ASSERT_OK(vfs.SyncDir("d"));
+  DWC_ASSERT_OK((*file)->Append("-pending"));
+  vfs.CrashAndLose();
+  Result<std::string> content = vfs.ReadFile("d/f");
+  DWC_ASSERT_OK(content);
+  EXPECT_EQ(*content, "durable");
+  // The pre-crash handle is stale now.
+  EXPECT_EQ((*file)->Append("x").code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(FaultVfsTest, UnsyncedDirectoryEntryVanishesWhenMetaNeverSurvives) {
+  StorageFaultProfile profile;
+  profile.meta_survival_rate = 0.0;
+  FaultVfs vfs(profile);
+  DWC_ASSERT_OK(vfs.CreateDir("d"));
+  Result<std::unique_ptr<VfsFile>> file = vfs.Create("d/f");
+  DWC_ASSERT_OK(file);
+  DWC_ASSERT_OK((*file)->Append("x"));
+  DWC_ASSERT_OK((*file)->Sync());  // Bytes synced, directory entry is not.
+  vfs.CrashAndLose();
+  EXPECT_EQ(vfs.ReadFile("d/f").status().code(), StatusCode::kNotFound);
+  EXPECT_GE(vfs.dropped_meta_ops(), 1u);
+}
+
+TEST(FaultVfsTest, SyncDirMakesTheEntryCrashProof) {
+  StorageFaultProfile profile;
+  profile.meta_survival_rate = 0.0;
+  FaultVfs vfs(profile);
+  DWC_ASSERT_OK(vfs.CreateDir("d"));
+  Result<std::unique_ptr<VfsFile>> file = vfs.Create("d/f");
+  DWC_ASSERT_OK(file);
+  DWC_ASSERT_OK((*file)->Append("x"));
+  DWC_ASSERT_OK((*file)->Sync());
+  DWC_ASSERT_OK(vfs.SyncDir("d"));
+  vfs.CrashAndLose();
+  Result<std::string> content = vfs.ReadFile("d/f");
+  DWC_ASSERT_OK(content);
+  EXPECT_EQ(*content, "x");
+}
+
+TEST(FaultVfsTest, TornTailsActuallyOccurAcrossSeeds) {
+  bool saw_torn = false;
+  bool saw_clean_loss = false;
+  for (uint64_t seed = 0; seed < 32 && !(saw_torn && saw_clean_loss);
+       ++seed) {
+    StorageFaultProfile profile;
+    profile.seed = seed;
+    profile.torn_tail_rate = 0.5;
+    profile.tail_garbage_rate = 0.0;
+    FaultVfs vfs(profile);
+    DWC_ASSERT_OK(vfs.CreateDir("d"));
+    Result<std::unique_ptr<VfsFile>> file = vfs.Create("d/f");
+    DWC_ASSERT_OK(file);
+    DWC_ASSERT_OK((*file)->Append("base"));
+    DWC_ASSERT_OK((*file)->Sync());
+    DWC_ASSERT_OK(vfs.SyncDir("d"));
+    DWC_ASSERT_OK((*file)->Append("pending-tail-data"));
+    vfs.CrashAndLose();
+    Result<std::string> content = vfs.ReadFile("d/f");
+    DWC_ASSERT_OK(content);
+    ASSERT_GE(content->size(), 4u);
+    EXPECT_EQ(content->substr(0, 4), "base");
+    if (content->size() > 4) {
+      saw_torn = true;
+      // The torn tail is a strict prefix of what was appended.
+      EXPECT_EQ(*content,
+                std::string("base") +
+                    std::string("pending-tail-data")
+                        .substr(0, content->size() - 4));
+    } else {
+      saw_clean_loss = true;
+    }
+  }
+  EXPECT_TRUE(saw_torn);
+  EXPECT_TRUE(saw_clean_loss);
+}
+
+TEST(FaultVfsTest, ScheduledCrashKillsTheExactOpAndEverythingAfter) {
+  FaultVfs vfs;
+  DWC_ASSERT_OK(vfs.CreateDir("d"));
+  const uint64_t before = vfs.op_count();
+  vfs.ScheduleCrashAtOp(before + 1);
+  Result<std::unique_ptr<VfsFile>> file = vfs.Create("d/f");  // op `before`
+  DWC_ASSERT_OK(file);
+  Status died = (*file)->Append("x");  // op `before + 1`: the crash.
+  EXPECT_EQ(died.code(), StatusCode::kInternal);
+  EXPECT_TRUE(vfs.crashed());
+  // The process is dead: every further op fails too.
+  EXPECT_EQ(vfs.CreateDir("d2").code(), StatusCode::kInternal);
+  vfs.CrashAndLose();
+  EXPECT_FALSE(vfs.crashed());
+  DWC_ASSERT_OK(vfs.CreateDir("d2"));
+}
+
+TEST(FaultVfsTest, FlipBitCorruptsInPlace) {
+  FaultVfs vfs;
+  DWC_ASSERT_OK(vfs.CreateDir("d"));
+  Result<std::unique_ptr<VfsFile>> file = vfs.Create("d/f");
+  DWC_ASSERT_OK(file);
+  DWC_ASSERT_OK((*file)->Append("abc"));
+  DWC_ASSERT_OK(vfs.FlipBit("d/f", 1, 0));
+  Result<std::string> content = vfs.ReadFile("d/f");
+  DWC_ASSERT_OK(content);
+  EXPECT_EQ(*content, "acc");  // 'b' ^ 1 == 'c'.
+  EXPECT_EQ(vfs.FlipBit("d/f", 99, 0).code(), StatusCode::kOutOfRange);
+}
+
+TEST(FaultVfsTest, DumpToExportsTheLiveTree) {
+  FaultVfs vfs;
+  DWC_ASSERT_OK(vfs.CreateDir("d"));
+  Result<std::unique_ptr<VfsFile>> file = vfs.Create("d/f");
+  DWC_ASSERT_OK(file);
+  DWC_ASSERT_OK((*file)->Append("payload"));
+  FaultVfs target;
+  DWC_ASSERT_OK(vfs.DumpTo(&target, "d", "out"));
+  Result<std::string> content = target.ReadFile("out/f");
+  DWC_ASSERT_OK(content);
+  EXPECT_EQ(*content, "payload");
+}
+
+}  // namespace
+}  // namespace dwc

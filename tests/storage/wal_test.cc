@@ -1,0 +1,174 @@
+// WAL framing: CRC-framed length-prefixed records, segment rotation, and —
+// the acceptance-critical part — damage classification: a torn tail (data
+// that never finished committing) truncates cleanly, while mid-log
+// corruption (committed history that rotted) fails loudly with the segment
+// and byte offset.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "storage/fault_vfs.h"
+#include "storage/wal.h"
+#include "testing/test_util.h"
+
+namespace dwc {
+namespace {
+
+class WalTest : public ::testing::Test {
+ protected:
+  void SetUp() override { DWC_ASSERT_OK(vfs_.CreateDir("d")); }
+
+  std::unique_ptr<WalWriter> MustOpen(uint64_t segment_id,
+                                      uint64_t existing_bytes,
+                                      WalWriterOptions options =
+                                          WalWriterOptions()) {
+    Result<std::unique_ptr<WalWriter>> writer =
+        WalWriter::Open(&vfs_, "d", segment_id, existing_bytes, options);
+    EXPECT_TRUE(writer.ok()) << writer.status().ToString();
+    return std::move(writer).value();
+  }
+
+  FaultVfs vfs_;
+};
+
+TEST_F(WalTest, AppendScanRoundTrip) {
+  std::unique_ptr<WalWriter> writer = MustOpen(1, 0);
+  DWC_ASSERT_OK(writer->Append(1, 1, "DELTA one;"));
+  DWC_ASSERT_OK(writer->Append(1, 2, "DELTA two;"));
+  DWC_ASSERT_OK(writer->Append(1, 3, ""));  // Skip record.
+  Result<WalSegmentScan> scan =
+      ScanWalSegment(&vfs_, JoinPath("d", WalSegmentName(1)));
+  DWC_ASSERT_OK(scan);
+  ASSERT_EQ(scan->records.size(), 3u);
+  EXPECT_FALSE(scan->torn_tail);
+  EXPECT_EQ(scan->truncated_bytes, 0u);
+  EXPECT_EQ(scan->records[0].payload, "DELTA one;");
+  EXPECT_EQ(scan->records[0].epoch, 1u);
+  EXPECT_EQ(scan->records[0].sequence, 1u);
+  EXPECT_EQ(scan->records[1].sequence, 2u);
+  EXPECT_TRUE(scan->records[2].is_skip());
+  EXPECT_EQ(scan->records[2].sequence, 3u);
+}
+
+TEST_F(WalTest, RotationStartsAFreshSegmentOverTheSizeBudget) {
+  WalWriterOptions options;
+  options.segment_max_bytes = 64;  // Tiny: force rotation quickly.
+  std::unique_ptr<WalWriter> writer = MustOpen(1, 0, options);
+  for (uint64_t seq = 1; seq <= 8; ++seq) {
+    DWC_ASSERT_OK(writer->Append(1, seq, "DELTA payload padding........;"));
+  }
+  EXPECT_GT(writer->segment_id(), 1u);
+  EXPECT_GT(writer->segments_rotated(), 0u);
+  // Every record is recoverable across the chain, in order.
+  uint64_t expect_seq = 1;
+  for (uint64_t id = 1; id <= writer->segment_id(); ++id) {
+    Result<WalSegmentScan> scan =
+        ScanWalSegment(&vfs_, JoinPath("d", WalSegmentName(id)));
+    DWC_ASSERT_OK(scan);
+    EXPECT_FALSE(scan->torn_tail);
+    for (const WalRecord& record : scan->records) {
+      EXPECT_EQ(record.sequence, expect_seq++);
+    }
+  }
+  EXPECT_EQ(expect_seq, 9u);
+}
+
+TEST_F(WalTest, TornHeaderAtEofTruncatesCleanly) {
+  std::unique_ptr<WalWriter> writer = MustOpen(1, 0);
+  DWC_ASSERT_OK(writer->Append(1, 1, "DELTA one;"));
+  const std::string path = JoinPath("d", WalSegmentName(1));
+  // A torn write: only 5 bytes of the next record's header made it down.
+  Result<std::unique_ptr<VfsFile>> file = vfs_.OpenAppend(path);
+  DWC_ASSERT_OK(file);
+  DWC_ASSERT_OK((*file)->Append("\x01\x02\x03\x04\x05"));
+  Result<WalSegmentScan> scan = ScanWalSegment(&vfs_, path);
+  DWC_ASSERT_OK(scan);
+  ASSERT_EQ(scan->records.size(), 1u);
+  EXPECT_TRUE(scan->torn_tail);
+  EXPECT_EQ(scan->truncated_bytes, 5u);
+}
+
+TEST_F(WalTest, TornPayloadAtEofTruncatesCleanly) {
+  std::unique_ptr<WalWriter> writer = MustOpen(1, 0);
+  DWC_ASSERT_OK(writer->Append(1, 1, "DELTA one;"));
+  const std::string path = JoinPath("d", WalSegmentName(1));
+  // A whole header claiming 100 payload bytes, followed by only 3.
+  std::string frame = EncodeWalRecord(1, 2, std::string(100, 'x'));
+  Result<std::unique_ptr<VfsFile>> file = vfs_.OpenAppend(path);
+  DWC_ASSERT_OK(file);
+  DWC_ASSERT_OK((*file)->Append(frame.substr(0, kWalHeaderSize + 3)));
+  Result<WalSegmentScan> scan = ScanWalSegment(&vfs_, path);
+  DWC_ASSERT_OK(scan);
+  ASSERT_EQ(scan->records.size(), 1u);
+  EXPECT_TRUE(scan->torn_tail);
+  EXPECT_EQ(scan->truncated_bytes, kWalHeaderSize + 3u);
+}
+
+TEST_F(WalTest, CorruptFinalRecordIsATornTail) {
+  std::unique_ptr<WalWriter> writer = MustOpen(1, 0);
+  DWC_ASSERT_OK(writer->Append(1, 1, "DELTA one;"));
+  DWC_ASSERT_OK(writer->Append(1, 2, "DELTA two;"));
+  const std::string path = JoinPath("d", WalSegmentName(1));
+  Result<uint64_t> size = vfs_.FileSize(path);
+  DWC_ASSERT_OK(size);
+  // Flip a payload bit of the *last* record: nothing durable follows it, so
+  // it is indistinguishable from a tear and must truncate, not fail.
+  DWC_ASSERT_OK(vfs_.FlipBit(path, *size - 2, 3));
+  Result<WalSegmentScan> scan = ScanWalSegment(&vfs_, path);
+  DWC_ASSERT_OK(scan);
+  ASSERT_EQ(scan->records.size(), 1u);
+  EXPECT_EQ(scan->records[0].sequence, 1u);
+  EXPECT_TRUE(scan->torn_tail);
+  EXPECT_GT(scan->truncated_bytes, 0u);
+}
+
+TEST_F(WalTest, MidLogCorruptionFailsLoudlyWithTheOffset) {
+  std::unique_ptr<WalWriter> writer = MustOpen(1, 0);
+  DWC_ASSERT_OK(writer->Append(1, 1, "DELTA one;"));
+  DWC_ASSERT_OK(writer->Append(1, 2, "DELTA two;"));
+  const std::string path = JoinPath("d", WalSegmentName(1));
+  // Flip a bit inside the FIRST record's payload: a later record still
+  // checksums, so this is rot in committed history — refuse to recover.
+  DWC_ASSERT_OK(vfs_.FlipBit(path, kWalMagicSize + kWalHeaderSize + 2, 1));
+  Result<WalSegmentScan> scan = ScanWalSegment(&vfs_, path);
+  ASSERT_FALSE(scan.ok());
+  EXPECT_EQ(scan.status().code(), StatusCode::kFailedPrecondition);
+  // The error names the segment and the exact frame offset.
+  EXPECT_NE(scan.status().message().find(WalSegmentName(1)),
+            std::string::npos)
+      << scan.status().message();
+  EXPECT_NE(scan.status().message().find("offset 8"), std::string::npos)
+      << scan.status().message();
+}
+
+TEST_F(WalTest, CorruptMagicPreambleIsRejected) {
+  std::unique_ptr<WalWriter> writer = MustOpen(1, 0);
+  DWC_ASSERT_OK(writer->Append(1, 1, "DELTA one;"));
+  const std::string path = JoinPath("d", WalSegmentName(1));
+  DWC_ASSERT_OK(vfs_.FlipBit(path, 2, 5));
+  Result<WalSegmentScan> scan = ScanWalSegment(&vfs_, path);
+  ASSERT_FALSE(scan.ok());
+  EXPECT_EQ(scan.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(WalTest, ReopeningAtTheCleanLengthResumesAppending) {
+  {
+    std::unique_ptr<WalWriter> writer = MustOpen(1, 0);
+    DWC_ASSERT_OK(writer->Append(1, 1, "DELTA one;"));
+  }
+  const std::string path = JoinPath("d", WalSegmentName(1));
+  Result<WalSegmentScan> first = ScanWalSegment(&vfs_, path);
+  DWC_ASSERT_OK(first);
+  {
+    std::unique_ptr<WalWriter> writer = MustOpen(1, first->valid_bytes);
+    DWC_ASSERT_OK(writer->Append(1, 2, "DELTA two;"));
+  }
+  Result<WalSegmentScan> scan = ScanWalSegment(&vfs_, path);
+  DWC_ASSERT_OK(scan);
+  ASSERT_EQ(scan->records.size(), 2u);
+  EXPECT_EQ(scan->records[1].sequence, 2u);
+}
+
+}  // namespace
+}  // namespace dwc
