@@ -1,9 +1,15 @@
 #ifndef DWC_BENCH_BENCH_COMMON_H_
 #define DWC_BENCH_BENCH_COMMON_H_
 
+#include <algorithm>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <iostream>
+#include <map>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "core/warehouse_spec.h"
 #include "relational/database.h"
@@ -95,6 +101,83 @@ struct ScaledFigure1 {
     return op;
   }
 };
+
+// --- JSON artifacts (custom-main benchmarks) --------------------------------
+//
+// Benchmarks with their own main() accept `--json` and then write a
+// machine-readable BENCH_<name>.json next to the binary (one row per
+// configuration: ops/sec, p50/p99 latency, thread count, extra counters).
+// CI and EXPERIMENTS.md plots consume these artifacts.
+
+// True when `--json` appears among the arguments.
+inline bool JsonRequested(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+struct LatencyStats {
+  double ops_per_sec = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+};
+
+// Order statistics over per-iteration latencies (microseconds).
+inline LatencyStats SummarizeLatencies(std::vector<double> latencies_us) {
+  LatencyStats stats;
+  if (latencies_us.empty()) {
+    return stats;
+  }
+  std::sort(latencies_us.begin(), latencies_us.end());
+  auto quantile = [&](double q) {
+    size_t idx = static_cast<size_t>(q * (latencies_us.size() - 1));
+    return latencies_us[idx];
+  };
+  stats.p50_us = quantile(0.5);
+  stats.p99_us = quantile(0.99);
+  double total_us = 0;
+  for (double v : latencies_us) {
+    total_us += v;
+  }
+  stats.ops_per_sec = total_us > 0 ? latencies_us.size() * 1e6 / total_us : 0;
+  return stats;
+}
+
+// One benchmark configuration's results.
+struct BenchRow {
+  std::string name;
+  size_t threads = 0;
+  LatencyStats latency;
+  std::map<std::string, double> counters;
+};
+
+// Writes BENCH_<bench_name>.json in the working directory.
+inline void WriteBenchJson(const std::string& bench_name,
+                           const std::vector<BenchRow>& rows) {
+  std::string path = "BENCH_" + bench_name + ".json";
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot write " << path << "\n";
+    std::abort();
+  }
+  out << "{\n  \"benchmark\": \"" << bench_name << "\",\n  \"rows\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const BenchRow& row = rows[i];
+    out << "    {\"name\": \"" << row.name << "\", \"threads\": "
+        << row.threads << ", \"ops_per_sec\": " << row.latency.ops_per_sec
+        << ", \"p50_us\": " << row.latency.p50_us
+        << ", \"p99_us\": " << row.latency.p99_us;
+    for (const auto& [key, value] : row.counters) {
+      out << ", \"" << key << "\": " << value;
+    }
+    out << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cout << "wrote " << path << "\n";
+}
 
 }  // namespace bench
 }  // namespace dwc

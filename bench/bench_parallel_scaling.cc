@@ -1,0 +1,153 @@
+// B11 (see EXPERIMENTS.md): morsel-driven parallel scaling. The same
+// warehouse workload — incremental integrates, full recompute-from-inverse
+// refreshes, and translated analytical queries — runs at 1, 2, 4 and 8
+// threads, and every configuration's final state digest must equal the
+// serial one (relations are sets; thread count is not allowed to be
+// observable in the state).
+//
+// Expected shape on multi-core hardware: recompute and query throughput
+// scale with threads until memory bandwidth saturates (the probe loops are
+// embarrassingly parallel); small incremental refreshes stay flat because
+// they never cross min_parallel_tuples — parallelism must not tax the
+// O(|delta|) fast path. Amdahl's law caps the rest: the serial commit phase
+// and index maintenance bound the speedup (see DESIGN.md §9).
+//
+// With --json, writes BENCH_parallel_scaling.json (ops/sec, p50/p99 per
+// configuration) for CI artifact collection.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "exec/thread_pool.h"
+#include "util/checksum.h"
+#include "warehouse/source.h"
+
+namespace dwc {
+namespace bench {
+namespace {
+
+constexpr size_t kDim = 2000;
+constexpr size_t kFact = 24000;
+constexpr size_t kBatch = 256;
+constexpr size_t kRefreshes = 6;
+constexpr size_t kQueries = 4;
+constexpr size_t kRecomputes = 2;
+
+double ElapsedUs(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+// One full workload at `threads`; returns the final combined state digest
+// and appends one BenchRow per workload phase.
+uint64_t RunConfig(size_t threads, std::vector<BenchRow>* rows) {
+  ScaledFigure1 scenario(kDim, kFact, /*referential=*/false, /*seed=*/17);
+  auto spec = std::make_shared<WarehouseSpec>(
+      Unwrap(SpecifyWarehouse(scenario.catalog, scenario.views), "spec"));
+
+  EvaluatorOptions options;
+  options.num_threads = threads;
+
+  // Incremental refreshes.
+  Source source(scenario.db);
+  Warehouse warehouse = Unwrap(Warehouse::Load(spec, source.db()), "load");
+  warehouse.SetEvaluatorOptions(options);
+  Rng rng(41);
+  std::vector<double> integrate_us;
+  double parallel_kernels = 0;
+  for (size_t i = 0; i < kRefreshes; ++i) {
+    UpdateOp op = scenario.MakeInsertBatch(kBatch, &rng);
+    CanonicalDelta delta = Unwrap(source.Apply(op), "apply");
+    auto start = std::chrono::steady_clock::now();
+    Check(warehouse.Integrate(delta), "integrate");
+    integrate_us.push_back(ElapsedUs(start));
+    parallel_kernels += static_cast<double>(
+        warehouse.last_integrate_stats().parallel_kernels);
+  }
+  rows->push_back(BenchRow{"integrate_incremental", threads,
+                           SummarizeLatencies(integrate_us),
+                           {{"batch", static_cast<double>(kBatch)},
+                            {"parallel_kernels", parallel_kernels}}});
+
+  // Translated analytical queries (probe-heavy joins over the full state).
+  ExprRef query = Expr::Join(Expr::Base("Sale"), Expr::Base("Emp"));
+  std::vector<double> query_us;
+  size_t query_out = 0;
+  for (size_t i = 0; i < kQueries; ++i) {
+    auto start = std::chrono::steady_clock::now();
+    Relation result = Unwrap(warehouse.AnswerQuery(query), "query");
+    query_us.push_back(ElapsedUs(start));
+    query_out = result.size();
+  }
+  rows->push_back(BenchRow{"answer_query", threads,
+                           SummarizeLatencies(query_us),
+                           {{"out", static_cast<double>(query_out)}}});
+
+  // Recompute-from-inverse refreshes (O(|database|): the parallel
+  // complement reconstruction plus full rematerialization).
+  Source recompute_source(scenario.db);
+  Warehouse recompute = Unwrap(
+      Warehouse::Load(spec, recompute_source.db(),
+                      MaintenanceStrategy::kRecomputeFromInverse),
+      "load recompute");
+  recompute.SetEvaluatorOptions(options);
+  Rng recompute_rng(43);
+  std::vector<double> recompute_us;
+  for (size_t i = 0; i < kRecomputes; ++i) {
+    UpdateOp op = scenario.MakeInsertBatch(kBatch, &recompute_rng);
+    CanonicalDelta delta = Unwrap(recompute_source.Apply(op), "apply");
+    auto start = std::chrono::steady_clock::now();
+    Check(recompute.Integrate(delta), "recompute");
+    recompute_us.push_back(ElapsedUs(start));
+  }
+  rows->push_back(BenchRow{"integrate_recompute", threads,
+                           SummarizeLatencies(recompute_us),
+                           {}});
+
+  return StateDigest(warehouse.state()).Combined() ^
+         (StateDigest(recompute.state()).Combined() << 1);
+}
+
+int Main(int argc, char** argv) {
+  const bool json = JsonRequested(argc, argv);
+  std::vector<BenchRow> rows;
+  uint64_t serial_digest = 0;
+  std::printf("hardware threads: %zu (pool workers: %zu)\n",
+              ThreadPool::ResolveThreads(0),
+              ThreadPool::Shared().worker_count());
+  std::printf("%-24s %8s %12s %12s %12s\n", "workload", "threads",
+              "ops/sec", "p50 us", "p99 us");
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    size_t first_row = rows.size();
+    uint64_t digest = RunConfig(threads, &rows);
+    if (threads == 1) {
+      serial_digest = digest;
+    } else if (digest != serial_digest) {
+      std::fprintf(stderr,
+                   "DIGEST MISMATCH at %zu threads: %016llx vs serial "
+                   "%016llx\n",
+                   threads, static_cast<unsigned long long>(digest),
+                   static_cast<unsigned long long>(serial_digest));
+      return 1;
+    }
+    for (size_t i = first_row; i < rows.size(); ++i) {
+      std::printf("%-24s %8zu %12.1f %12.1f %12.1f\n", rows[i].name.c_str(),
+                  rows[i].threads, rows[i].latency.ops_per_sec,
+                  rows[i].latency.p50_us, rows[i].latency.p99_us);
+    }
+  }
+  std::printf("state digests identical across all thread counts\n");
+  if (json) {
+    WriteBenchJson("parallel_scaling", rows);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace dwc
+
+int main(int argc, char** argv) { return dwc::bench::Main(argc, argv); }

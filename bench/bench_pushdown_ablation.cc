@@ -17,9 +17,8 @@ namespace dwc {
 namespace bench {
 namespace {
 
-void RunAblation(benchmark::State& state, bool enable_pushdown) {
-  const size_t fact = static_cast<size_t>(state.range(1));
-  const size_t batch = static_cast<size_t>(state.range(0));
+void RunAblation(benchmark::State& state, EvaluatorOptions options,
+                 size_t batch, size_t fact) {
   ScaledFigure1 scenario(fact / 8 + 4, fact, /*referential=*/true, 7);
   auto spec = std::make_shared<WarehouseSpec>(
       Unwrap(SpecifyWarehouse(scenario.catalog, scenario.views), "spec"));
@@ -39,24 +38,53 @@ void RunAblation(benchmark::State& state, bool enable_pushdown) {
   Environment env = warehouse.Env();
   env.Bind("ins:Sale", &delta.inserts);
   env.Bind("del:Sale", &delta.deletes);
-  EvaluatorOptions options;
-  options.enable_pushdown = enable_pushdown;
 
   size_t out = 0;
+  size_t pushdown_joins = 0;
   for (auto _ : state) {
     Evaluator evaluator(&env, options);
     Relation plus = Unwrap(evaluator.Materialize(*sold_plan->plus), "plus");
     out = plus.size();
+    pushdown_joins = evaluator.stats().pushdown_joins;
     benchmark::DoNotOptimize(plus);
   }
   state.counters["delta_out"] = static_cast<double>(out);
+  state.counters["pushdown_joins"] = static_cast<double>(pushdown_joins);
 }
 
 void BM_WithPushdown(benchmark::State& state) {
-  RunAblation(state, /*enable_pushdown=*/true);
+  EvaluatorOptions options;
+  RunAblation(state, options, static_cast<size_t>(state.range(0)),
+              static_cast<size_t>(state.range(1)));
 }
 void BM_WithoutPushdown(benchmark::State& state) {
-  RunAblation(state, /*enable_pushdown=*/false);
+  EvaluatorOptions options;
+  options.enable_pushdown = false;
+  RunAblation(state, options, static_cast<size_t>(state.range(0)),
+              static_cast<size_t>(state.range(1)));
+}
+
+// Threshold sweeps (the two knobs behind Evaluator::WorthPushdown). Each
+// sweep pins the other knob so only the swept threshold decides.
+//
+// pushdown_max_keys: the absolute "operand is tiny" escape hatch. The
+// selectivity factor is pinned huge so the ratio path never fires; a batch
+// above/below max_keys flips between probing and scanning.
+void BM_ThresholdMaxKeys(benchmark::State& state) {
+  EvaluatorOptions options;
+  options.pushdown_max_keys = static_cast<size_t>(state.range(0));
+  options.pushdown_selectivity_factor = 1 << 20;
+  RunAblation(state, options, /*batch=*/64, /*fact=*/8000);
+}
+
+// pushdown_selectivity_factor: the relative "operand is much smaller than
+// the scan it saves" test. max_keys is pinned to zero so only the ratio
+// path can trigger pushdown.
+void BM_ThresholdSelectivity(benchmark::State& state) {
+  EvaluatorOptions options;
+  options.pushdown_max_keys = 0;
+  options.pushdown_selectivity_factor = static_cast<size_t>(state.range(0));
+  RunAblation(state, options, /*batch=*/64, /*fact=*/8000);
 }
 
 void Args(benchmark::internal::Benchmark* bench) {
@@ -70,6 +98,20 @@ void Args(benchmark::internal::Benchmark* bench) {
 
 BENCHMARK(BM_WithPushdown)->Apply(Args);
 BENCHMARK(BM_WithoutPushdown)->Apply(Args);
+BENCHMARK(BM_ThresholdMaxKeys)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(8)
+    ->Arg(64)
+    ->Arg(256)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ThresholdSelectivity)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(8)
+    ->Arg(64)
+    ->Arg(1024)
+    ->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 }  // namespace bench

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <optional>
 
+#include "exec/kernels.h"
 #include "util/string_util.h"
 
 namespace dwc {
@@ -16,13 +17,6 @@ std::shared_ptr<const Relation> Alias(const Relation* rel) {
 
 std::shared_ptr<const Relation> Own(Relation rel) {
   return std::make_shared<const Relation>(std::move(rel));
-}
-
-// True when an already-evaluated operand of `actual` tuples is small enough
-// relative to the other operand's `estimate` that index probing beats a
-// scan.
-bool WorthPushdown(size_t actual, size_t estimate) {
-  return actual <= 8 || actual * 8 < estimate;
 }
 
 // Output attribute names of `expr` without evaluating it; nullopt if a name
@@ -87,88 +81,17 @@ std::optional<std::vector<std::string>> OutputNames(const Expr& expr,
   return std::nullopt;
 }
 
-// Hash-joins two materialized relations (natural join).
-Result<Relation> HashJoin(const Relation& left, const Relation& right,
-                          bool prefer_build_right) {
-  const Schema& ls = left.schema();
-  const Schema& rs = right.schema();
-  std::vector<std::string> join_attrs = ls.CommonWith(rs);
-  std::vector<Attribute> out_attrs = ls.attributes();
-  std::vector<size_t> right_extra;
-  for (size_t i = 0; i < rs.size(); ++i) {
-    const Attribute& attr = rs.attribute(i);
-    std::optional<size_t> idx = ls.IndexOf(attr.name);
-    if (idx.has_value()) {
-      if (ls.attribute(*idx).type != attr.type) {
-        return Status::InvalidArgument(
-            StrCat("join attribute '", attr.name, "' has conflicting types"));
-      }
-    } else {
-      out_attrs.push_back(attr);
-      right_extra.push_back(i);
-    }
+// Concatenates one probe/build match into an output tuple in canonical
+// left-then-right-extra column order.
+Tuple ConcatMatch(const Tuple& pt, const Tuple& bt, bool build_right,
+                  const std::vector<size_t>& right_extra) {
+  const Tuple& lt = build_right ? pt : bt;
+  const Tuple& rt = build_right ? bt : pt;
+  std::vector<Value> values = lt.values();
+  for (size_t idx : right_extra) {
+    values.push_back(rt.at(idx));
   }
-  DWC_ASSIGN_OR_RETURN(Schema out_schema, Schema::Create(std::move(out_attrs)));
-  Relation out(std::move(out_schema));
-
-  if (join_attrs.empty()) {
-    for (const Tuple& lt : left.tuples()) {
-      for (const Tuple& rt : right.tuples()) {
-        std::vector<Value> values = lt.values();
-        for (size_t idx : right_extra) {
-          values.push_back(rt.at(idx));
-        }
-        out.Insert(Tuple(std::move(values)));
-      }
-    }
-    return out;
-  }
-
-  bool build_right =
-      prefer_build_right ? true : right.size() >= left.size();
-  const Relation& build = build_right ? right : left;
-  const Relation& probe = build_right ? left : right;
-  const Relation::Index& index = build.GetIndex(join_attrs);
-  DWC_ASSIGN_OR_RETURN(std::vector<size_t> probe_key,
-                       probe.schema().IndicesOf(join_attrs));
-  for (const Tuple& pt : probe.tuples()) {
-    auto bucket = index.find(pt.Project(probe_key));
-    if (bucket == index.end()) {
-      continue;
-    }
-    for (const Tuple* bt : bucket->second) {
-      const Tuple& lt = build_right ? pt : *bt;
-      const Tuple& rt = build_right ? *bt : pt;
-      std::vector<Value> values = lt.values();
-      for (size_t idx : right_extra) {
-        values.push_back(rt.at(idx));
-      }
-      out.Insert(Tuple(std::move(values)));
-    }
-  }
-  return out;
-}
-
-// Erases `right`'s tuples from a copy of `left` (set difference). Schemas
-// must share attribute names.
-Result<Relation> SubtractInto(const Relation& left, const Relation& right) {
-  if (!left.schema().SameAttrsAs(right.schema())) {
-    return Status::InvalidArgument(
-        StrCat("difference operands have different schemas: ",
-               left.schema().ToString(), " vs ", right.schema().ToString()));
-  }
-  Relation out(left);
-  if (right.schema() == out.schema()) {
-    for (const Tuple& tuple : right.tuples()) {
-      out.Erase(tuple);
-    }
-  } else {
-    DWC_ASSIGN_OR_RETURN(Relation aligned, right.AlignTo(out.schema()));
-    for (const Tuple& tuple : aligned.tuples()) {
-      out.Erase(tuple);
-    }
-  }
-  return out;
+  return Tuple(std::move(values));
 }
 
 // Inserts `right`'s tuples into a copy of `left` (set union).
@@ -179,6 +102,7 @@ Result<Relation> UnionInto(const Relation& left, const Relation& right) {
                left.schema().ToString(), " vs ", right.schema().ToString()));
   }
   Relation out(left);
+  out.Reserve(right.size());
   if (right.schema() == out.schema()) {
     for (const Tuple& tuple : right.tuples()) {
       out.Insert(tuple);
@@ -239,10 +163,229 @@ void CollectEqualityConjuncts(const Predicate& predicate,
 
 }  // namespace
 
+void EvalStats::MergeFrom(const EvalStats& other) {
+  joins += other.joins;
+  pushdown_joins += other.pushdown_joins;
+  differences += other.differences;
+  pushdown_differences += other.pushdown_differences;
+  index_probes += other.index_probes;
+  parallel_kernels += other.parallel_kernels;
+}
+
 std::string EvalStats::ToString() const {
   return StrCat("joins=", joins, " (pushdown ", pushdown_joins,
                 "), differences=", differences, " (pushdown ",
-                pushdown_differences, "), index_probes=", index_probes);
+                pushdown_differences, "), index_probes=", index_probes,
+                ", parallel_kernels=", parallel_kernels);
+}
+
+bool Evaluator::WorthPushdown(size_t actual, size_t estimate) const {
+  return actual <= options_.pushdown_max_keys ||
+         actual * options_.pushdown_selectivity_factor < estimate;
+}
+
+// Hash-joins two materialized relations (natural join). Large probe sides
+// run morsel-parallel; a large *unstable* build side is additionally built
+// as a partitioned parallel index (a stable side keeps its cached
+// Relation index, whose reuse across refreshes is what makes delta
+// maintenance O(|delta|)).
+Result<Relation> Evaluator::HashJoin(const Relation& left,
+                                     const Relation& right,
+                                     bool prefer_build_right) {
+  const Schema& ls = left.schema();
+  const Schema& rs = right.schema();
+  std::vector<std::string> join_attrs = ls.CommonWith(rs);
+  std::vector<Attribute> out_attrs = ls.attributes();
+  std::vector<size_t> right_extra;
+  for (size_t i = 0; i < rs.size(); ++i) {
+    const Attribute& attr = rs.attribute(i);
+    std::optional<size_t> idx = ls.IndexOf(attr.name);
+    if (idx.has_value()) {
+      if (ls.attribute(*idx).type != attr.type) {
+        return Status::InvalidArgument(
+            StrCat("join attribute '", attr.name, "' has conflicting types"));
+      }
+    } else {
+      out_attrs.push_back(attr);
+      right_extra.push_back(i);
+    }
+  }
+  DWC_ASSIGN_OR_RETURN(Schema out_schema, Schema::Create(std::move(out_attrs)));
+  Relation out(std::move(out_schema));
+
+  if (join_attrs.empty()) {
+    out.Reserve(left.size() * right.size());
+    for (const Tuple& lt : left.tuples()) {
+      for (const Tuple& rt : right.tuples()) {
+        std::vector<Value> values = lt.values();
+        for (size_t idx : right_extra) {
+          values.push_back(rt.at(idx));
+        }
+        out.Insert(Tuple(std::move(values)));
+      }
+    }
+    return out;
+  }
+
+  bool build_right =
+      prefer_build_right ? true : right.size() >= left.size();
+  const Relation& build = build_right ? right : left;
+  const Relation& probe = build_right ? left : right;
+  DWC_ASSIGN_OR_RETURN(std::vector<size_t> probe_key,
+                       probe.schema().IndicesOf(join_attrs));
+  const ExecOptions exec = options_.exec();
+
+  if (!exec.ShouldParallelize(probe.size())) {
+    const Relation::Index& index = build.GetIndex(join_attrs);
+    // Key/foreign-key joins emit about one output row per probe row.
+    out.Reserve(probe.size());
+    for (const Tuple& pt : probe.tuples()) {
+      auto bucket = index.find(pt.Project(probe_key));
+      if (bucket == index.end()) {
+        continue;
+      }
+      for (const Tuple* bt : bucket->second) {
+        out.Insert(ConcatMatch(pt, *bt, build_right, right_extra));
+      }
+    }
+    return out;
+  }
+
+  ++stats_.parallel_kernels;
+  const std::vector<const Tuple*> probe_tuples = SnapshotTuples(probe);
+  // A stable build side reuses (and, once, builds) the relation's cached
+  // index — shared lock-free by all probe morsels. An unstable side would
+  // pay a full serial build on a throwaway relation, so it takes the
+  // partitioned parallel build instead.
+  const bool cached_build = prefer_build_right && build_right;
+  std::optional<PartitionedIndex> transient;
+  const Relation::Index* cached = nullptr;
+  if (cached_build) {
+    cached = &build.GetIndex(join_attrs);
+  } else {
+    DWC_ASSIGN_OR_RETURN(std::vector<size_t> build_key,
+                         build.schema().IndicesOf(join_attrs));
+    transient.emplace(
+        PartitionedIndex::Build(SnapshotTuples(build), build_key, exec));
+  }
+  auto probe_morsel = [&](MorselRange range,
+                          std::vector<Tuple>* buffer) -> Status {
+    for (size_t i = range.begin; i < range.end; ++i) {
+      const Tuple& pt = *probe_tuples[i];
+      Tuple key = pt.Project(probe_key);
+      const std::vector<const Tuple*>* bucket;
+      if (cached != nullptr) {
+        auto it = cached->find(key);
+        bucket = it == cached->end() ? nullptr : &it->second;
+      } else {
+        bucket = transient->Find(key);
+      }
+      if (bucket == nullptr) {
+        continue;
+      }
+      for (const Tuple* bt : *bucket) {
+        buffer->push_back(ConcatMatch(pt, *bt, build_right, right_extra));
+      }
+    }
+    return Status::Ok();
+  };
+  DWC_RETURN_IF_ERROR(
+      ParallelProduce(probe_tuples.size(), exec, probe_morsel, &out));
+  return out;
+}
+
+// Filters `in` through `predicate` into `out` (schemas equal), with the
+// predicate evaluated morsel-parallel for large inputs.
+Status Evaluator::FilterInto(const Relation& in, const Predicate& predicate,
+                             Relation* out) {
+  const ExecOptions exec = options_.exec();
+  if (exec.ShouldParallelize(in.size())) {
+    ++stats_.parallel_kernels;
+  }
+  const std::vector<const Tuple*> tuples = SnapshotTuples(in);
+  const Schema& schema = in.schema();
+  auto filter_morsel = [&](MorselRange range,
+                           std::vector<Tuple>* buffer) -> Status {
+    for (size_t i = range.begin; i < range.end; ++i) {
+      DWC_ASSIGN_OR_RETURN(bool keep, predicate.Eval(schema, *tuples[i]));
+      if (keep) {
+        buffer->push_back(*tuples[i]);
+      }
+    }
+    return Status::Ok();
+  };
+  return ParallelProduce(tuples.size(), exec, filter_morsel, out);
+}
+
+// Projects `in` onto `indices` into `out` (whose schema already matches),
+// building the projected tuples morsel-parallel for large inputs.
+Status Evaluator::ProjectInto(const Relation& in,
+                              const std::vector<size_t>& indices,
+                              Relation* out) {
+  const ExecOptions exec = options_.exec();
+  if (exec.ShouldParallelize(in.size())) {
+    ++stats_.parallel_kernels;
+  }
+  const std::vector<const Tuple*> tuples = SnapshotTuples(in);
+  auto project_morsel = [&](MorselRange range,
+                            std::vector<Tuple>* buffer) -> Status {
+    for (size_t i = range.begin; i < range.end; ++i) {
+      buffer->push_back(tuples[i]->Project(indices));
+    }
+    return Status::Ok();
+  };
+  return ParallelProduce(tuples.size(), exec, project_morsel, out);
+}
+
+// Set difference left - right. Schemas must share attribute names. Large
+// left sides run as a parallel anti-join membership scan; small ones keep
+// the copy-then-erase path.
+Result<Relation> Evaluator::SubtractInto(const Relation& left,
+                                         const Relation& right) {
+  if (!left.schema().SameAttrsAs(right.schema())) {
+    return Status::InvalidArgument(
+        StrCat("difference operands have different schemas: ",
+               left.schema().ToString(), " vs ", right.schema().ToString()));
+  }
+  const ExecOptions exec = options_.exec();
+  if (!exec.ShouldParallelize(left.size())) {
+    Relation out(left);
+    if (right.schema() == out.schema()) {
+      for (const Tuple& tuple : right.tuples()) {
+        out.Erase(tuple);
+      }
+    } else {
+      DWC_ASSIGN_OR_RETURN(Relation aligned, right.AlignTo(out.schema()));
+      for (const Tuple& tuple : aligned.tuples()) {
+        out.Erase(tuple);
+      }
+    }
+    return out;
+  }
+
+  ++stats_.parallel_kernels;
+  // Align the right side once; morsels then do lock-free membership probes.
+  const Relation* lookup = &right;
+  std::optional<Relation> aligned;
+  if (!(right.schema() == left.schema())) {
+    DWC_ASSIGN_OR_RETURN(Relation realigned, right.AlignTo(left.schema()));
+    aligned.emplace(std::move(realigned));
+    lookup = &*aligned;
+  }
+  const std::vector<const Tuple*> tuples = SnapshotTuples(left);
+  Relation out(left.schema());
+  auto subtract_morsel = [&](MorselRange range,
+                             std::vector<Tuple>* buffer) -> Status {
+    for (size_t i = range.begin; i < range.end; ++i) {
+      if (!lookup->Contains(*tuples[i])) {
+        buffer->push_back(*tuples[i]);
+      }
+    }
+    return Status::Ok();
+  };
+  DWC_RETURN_IF_ERROR(
+      ParallelProduce(tuples.size(), exec, subtract_morsel, &out));
+  return out;
 }
 
 Result<std::shared_ptr<const Relation>> Evaluator::Eval(const Expr& expr) {
@@ -326,13 +469,7 @@ Result<Evaluator::EvalOut> Evaluator::EvalInternal(const Expr& expr) {
       }
       DWC_ASSIGN_OR_RETURN(EvalOut child, EvalInternal(*expr.child()));
       Relation out(child.rel->schema());
-      for (const Tuple& tuple : child.rel->tuples()) {
-        DWC_ASSIGN_OR_RETURN(
-            bool keep, expr.predicate()->Eval(child.rel->schema(), tuple));
-        if (keep) {
-          out.Insert(tuple);
-        }
-      }
+      DWC_RETURN_IF_ERROR(FilterInto(*child.rel, *expr.predicate(), &out));
       return EvalOut{Own(std::move(out)), false};
     }
     case Expr::Kind::kProject: {
@@ -347,9 +484,7 @@ Result<Evaluator::EvalOut> Evaluator::EvalInternal(const Expr& expr) {
       }
       DWC_ASSIGN_OR_RETURN(Schema out_schema, Schema::Create(std::move(attrs)));
       Relation out(std::move(out_schema));
-      for (const Tuple& tuple : child.rel->tuples()) {
-        out.Insert(tuple.Project(indices));
-      }
+      DWC_RETURN_IF_ERROR(ProjectInto(*child.rel, indices, &out));
       return EvalOut{Own(std::move(out)), false};
     }
     case Expr::Kind::kRename: {
@@ -372,6 +507,7 @@ Result<Evaluator::EvalOut> Evaluator::EvalInternal(const Expr& expr) {
       }
       DWC_ASSIGN_OR_RETURN(Schema out_schema, Schema::Create(std::move(attrs)));
       Relation out(std::move(out_schema));
+      out.Reserve(child.rel->size());
       for (const Tuple& tuple : child.rel->tuples()) {
         out.Insert(tuple);
       }
@@ -536,13 +672,7 @@ Result<Evaluator::EvalOut> Evaluator::EvalWithFilter(const Expr& expr,
       DWC_ASSIGN_OR_RETURN(EvalOut child,
                            EvalWithFilter(*expr.child(), filter));
       Relation out(child.rel->schema());
-      for (const Tuple& tuple : child.rel->tuples()) {
-        DWC_ASSIGN_OR_RETURN(
-            bool keep, expr.predicate()->Eval(child.rel->schema(), tuple));
-        if (keep) {
-          out.Insert(tuple);
-        }
-      }
+      DWC_RETURN_IF_ERROR(FilterInto(*child.rel, *expr.predicate(), &out));
       return EvalOut{Own(std::move(out)), false};
     }
     case Expr::Kind::kProject: {
@@ -558,9 +688,7 @@ Result<Evaluator::EvalOut> Evaluator::EvalWithFilter(const Expr& expr,
       }
       DWC_ASSIGN_OR_RETURN(Schema out_schema, Schema::Create(std::move(attrs)));
       Relation out(std::move(out_schema));
-      for (const Tuple& tuple : child.rel->tuples()) {
-        out.Insert(tuple.Project(indices));
-      }
+      DWC_RETURN_IF_ERROR(ProjectInto(*child.rel, indices, &out));
       return EvalOut{Own(std::move(out)), false};
     }
     case Expr::Kind::kRename: {
@@ -589,6 +717,7 @@ Result<Evaluator::EvalOut> Evaluator::EvalWithFilter(const Expr& expr,
       }
       DWC_ASSIGN_OR_RETURN(Schema out_schema, Schema::Create(std::move(attrs)));
       Relation out(std::move(out_schema));
+      out.Reserve(child.rel->size());
       for (const Tuple& tuple : child.rel->tuples()) {
         out.Insert(tuple);
       }

@@ -5,6 +5,7 @@
 
 #include "algebra/environment.h"
 #include "algebra/expr.h"
+#include "exec/kernels.h"
 #include "relational/relation.h"
 #include "util/result.h"
 
@@ -23,6 +24,32 @@ struct EvaluatorOptions {
   // evaluation). Exists for the ablation benchmark
   // (bench/bench_pushdown_ablation.cc) and for debugging.
   bool enable_pushdown = true;
+
+  // Pushdown thresholds (see WorthPushdown): an already-evaluated operand of
+  // `actual` tuples is pushed down when actual <= pushdown_max_keys, or when
+  // actual * pushdown_selectivity_factor < the other side's size estimate.
+  // Both are swept by bench_pushdown_ablation.
+  size_t pushdown_max_keys = 8;
+  size_t pushdown_selectivity_factor = 8;
+
+  // Degree of parallelism for the morsel-driven kernels (parallel hash
+  // join, select, project, difference): 0 = auto (hardware concurrency),
+  // 1 = exact serial behaviour. Results are SameContentAs-identical at
+  // every thread count — relations are sets, so kernel output order is
+  // immaterial.
+  size_t num_threads = 0;
+  // Tuples per morsel, and the input size below which kernels stay serial.
+  size_t morsel_size = 1024;
+  size_t min_parallel_tuples = 4096;
+
+  // The kernel-layer view of these knobs.
+  ExecOptions exec() const {
+    ExecOptions exec_options;
+    exec_options.num_threads = num_threads;
+    exec_options.morsel_size = morsel_size;
+    exec_options.min_parallel_tuples = min_parallel_tuples;
+    return exec_options;
+  }
 };
 
 // Execution counters, EXPLAIN-style: how an evaluation did its work.
@@ -36,6 +63,13 @@ struct EvalStats {
   size_t pushdown_differences = 0;
   // Index key lookups performed against base relations by pushed filters.
   size_t index_probes = 0;
+  // Operator instances that took a morsel-driven parallel path.
+  size_t parallel_kernels = 0;
+
+  // Accumulates `other` into this (all counters add). The warehouse uses
+  // this to fold the per-task evaluator stats of a parallel refresh into
+  // one report.
+  void MergeFrom(const EvalStats& other);
 
   std::string ToString() const;
 };
@@ -76,6 +110,23 @@ class Evaluator {
   Result<EvalOut> EvalInternal(const Expr& expr);
   Result<EvalOut> EvalJoin(const Expr& expr);
   Result<EvalOut> EvalDifference(const Expr& expr);
+
+  // True when an already-evaluated operand of `actual` tuples is small
+  // enough relative to the other operand's `estimate` that index probing
+  // beats a scan (thresholds from options_).
+  bool WorthPushdown(size_t actual, size_t estimate) const;
+
+  // Morsel-driven kernels; each falls back to the serial path for small
+  // inputs or num_threads == 1. In HashJoin, `prefer_build_right` marks the
+  // right side as an environment binding whose cached index should be
+  // (re)used instead of a transient partitioned build.
+  Result<Relation> HashJoin(const Relation& left, const Relation& right,
+                            bool prefer_build_right);
+  Status FilterInto(const Relation& in, const Predicate& predicate,
+                    Relation* out);
+  Status ProjectInto(const Relation& in, const std::vector<size_t>& indices,
+                     Relation* out);
+  Result<Relation> SubtractInto(const Relation& left, const Relation& right);
 
   // Evaluates `expr` restricted (exactly) to tuples matching `filter`.
   // This is what makes delta-maintenance expressions O(|delta|): a small

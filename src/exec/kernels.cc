@@ -1,0 +1,116 @@
+#include "exec/kernels.h"
+
+#include <atomic>
+#include <utility>
+
+namespace dwc {
+
+std::vector<const Tuple*> SnapshotTuples(const Relation& rel) {
+  std::vector<const Tuple*> snapshot;
+  snapshot.reserve(rel.size());
+  for (const Tuple& tuple : rel.tuples()) {
+    snapshot.push_back(&tuple);
+  }
+  return snapshot;
+}
+
+Status ParallelProduce(
+    size_t n, const ExecOptions& options,
+    const std::function<Status(MorselRange, std::vector<Tuple>*)>& produce,
+    Relation* out) {
+  if (!options.ShouldParallelize(n)) {
+    std::vector<Tuple> buffer;
+    DWC_RETURN_IF_ERROR(produce(MorselRange{0, n}, &buffer));
+    out->Reserve(buffer.size());
+    for (Tuple& tuple : buffer) {
+      out->Insert(std::move(tuple));
+    }
+    return Status::Ok();
+  }
+
+  const size_t morsels = MorselCount(n, options.morsel_size);
+  std::vector<std::vector<Tuple>> buffers(morsels);
+  std::vector<Status> statuses(morsels);
+  ThreadPool::Shared().ParallelFor(
+      morsels, options.ResolvedThreads(), [&](size_t m) {
+        statuses[m] =
+            produce(MorselAt(n, options.morsel_size, m), &buffers[m]);
+      });
+  size_t total = 0;
+  for (size_t m = 0; m < morsels; ++m) {
+    // Lowest morsel index wins, for a deterministic error message.
+    DWC_RETURN_IF_ERROR(statuses[m]);
+    total += buffers[m].size();
+  }
+  out->Reserve(total);
+  for (std::vector<Tuple>& buffer : buffers) {
+    for (Tuple& tuple : buffer) {
+      out->Insert(std::move(tuple));
+    }
+  }
+  return Status::Ok();
+}
+
+PartitionedIndex PartitionedIndex::Build(
+    const std::vector<const Tuple*>& tuples,
+    const std::vector<size_t>& key_indices, const ExecOptions& options) {
+  PartitionedIndex index;
+  const size_t threads = options.ResolvedThreads();
+  // Power-of-two partition count, a few per thread so one dense partition
+  // does not serialize the fold phase.
+  size_t partitions = 1;
+  while (partitions < threads * 4) {
+    partitions <<= 1;
+  }
+  if (!options.ShouldParallelize(tuples.size())) {
+    partitions = 1;
+  }
+  index.partitions_.resize(partitions);
+  index.mask_ = partitions - 1;
+
+  if (partitions == 1) {
+    Relation::Index& only = index.partitions_[0];
+    for (const Tuple* tuple : tuples) {
+      only[tuple->Project(key_indices)].push_back(tuple);
+    }
+    return index;
+  }
+
+  // Scatter phase: morsels project keys (the expensive part — value copies
+  // plus hashing) and bin (key, tuple) pairs by key-hash partition.
+  using KeyedTuple = std::pair<Tuple, const Tuple*>;
+  const size_t n = tuples.size();
+  const size_t morsels = MorselCount(n, options.morsel_size);
+  // scattered[m][p]: morsel m's pairs for partition p.
+  std::vector<std::vector<std::vector<KeyedTuple>>> scattered(morsels);
+  ThreadPool::Shared().ParallelFor(morsels, threads, [&](size_t m) {
+    MorselRange range = MorselAt(n, options.morsel_size, m);
+    std::vector<std::vector<KeyedTuple>>& local = scattered[m];
+    local.resize(partitions);
+    for (size_t i = range.begin; i < range.end; ++i) {
+      Tuple key = tuples[i]->Project(key_indices);
+      size_t p = key.Hash() & index.mask_;
+      local[p].emplace_back(std::move(key), tuples[i]);
+    }
+  });
+
+  // Fold phase: one task per partition combines every morsel's bin for that
+  // partition into the partition-local hash map. Partitions are
+  // hash-disjoint, so folds never contend.
+  ThreadPool::Shared().ParallelFor(partitions, threads, [&](size_t p) {
+    Relation::Index& part = index.partitions_[p];
+    size_t expected = 0;
+    for (const auto& local : scattered) {
+      expected += local[p].size();
+    }
+    part.reserve(expected);
+    for (auto& local : scattered) {
+      for (KeyedTuple& pair : local[p]) {
+        part[std::move(pair.first)].push_back(pair.second);
+      }
+    }
+  });
+  return index;
+}
+
+}  // namespace dwc

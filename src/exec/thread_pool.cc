@@ -1,0 +1,147 @@
+#include "exec/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+namespace dwc {
+
+namespace {
+
+// Shared state of one ParallelFor. Helpers hold it via shared_ptr so a
+// helper that gets dequeued after the caller already finished (and returned)
+// touches only this block, never the caller's dead stack frame: a late
+// helper's first cursor fetch is guaranteed >= n, so it exits before ever
+// reading `body`.
+struct ForState {
+  ForState(size_t n, const std::function<void(size_t)>& body)
+      : n(n), body(body) {}
+
+  const size_t n;
+  const std::function<void(size_t)>& body;
+  std::atomic<size_t> cursor{0};
+
+  std::mutex mu;
+  std::condition_variable done;
+  size_t running_helpers = 0;
+
+  // Claims and runs morsels until the range is drained.
+  void Drain() {
+    while (true) {
+      size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) {
+        return;
+      }
+      body(i);
+    }
+  }
+};
+
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_workers) {
+  workers_.reserve(num_workers);
+  for (size_t i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stopping_ and drained.
+      }
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, size_t max_threads,
+                             const std::function<void(size_t)>& body) {
+  if (n == 0) {
+    return;
+  }
+  size_t helpers = 0;
+  if (max_threads > 1 && !workers_.empty()) {
+    helpers = std::min({max_threads - 1, workers_.size(), n - 1});
+  }
+  if (helpers == 0) {
+    for (size_t i = 0; i < n; ++i) {
+      body(i);
+    }
+    return;
+  }
+
+  auto state = std::make_shared<ForState>(n, body);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      helpers = 0;
+    } else {
+      for (size_t i = 0; i < helpers; ++i) {
+        queue_.emplace_back([state] {
+          {
+            std::lock_guard<std::mutex> state_lock(state->mu);
+            ++state->running_helpers;
+          }
+          state->Drain();
+          {
+            std::lock_guard<std::mutex> state_lock(state->mu);
+            --state->running_helpers;
+          }
+          state->done.notify_one();
+        });
+      }
+    }
+  }
+  if (helpers > 0) {
+    wake_.notify_all();
+  }
+
+  state->Drain();
+  // The range is exhausted; only helpers that already *started* can still be
+  // touching `body`'s captures, so wait for exactly those. Queued-but-
+  // unstarted helpers will find the cursor past n and exit without reading
+  // caller state (they own `state` via shared_ptr).
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done.wait(lock, [&state] { return state->running_helpers == 0; });
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool* pool = new ThreadPool([] {
+    unsigned hardware = std::thread::hardware_concurrency();
+    // Callers participate in every ParallelFor, so hardware-1 helpers
+    // saturate the machine; keep at least one helper so thread-count knobs
+    // above 1 genuinely exercise cross-thread execution even on small
+    // containers.
+    return hardware > 1 ? hardware - 1 : 1;
+  }());
+  return *pool;
+}
+
+size_t ThreadPool::ResolveThreads(size_t requested) {
+  if (requested != 0) {
+    return requested;
+  }
+  unsigned hardware = std::thread::hardware_concurrency();
+  return hardware == 0 ? 1 : hardware;
+}
+
+}  // namespace dwc

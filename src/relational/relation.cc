@@ -51,6 +51,10 @@ void Relation::Clear() {
 const Relation::Index& Relation::GetIndex(
     const std::vector<std::string>& attrs) const {
   std::string key = Join(attrs, ",");
+  // Serializes lazy builds so concurrent evaluations can probe one shared
+  // relation. References handed out stay valid: std::map nodes are stable
+  // and a cached entry is never rebuilt.
+  std::lock_guard<std::mutex> lock(index_mu_);
   auto it = indexes_.find(key);
   if (it != indexes_.end()) {
     return it->second.index;
@@ -113,6 +117,7 @@ Result<Relation> Relation::AlignTo(const Schema& target) const {
   }
   DWC_ASSIGN_OR_RETURN(std::vector<size_t> indices, schema_.IndicesOf(names));
   Relation aligned(target);
+  aligned.Reserve(tuples_.size());
   for (const Tuple& tuple : tuples_) {
     aligned.Insert(tuple.Project(indices));
   }

@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -21,6 +22,14 @@ namespace dwc {
 // maintained incrementally on Insert/Erase, which is what makes repeated
 // delta-maintenance rounds cheap: a warehouse view that changes by |Δ| tuples
 // pays O(|Δ|) index upkeep, not an O(|V|) rebuild per refresh.
+//
+// Thread safety: concurrent const access (tuples(), Contains(), GetIndex()
+// and probing the returned index) is safe — lazy index construction is
+// internally serialized. Mutation (Insert/Erase/Clear/assignment) requires
+// external serialization against all other access, which is how the parallel
+// evaluator uses relations: shared operands are read-only for the duration
+// of an evaluation, and all mutation happens in a single-threaded commit
+// phase.
 class Relation {
  public:
   // Tuples equal under TupleHash/== are stored once.
@@ -43,8 +52,20 @@ class Relation {
     }
     return *this;
   }
-  Relation(Relation&&) = default;
-  Relation& operator=(Relation&&) = default;
+  // Moves transfer the index cache (index_mu_ only guards lazy builds and is
+  // never moved; movers must hold the relation exclusively anyway).
+  Relation(Relation&& other) noexcept
+      : schema_(std::move(other.schema_)),
+        tuples_(std::move(other.tuples_)),
+        indexes_(std::move(other.indexes_)) {}
+  Relation& operator=(Relation&& other) noexcept {
+    if (this != &other) {
+      schema_ = std::move(other.schema_);
+      tuples_ = std::move(other.tuples_);
+      indexes_ = std::move(other.indexes_);
+    }
+    return *this;
+  }
 
   const Schema& schema() const { return schema_; }
   size_t size() const { return tuples_.size(); }
@@ -61,6 +82,10 @@ class Relation {
   // Returns true if the tuple was present.
   bool Erase(const Tuple& tuple);
   void Clear();
+
+  // Pre-sizes the tuple set for `n` additional tuples, killing rehash storms
+  // when an operator knows its output cardinality estimate up front.
+  void Reserve(size_t n) { tuples_.reserve(tuples_.size() + n); }
 
   // Returns the (possibly cached) index over `attrs`, which must all belong
   // to the schema. Lookups use MakeKey(). The reference stays valid until the
@@ -98,8 +123,10 @@ class Relation {
   TupleSet tuples_;
   // Keyed by comma-joined attribute list. Mutable: building an index does not
   // change the logical content. Entries are pointer-stable (map of unique_ptr
-  // not needed: std::map nodes are stable).
+  // not needed: std::map nodes are stable). Lazy builds are serialized by
+  // index_mu_ so concurrent readers can share one relation.
   mutable std::map<std::string, IndexEntry> indexes_;
+  mutable std::mutex index_mu_;
 };
 
 }  // namespace dwc

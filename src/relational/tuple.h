@@ -11,10 +11,17 @@
 namespace dwc {
 
 // A tuple is a positional vector of values, interpreted against a Schema.
+//
+// The 64-bit hash over all values is computed once at construction and
+// cached: tuples are immutable, and every tuple ends up in at least one
+// hashed container (TupleSet, Index), usually several — re-hashing string
+// fields on every insert, index build and probe dominated join cost before
+// the cache.
 class Tuple {
  public:
   Tuple() = default;
-  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
+  explicit Tuple(std::vector<Value> values)
+      : values_(std::move(values)), hash_(ComputeHash(values_)) {}
 
   size_t size() const { return values_.size(); }
   const Value& at(size_t i) const { return values_[i]; }
@@ -35,19 +42,25 @@ class Tuple {
   // Lexicographic; used only for deterministic printing.
   bool operator<(const Tuple& other) const;
 
-  size_t Hash() const {
-    size_t h = 0x7A9E;
-    for (const Value& v : values_) {
-      h = HashCombine(h, v.Hash());
-    }
-    return h;
-  }
+  // O(1): returns the hash cached at construction.
+  size_t Hash() const { return hash_; }
 
   // "<v1, v2, ...>".
   std::string ToString() const;
 
  private:
+  static size_t ComputeHash(const std::vector<Value>& values) {
+    size_t h = kEmptyHash;
+    for (const Value& v : values) {
+      h = HashCombine(h, v.Hash());
+    }
+    return h;
+  }
+
+  static constexpr size_t kEmptyHash = 0x7A9E;
+
   std::vector<Value> values_;
+  size_t hash_ = kEmptyHash;
 };
 
 struct TupleHash {

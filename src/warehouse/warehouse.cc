@@ -1,9 +1,12 @@
 #include "warehouse/warehouse.h"
 
+#include <optional>
+
 #include "algebra/evaluator.h"
 #include "algebra/optimizer.h"
 #include "algebra/rewriter.h"
 #include "algebra/simplifier.h"
+#include "exec/thread_pool.h"
 #include "util/string_util.h"
 
 namespace dwc {
@@ -42,7 +45,7 @@ Status Warehouse::MaterializeFrom(const Environment& base_env) {
   Environment env = base_env;
   Database fresh;
   for (const ViewDef& view : spec_->AllWarehouseViews()) {
-    Evaluator evaluator(&env);
+    Evaluator evaluator(&env, evaluator_options_);
     Result<Relation> rel = evaluator.Materialize(*view.expr);
     if (!rel.ok()) {
       return rel.status();
@@ -57,6 +60,7 @@ Status Warehouse::MaterializeFrom(const Environment& base_env) {
 Status Warehouse::BeginIntegration(
     const std::vector<const CanonicalDelta*>& deltas) {
   hook_step_ = 0;
+  last_integrate_stats_ = EvalStats();
   for (const CanonicalDelta* delta : deltas) {
     if (!spec_->catalog().HasRelation(delta->relation)) {
       return Status::NotFound(StrCat("delta targets unknown base relation '",
@@ -178,44 +182,73 @@ Status Warehouse::ApplyPlanned(
     env.Bind(DeltaInsName(delta->relation), &delta->inserts);
     env.Bind(DeltaDelName(delta->relation), &delta->deletes);
   }
-  Evaluator evaluator(&env);
-
   // Evaluate all deltas against the *old* state first, then apply.
   // Everything fallible (evaluation, relation lookup, schema alignment)
   // happens in this phase, before the first mutation — the commit phase
   // below cannot fail on the delta's account.
+  //
+  // The per-relation maintenance expressions are independent reads of the
+  // old state, so they run as pool tasks (one evaluator each, stats merged
+  // afterwards). The crash-injection hook steps are hoisted serially in
+  // front: evaluation is side-effect-free, so firing the hooks up front
+  // preserves the exact serial step numbering and abort semantics.
   struct Pending {
     std::string relation;
-    Relation* target;
+    Relation* target = nullptr;
     Relation plus;
     Relation minus;
   };
-  std::vector<Pending> pending;
+  struct PlanItem {
+    const std::string* relation;
+    const DeltaPair* pair;
+  };
+  std::vector<PlanItem> items;
+  items.reserve(per_relation_plan.size());
   for (const auto& [relation, pair] : per_relation_plan) {
+    items.push_back(PlanItem{&relation, &pair});
+  }
+  std::vector<Pending> pending(items.size());
+  for (size_t i = 0; i < items.size(); ++i) {
     DWC_RETURN_IF_ERROR(HookStep());
-    Result<Relation> plus = evaluator.Materialize(*pair.plus);
-    if (!plus.ok()) {
-      return plus.status();
-    }
-    Result<Relation> minus = evaluator.Materialize(*pair.minus);
-    if (!minus.ok()) {
-      return minus.status();
-    }
-    Relation* target = state_.FindMutableRelation(relation);
-    if (target == nullptr) {
+    pending[i].relation = *items[i].relation;
+    pending[i].target = state_.FindMutableRelation(*items[i].relation);
+    if (pending[i].target == nullptr) {
       return Status::Internal(
-          StrCat("warehouse relation '", relation, "' missing"));
+          StrCat("warehouse relation '", *items[i].relation, "' missing"));
     }
-    Result<Relation> plus_aligned = plus->AlignTo(target->schema());
-    if (!plus_aligned.ok()) {
-      return plus_aligned.status();
-    }
-    Result<Relation> minus_aligned = minus->AlignTo(target->schema());
-    if (!minus_aligned.ok()) {
-      return minus_aligned.status();
-    }
-    pending.push_back(Pending{relation, target, std::move(plus_aligned).value(),
-                              std::move(minus_aligned).value()});
+  }
+  std::vector<Status> statuses(items.size(), Status::Ok());
+  std::vector<EvalStats> task_stats(items.size());
+  ThreadPool::Shared().ParallelFor(
+      items.size(), evaluator_options_.exec().ResolvedThreads(),
+      [&](size_t i) {
+        Evaluator task_evaluator(&env, evaluator_options_);
+        auto eval_one = [&](const ExprRef& expr,
+                            Relation* out) -> Status {
+          Result<Relation> rel = task_evaluator.Materialize(*expr);
+          if (!rel.ok()) {
+            return rel.status();
+          }
+          Result<Relation> aligned =
+              rel->AlignTo(pending[i].target->schema());
+          if (!aligned.ok()) {
+            return aligned.status();
+          }
+          *out = std::move(aligned).value();
+          return Status::Ok();
+        };
+        Status status = eval_one(items[i].pair->plus, &pending[i].plus);
+        if (status.ok()) {
+          status = eval_one(items[i].pair->minus, &pending[i].minus);
+        }
+        statuses[i] = std::move(status);
+        task_stats[i] = task_evaluator.stats();
+      });
+  for (const EvalStats& stats : task_stats) {
+    last_integrate_stats_.MergeFrom(stats);
+  }
+  for (const Status& status : statuses) {
+    DWC_RETURN_IF_ERROR(status);
   }
 
   // Summary tables: derive (and cache) the exact deltas of each aggregate's
@@ -267,13 +300,14 @@ Status Warehouse::ApplyPlanned(
                        .emplace(cache_key, std::move(derived).value())
                        .first;
         }
-        Evaluator agg_evaluator(&agg_env);
+        Evaluator agg_evaluator(&agg_env, evaluator_options_);
         Result<Relation> plus = agg_evaluator.Materialize(*cached->second.plus);
         if (!plus.ok()) {
           return plus.status();
         }
         Result<Relation> minus =
             agg_evaluator.Materialize(*cached->second.minus);
+        last_integrate_stats_.MergeFrom(agg_evaluator.stats());
         if (!minus.ok()) {
           return minus.status();
         }
@@ -470,7 +504,7 @@ Status Warehouse::IntegrateQuerySource(const Source& source) {
   }
   env.BindDatabase(base_copy);
   for (const ViewDef& view : spec_->AllWarehouseViews()) {
-    Evaluator evaluator(&env);
+    Evaluator evaluator(&env, evaluator_options_);
     Result<Relation> rel = evaluator.Materialize(*view.expr);
     if (!rel.ok()) {
       return rel.status();
@@ -524,7 +558,7 @@ Result<Relation> Warehouse::AnswerQuery(const ExprRef& query,
   translated = PushDownSelections(translated, resolver_fn);
   translated = Simplify(translated, &resolver_fn);
   Environment env = Env();
-  Evaluator evaluator(&env);
+  Evaluator evaluator(&env, evaluator_options_);
   Result<Relation> result = evaluator.Materialize(*translated);
   if (stats != nullptr) {
     *stats = evaluator.stats();
@@ -556,7 +590,7 @@ Result<Relation> Warehouse::ReconstructBase(const std::string& name) const {
         StrCat("base relation '", name, "' has no inverse expression"));
   }
   Environment env = Env();
-  Evaluator evaluator(&env);
+  Evaluator evaluator(&env, evaluator_options_);
   DWC_ASSIGN_OR_RETURN(Relation rel, evaluator.Materialize(**inverse));
   const Schema* declared = spec_->catalog().FindSchema(name);
   if (declared != nullptr && !(rel.schema() == *declared)) {
@@ -566,16 +600,49 @@ Result<Relation> Warehouse::ReconstructBase(const std::string& name) const {
 }
 
 Result<Database> Warehouse::ReconstructSources() const {
+  // Each base's inverse expression reads the warehouse state independently,
+  // so the per-relation reconstructions run as pool tasks; the results are
+  // installed serially in catalog order afterwards, which keeps the output
+  // Database identical to the serial build at any thread count.
   Environment env = Env();
-  Evaluator evaluator(&env);
-  Database bases(spec_->catalog_ptr());
+  struct Item {
+    const std::string* base;
+    const ExprRef* inverse;
+  };
+  std::vector<Item> items;
   for (const auto& [base, inverse] : spec_->inverses()) {
-    DWC_ASSIGN_OR_RETURN(Relation rel, evaluator.Materialize(*inverse));
-    const Schema* declared = spec_->catalog().FindSchema(base);
-    if (declared != nullptr && !(rel.schema() == *declared)) {
-      DWC_ASSIGN_OR_RETURN(rel, rel.AlignTo(*declared));
-    }
-    DWC_RETURN_IF_ERROR(bases.AddRelation(base, std::move(rel)));
+    items.push_back(Item{&base, &inverse});
+  }
+  std::vector<std::optional<Relation>> rels(items.size());
+  std::vector<Status> statuses(items.size(), Status::Ok());
+  ThreadPool::Shared().ParallelFor(
+      items.size(), evaluator_options_.exec().ResolvedThreads(),
+      [&](size_t i) {
+        Evaluator evaluator(&env, evaluator_options_);
+        Result<Relation> rel = evaluator.Materialize(*(*items[i].inverse));
+        if (!rel.ok()) {
+          statuses[i] = rel.status();
+          return;
+        }
+        const Schema* declared = spec_->catalog().FindSchema(*items[i].base);
+        if (declared != nullptr && !(rel->schema() == *declared)) {
+          Result<Relation> aligned = rel->AlignTo(*declared);
+          if (!aligned.ok()) {
+            statuses[i] = aligned.status();
+            return;
+          }
+          rels[i] = std::move(aligned).value();
+          return;
+        }
+        rels[i] = std::move(rel).value();
+      });
+  for (const Status& status : statuses) {
+    DWC_RETURN_IF_ERROR(status);
+  }
+  Database bases(spec_->catalog_ptr());
+  for (size_t i = 0; i < items.size(); ++i) {
+    DWC_RETURN_IF_ERROR(
+        bases.AddRelation(*items[i].base, std::move(*rels[i])));
   }
   return bases;
 }

@@ -115,6 +115,24 @@ class Warehouse {
   void set_validate_deltas(bool validate) { validate_deltas_ = validate; }
   bool validate_deltas() const { return validate_deltas_; }
 
+  // Execution knobs for every evaluator this warehouse constructs (parallel
+  // kernel thread count, morsel sizing, pushdown thresholds). Takes effect
+  // for subsequent operations; thread count never changes results (see
+  // EvaluatorOptions::num_threads).
+  void SetEvaluatorOptions(const EvaluatorOptions& options) {
+    evaluator_options_ = options;
+  }
+  const EvaluatorOptions& evaluator_options() const {
+    return evaluator_options_;
+  }
+
+  // Evaluator counters accumulated during the most recent
+  // Integrate/IntegrateTransaction call, with every parallel task's stats
+  // merged in (EvalStats::MergeFrom).
+  const EvalStats& last_integrate_stats() const {
+    return last_integrate_stats_;
+  }
+
   // Testing hook for the crash-injection harness: invoked with a step index
   // that increases through each integration call; a non-OK return aborts
   // integration at exactly that internal step, simulating a crash whose
@@ -171,6 +189,8 @@ class Warehouse {
   std::map<std::string, DeltaPair> aggregate_delta_cache_;
   // Cached transaction plans keyed by the comma-joined sorted base set.
   std::map<std::string, std::map<std::string, DeltaPair>> transaction_plans_;
+  EvaluatorOptions evaluator_options_;
+  EvalStats last_integrate_stats_;
   bool validate_deltas_ = false;
   std::function<Status(int)> integration_hook_;
   int hook_step_ = 0;

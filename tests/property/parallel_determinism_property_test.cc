@@ -1,0 +1,204 @@
+// Property: thread count is unobservable. Random PSJ workloads over random
+// databases, evaluated and integrated at 1, 2, 4 and 8 threads (parallel
+// thresholds forced low so the kernels genuinely fan out), produce
+// digest-identical warehouse states after every update — and the same
+// holds through the durable storage stack under injected crashes: a
+// FaultVfs crash during a parallel run recovers to exactly a committed
+// serial-oracle state. Runs under TSan in CI (ctest -L dwc_tsan).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/warehouse_spec.h"
+#include "storage/durable.h"
+#include "storage/fault_vfs.h"
+#include "testing/property_util.h"
+#include "testing/test_util.h"
+#include "util/checksum.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+#include "warehouse/source.h"
+#include "warehouse/warehouse.h"
+#include "workload/random_db.h"
+#include "workload/random_views.h"
+#include "workload/update_stream.h"
+
+namespace dwc {
+namespace {
+
+using ::dwc::testing::CatalogShape;
+using ::dwc::testing::CatalogShapeName;
+using ::dwc::testing::MakeCatalog;
+
+const size_t kThreadCounts[] = {1, 2, 4, 8};
+
+EvaluatorOptions ForcedParallel(size_t threads) {
+  EvaluatorOptions options;
+  options.num_threads = threads;
+  options.min_parallel_tuples = 1;
+  options.morsel_size = 16;
+  return options;
+}
+
+uint64_t Fingerprint(const Warehouse& warehouse) {
+  return StateDigest(warehouse.state()).Combined();
+}
+
+class ParallelDeterminismPropertyTest
+    : public ::testing::TestWithParam<CatalogShape> {};
+
+// In-memory: the same random update stream replayed at every thread count
+// yields the same digest after every single step.
+TEST_P(ParallelDeterminismPropertyTest, RandomWorkloadsDigestIdentical) {
+  std::shared_ptr<Catalog> catalog = MakeCatalog(GetParam());
+  std::vector<std::string> relations = catalog->RelationNames();
+
+  for (int round = 0; round < 3; ++round) {
+    Rng setup_rng(910 + 37 * static_cast<uint64_t>(GetParam()) +
+                  static_cast<uint64_t>(round));
+    Result<std::vector<ViewDef>> views =
+        GenerateRandomPsjViews(*catalog, &setup_rng);
+    DWC_ASSERT_OK(views);
+    Result<WarehouseSpec> spec = SpecifyWarehouse(catalog, *views);
+    DWC_ASSERT_OK(spec);
+    auto spec_ptr = std::make_shared<WarehouseSpec>(std::move(spec).value());
+    Result<Database> db = GenerateRandomDatabase(catalog, &setup_rng);
+    DWC_ASSERT_OK(db);
+
+    // One run per thread count over identical streams (Rng reseeded, and
+    // the source state evolves identically, so the generated ops match).
+    std::vector<std::vector<uint64_t>> digests;
+    for (size_t threads : kThreadCounts) {
+      Source source(*db);
+      Result<Warehouse> warehouse = Warehouse::Load(spec_ptr, source.db());
+      DWC_ASSERT_OK(warehouse);
+      warehouse->SetEvaluatorOptions(ForcedParallel(threads));
+      Rng stream_rng(5000 + static_cast<uint64_t>(round));
+      std::vector<uint64_t> trace;
+      for (int step = 0; step < 12; ++step) {
+        const std::string& relation =
+            relations[stream_rng.Below(relations.size())];
+        Result<UpdateOp> op =
+            GenerateRandomUpdate(source.db(), relation, &stream_rng);
+        DWC_ASSERT_OK(op);
+        Result<CanonicalDelta> delta = source.Apply(*op);
+        DWC_ASSERT_OK(delta);
+        if (!delta->empty()) {
+          DWC_ASSERT_OK(warehouse->Integrate(*delta));
+        }
+        trace.push_back(Fingerprint(*warehouse));
+      }
+      DWC_ASSERT_OK(CheckConsistency(*warehouse, source.db()));
+      digests.push_back(std::move(trace));
+    }
+    for (size_t i = 1; i < digests.size(); ++i) {
+      EXPECT_EQ(digests[i], digests[0])
+          << "round " << round << ": " << kThreadCounts[i]
+          << " threads diverged from serial";
+    }
+  }
+}
+
+// Durable: a parallel warehouse behind DurableWarehouse over a FaultVfs,
+// crashed at injected I/O points, recovers to a state whose digest appears
+// in the *serial* run's oracle — the pool must not leak nondeterminism
+// into what reaches the disk.
+TEST_P(ParallelDeterminismPropertyTest, CrashRecoveryMatchesSerialOracle) {
+  std::shared_ptr<Catalog> catalog = MakeCatalog(GetParam());
+  std::vector<std::string> relations = catalog->RelationNames();
+  Rng setup_rng(777 + static_cast<uint64_t>(GetParam()));
+  Result<std::vector<ViewDef>> views =
+      GenerateRandomPsjViews(*catalog, &setup_rng);
+  DWC_ASSERT_OK(views);
+  Result<WarehouseSpec> spec = SpecifyWarehouse(catalog, *views);
+  DWC_ASSERT_OK(spec);
+  auto spec_ptr = std::make_shared<WarehouseSpec>(std::move(spec).value());
+  Result<Database> db = GenerateRandomDatabase(catalog, &setup_rng);
+  DWC_ASSERT_OK(db);
+
+  constexpr int kSteps = 6;
+  // Runs the workload at `threads` over `vfs` until done or crash; records
+  // the digest after every durable sequence when `digest_by_seq` is given.
+  auto run = [&](FaultVfs* vfs, size_t threads,
+                 std::map<uint64_t, uint64_t>* digest_by_seq) -> Status {
+    Source source(*db, "s1");
+    Result<Warehouse> warehouse = Warehouse::Load(spec_ptr, source.db());
+    DWC_RETURN_IF_ERROR(warehouse.status());
+    warehouse->SetEvaluatorOptions(ForcedParallel(threads));
+    Result<std::unique_ptr<DurableWarehouse>> durable =
+        DurableWarehouse::Bootstrap(
+            vfs, "wh", &warehouse.value(),
+            JournalStamp{source.epoch(), source.last_sequence()});
+    DWC_RETURN_IF_ERROR(durable.status());
+    if (digest_by_seq != nullptr) {
+      (*digest_by_seq)[source.last_sequence()] = Fingerprint(*warehouse);
+    }
+    Rng stream_rng(8800);
+    for (int step = 0; step < kSteps; ++step) {
+      const std::string& relation =
+          relations[stream_rng.Below(relations.size())];
+      Result<UpdateOp> op =
+          GenerateRandomUpdate(source.db(), relation, &stream_rng);
+      DWC_RETURN_IF_ERROR(op.status());
+      Result<CanonicalDelta> delta = source.Apply(*op);
+      DWC_RETURN_IF_ERROR(delta.status());
+      DWC_RETURN_IF_ERROR((*durable)->Integrate(*delta, &source));
+      if (digest_by_seq != nullptr) {
+        (*digest_by_seq)[source.last_sequence()] = Fingerprint(*warehouse);
+      }
+    }
+    return Status::Ok();
+  };
+
+  // Serial oracle over a faultless VFS.
+  std::map<uint64_t, uint64_t> digest_by_seq;
+  uint64_t total_ops = 0;
+  {
+    FaultVfs vfs;
+    DWC_ASSERT_OK(run(&vfs, 1, &digest_by_seq));
+    total_ops = vfs.op_count();
+  }
+  ASSERT_GT(total_ops, 10u);
+
+  // Crash the 4-thread run at a spread of I/O points (the full per-op
+  // matrix lives in crash_matrix_test; here the subject is the pool, so a
+  // stride sample keeps the property suite fast).
+  for (uint64_t crash_at = 1; crash_at < total_ops; crash_at += 5) {
+    SCOPED_TRACE(StrCat("crash at op ", crash_at, " of ", total_ops));
+    StorageFaultProfile profile;
+    profile.seed = crash_at;
+    FaultVfs vfs(profile);
+    vfs.ScheduleCrashAtOp(crash_at);
+    Status status = run(&vfs, 4, nullptr);
+    ASSERT_FALSE(status.ok());  // The injected crash always fires.
+    ASSERT_TRUE(vfs.crashed());
+    vfs.CrashAndLose();
+
+    Result<DurableWarehouse::Resumed> resumed =
+        DurableWarehouse::Resume(&vfs, "wh");
+    if (!resumed.ok()) {
+      continue;  // Crash before the bootstrap checkpoint: nothing durable.
+    }
+    const uint64_t sequence = resumed->recovered.report.resume.sequence;
+    auto oracle = digest_by_seq.find(sequence);
+    ASSERT_NE(oracle, digest_by_seq.end())
+        << "recovered to unknown sequence " << sequence;
+    EXPECT_EQ(Fingerprint(*resumed->recovered.restored.warehouse),
+              oracle->second);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ParallelDeterminismPropertyTest,
+    ::testing::Values(CatalogShape::kChain, CatalogShape::kKeyed,
+                      CatalogShape::kKeyedInds),
+    [](const ::testing::TestParamInfo<CatalogShape>& info) {
+      return CatalogShapeName(info.param);
+    });
+
+}  // namespace
+}  // namespace dwc

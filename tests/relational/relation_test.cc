@@ -118,6 +118,29 @@ TEST(TupleTest, ProjectAndHash) {
   EXPECT_EQ(tuple.ToString(), "<1, 'x', 9>");
 }
 
+TEST(TupleTest, CachedHashSurvivesRebuilds) {
+  // The hash is computed once at construction; regression check that every
+  // path that *rebuilds* tuples (Project, AlignTo's column reorder) yields
+  // tuples whose cached hash equals a fresh construction's — hash joins key
+  // on Tuple::Hash(), so a stale or path-dependent cache would silently
+  // drop matches.
+  Tuple tuple = T({I(7), S("q"), I(3)});
+  Tuple projected = tuple.Project({1, 2});
+  EXPECT_EQ(projected.Hash(), T({S("q"), I(3)}).Hash());
+  EXPECT_EQ(tuple.Project({0, 1, 2}).Hash(), tuple.Hash());
+
+  Relation rel(AbSchema());
+  rel.Insert(T({I(1), S("x")}));
+  rel.Insert(T({I(2), S("y")}));
+  Schema flipped({{"b", ValueType::kString}, {"a", ValueType::kInt}});
+  Result<Relation> aligned = rel.AlignTo(flipped);
+  ASSERT_TRUE(aligned.ok()) << aligned.status().ToString();
+  for (const Tuple& t : aligned->tuples()) {
+    EXPECT_EQ(t.Hash(), Tuple(t.values()).Hash());
+  }
+  EXPECT_TRUE(aligned->Contains(T({S("x"), I(1)})));  // Set lookup via hash.
+}
+
 TEST(SchemaTest, CreateRejectsDuplicates) {
   Result<Schema> bad = Schema::Create(
       {{"a", ValueType::kInt}, {"a", ValueType::kString}});

@@ -1,0 +1,256 @@
+// Parallel warehouse integration: thread count must never be observable in
+// the state. Every test drives the same deterministic workload at 1, 2, 4
+// and 8 threads (with tiny parallel thresholds so the kernels genuinely
+// fan out) and demands digest-identical results, including the
+// crash-injection hook's step-for-step abort semantics. Runs under TSan in
+// CI (ctest -L dwc_tsan).
+
+#include "warehouse/warehouse.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/warehouse_spec.h"
+#include "testing/test_util.h"
+#include "util/checksum.h"
+#include "util/rng.h"
+#include "warehouse/source.h"
+
+namespace dwc {
+namespace {
+
+using ::dwc::testing::I;
+using ::dwc::testing::T;
+
+constexpr size_t kDim = 200;
+constexpr size_t kFact = 2000;
+constexpr size_t kBatch = 64;
+constexpr size_t kRefreshes = 3;
+
+// Thread counts under test; 1 is the serial oracle.
+const size_t kThreadCounts[] = {1, 2, 4, 8};
+
+// Forces the parallel paths regardless of input size.
+EvaluatorOptions ForcedParallel(size_t threads) {
+  EvaluatorOptions options;
+  options.num_threads = threads;
+  options.min_parallel_tuples = 1;
+  options.morsel_size = 64;
+  return options;
+}
+
+// A scaled Figure 1: Emp (keyed, kDim clerks), Sale (kFact rows referencing
+// the first half of the clerks), Sold = Sale |x| Emp. Without the IND, both
+// complements are nonempty.
+class ParallelIntegrateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    catalog_ = std::make_shared<Catalog>();
+    DWC_ASSERT_OK(catalog_->AddRelation(
+        "Emp",
+        Schema({{"clerk", ValueType::kInt}, {"age", ValueType::kInt}})));
+    DWC_ASSERT_OK(catalog_->AddKey("Emp", {"clerk"}));
+    DWC_ASSERT_OK(catalog_->AddRelation(
+        "Sale",
+        Schema({{"item", ValueType::kInt}, {"clerk", ValueType::kInt}})));
+    db_ = Database(catalog_);
+    DWC_ASSERT_OK(db_.AddEmptyRelation("Emp", *catalog_->FindSchema("Emp")));
+    DWC_ASSERT_OK(
+        db_.AddEmptyRelation("Sale", *catalog_->FindSchema("Sale")));
+    Rng rng(11);
+    Relation* emp = db_.FindMutableRelation("Emp");
+    for (size_t i = 0; i < kDim; ++i) {
+      emp->Insert(T({I(static_cast<int64_t>(i)), I(rng.Range(18, 65))}));
+    }
+    Relation* sale = db_.FindMutableRelation("Sale");
+    size_t inserted = 0;
+    while (inserted < kFact) {
+      Tuple tuple({I(rng.Range(0, 1 << 20)), I(rng.Range(0, kDim / 2))});
+      if (sale->Insert(std::move(tuple))) {
+        ++inserted;
+      }
+    }
+    std::vector<ViewDef> views;
+    views.push_back(
+        ViewDef{"Sold", Expr::Join(Expr::Base("Sale"), Expr::Base("Emp"))});
+    Result<WarehouseSpec> spec = SpecifyWarehouse(catalog_, views);
+    DWC_ASSERT_OK(spec);
+    spec_ = std::make_shared<WarehouseSpec>(std::move(spec).value());
+  }
+
+  // A deterministic mixed batch: fresh Sale inserts plus a few deletes.
+  UpdateOp MakeBatch(Rng* rng) const {
+    UpdateOp op;
+    op.relation = "Sale";
+    while (op.inserts.size() < kBatch) {
+      op.inserts.push_back(
+          T({I(rng->Range(1 << 20, 1 << 24)), I(rng->Range(0, kDim - 1))}));
+    }
+    return op;
+  }
+
+  // Runs kRefreshes integrates at `threads` and returns the final combined
+  // state digest (asserting consistency along the way).
+  uint64_t RunWorkload(size_t threads, MaintenanceStrategy strategy,
+                       bool with_aggregate) {
+    Source source(db_);
+    Result<Warehouse> warehouse = Warehouse::Load(spec_, source.db(), strategy);
+    DWC_EXPECT_OK(warehouse);
+    warehouse->SetEvaluatorOptions(ForcedParallel(threads));
+    if (with_aggregate) {
+      AggregateViewDef def;
+      def.name = "SalesPerClerk";
+      def.source = Expr::Base("Sold");
+      def.group_by = {"clerk"};
+      def.aggregates = {
+          AggSpec{AggFunc::kCount, "", "n"},
+      };
+      DWC_EXPECT_OK(warehouse->AddAggregateView(std::move(def)));
+    }
+    Rng rng(23);
+    for (size_t i = 0; i < kRefreshes; ++i) {
+      Result<CanonicalDelta> delta = source.Apply(MakeBatch(&rng));
+      DWC_EXPECT_OK(delta);
+      DWC_EXPECT_OK(warehouse->Integrate(*delta));
+    }
+    DWC_EXPECT_OK(CheckConsistency(*warehouse, source.db()));
+    uint64_t digest = StateDigest(warehouse->state()).Combined();
+    if (with_aggregate) {
+      const AggregateView* agg = warehouse->FindAggregate("SalesPerClerk");
+      EXPECT_NE(agg, nullptr);
+      digest ^= RelationDigest(agg->materialized());
+    }
+    return digest;
+  }
+
+  std::shared_ptr<Catalog> catalog_;
+  Database db_;
+  std::shared_ptr<WarehouseSpec> spec_;
+};
+
+TEST_F(ParallelIntegrateTest, IncrementalDigestIdenticalAcrossThreadCounts) {
+  uint64_t serial = RunWorkload(1, MaintenanceStrategy::kIncremental,
+                                /*with_aggregate=*/false);
+  for (size_t threads : kThreadCounts) {
+    EXPECT_EQ(RunWorkload(threads, MaintenanceStrategy::kIncremental,
+                          /*with_aggregate=*/false),
+              serial)
+        << threads << " threads";
+  }
+}
+
+TEST_F(ParallelIntegrateTest, RecomputeDigestIdenticalAcrossThreadCounts) {
+  uint64_t serial = RunWorkload(1, MaintenanceStrategy::kRecomputeFromInverse,
+                                /*with_aggregate=*/false);
+  for (size_t threads : kThreadCounts) {
+    EXPECT_EQ(RunWorkload(threads, MaintenanceStrategy::kRecomputeFromInverse,
+                          /*with_aggregate=*/false),
+              serial)
+        << threads << " threads";
+  }
+}
+
+TEST_F(ParallelIntegrateTest, AggregatesConvergeAcrossThreadCounts) {
+  uint64_t serial = RunWorkload(1, MaintenanceStrategy::kIncremental,
+                                /*with_aggregate=*/true);
+  for (size_t threads : kThreadCounts) {
+    EXPECT_EQ(RunWorkload(threads, MaintenanceStrategy::kIncremental,
+                          /*with_aggregate=*/true),
+              serial)
+        << threads << " threads";
+  }
+}
+
+TEST_F(ParallelIntegrateTest, TransactionDigestIdenticalAcrossThreadCounts) {
+  auto run = [&](size_t threads) {
+    Source source(db_);
+    Result<Warehouse> warehouse = Warehouse::Load(spec_, source.db());
+    DWC_EXPECT_OK(warehouse);
+    warehouse->SetEvaluatorOptions(ForcedParallel(threads));
+    // One multi-relation transaction: new clerk plus their sales.
+    std::vector<UpdateOp> ops;
+    ops.push_back(UpdateOp{"Emp", {T({I(5000), I(40)})}, {}});
+    ops.push_back(UpdateOp{
+        "Sale", {T({I(1 << 25), I(5000)}), T({I((1 << 25) + 1), I(5000)})},
+        {}});
+    Result<std::vector<CanonicalDelta>> deltas =
+        source.ApplyTransaction(ops);
+    DWC_EXPECT_OK(deltas);
+    DWC_EXPECT_OK(warehouse->IntegrateTransaction(*deltas));
+    DWC_EXPECT_OK(CheckConsistency(*warehouse, source.db()));
+    return StateDigest(warehouse->state()).Combined();
+  };
+  uint64_t serial = run(1);
+  for (size_t threads : kThreadCounts) {
+    EXPECT_EQ(run(threads), serial) << threads << " threads";
+  }
+}
+
+TEST_F(ParallelIntegrateTest, ParallelKernelsEngageAndStatsMerge) {
+  Source source(db_);
+  Result<Warehouse> warehouse = Warehouse::Load(spec_, source.db());
+  DWC_ASSERT_OK(warehouse);
+  warehouse->SetEvaluatorOptions(ForcedParallel(4));
+  Rng rng(23);
+  Result<CanonicalDelta> delta = source.Apply(MakeBatch(&rng));
+  DWC_ASSERT_OK(delta);
+  DWC_ASSERT_OK(warehouse->Integrate(*delta));
+  const EvalStats& stats = warehouse->last_integrate_stats();
+  EXPECT_GT(stats.joins, 0u);
+  EXPECT_GT(stats.parallel_kernels, 0u) << stats.ToString();
+}
+
+// The crash-injection contract, step for step: at every hook step index,
+// the parallel warehouse must fail at the same step with the same
+// state-mutation outcome as the serial one (evaluation is hoisted and
+// side-effect-free; mutation happens only in the serial commit phase).
+TEST_F(ParallelIntegrateTest, HookStepSemanticsPreservedUnderParallelism) {
+  // First count the steps of a clean serial integrate.
+  int total_steps = 0;
+  {
+    Source source(db_);
+    Result<Warehouse> warehouse = Warehouse::Load(spec_, source.db());
+    DWC_ASSERT_OK(warehouse);
+    warehouse->SetIntegrationHook([&](int step) {
+      total_steps = step + 1;
+      return Status::Ok();
+    });
+    Rng rng(23);
+    Result<CanonicalDelta> delta = source.Apply(MakeBatch(&rng));
+    DWC_ASSERT_OK(delta);
+    DWC_ASSERT_OK(warehouse->Integrate(*delta));
+  }
+  ASSERT_GT(total_steps, 1);
+
+  // Outcome of crashing at step `k` with `threads`: did the integrate fail,
+  // and did the state change?
+  auto crash_outcome = [&](int k, size_t threads) {
+    Source source(db_);
+    Result<Warehouse> warehouse = Warehouse::Load(spec_, source.db());
+    DWC_EXPECT_OK(warehouse);
+    warehouse->SetEvaluatorOptions(ForcedParallel(threads));
+    uint64_t before = StateDigest(warehouse->state()).Combined();
+    warehouse->SetIntegrationHook([k](int step) {
+      return step == k ? Status::Internal("injected crash") : Status::Ok();
+    });
+    Rng rng(23);
+    Result<CanonicalDelta> delta = source.Apply(MakeBatch(&rng));
+    DWC_EXPECT_OK(delta);
+    Status status = warehouse->Integrate(*delta);
+    uint64_t after = StateDigest(warehouse->state()).Combined();
+    return std::make_pair(status.ok(), before == after);
+  };
+  for (int k = 0; k < total_steps; ++k) {
+    auto serial = crash_outcome(k, 1);
+    EXPECT_FALSE(serial.first) << "hook at step " << k << " did not fire";
+    for (size_t threads : {size_t{2}, size_t{4}}) {
+      EXPECT_EQ(crash_outcome(k, threads), serial)
+          << "step " << k << ", " << threads << " threads";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dwc
