@@ -11,6 +11,7 @@
 
 #include "aggregate/aggregate_view.h"
 #include "bench/bench_common.h"
+#include "util/string_util.h"
 #include "workload/star_schema.h"
 #include "workload/update_stream.h"
 
@@ -137,8 +138,114 @@ BENCHMARK(BM_DeleteHeavyAggregate)
     ->Arg(100)
     ->Unit(benchmark::kMillisecond);
 
+// --json: fixed-iteration sweep written to BENCH_aggregates.json for CI
+// artifact collection.
+int Main(int argc, char** argv) {
+  if (!JsonRequested(argc, argv)) {
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+      return 1;
+    }
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+  }
+  std::vector<BenchRow> rows;
+  for (size_t batch : {size_t{1}, size_t{10}, size_t{100}}) {
+    Fixture fixture(6000);
+    Check(fixture.warehouse.AddAggregateView(SummaryDef()), "agg");
+    Rng rng(23);
+    std::vector<double> latencies;
+    auto refresh = [&](bool timed) {
+      UpdateOp op =
+          Unwrap(GenerateSalesBatch(fixture.source.db(), batch, &rng), "gen");
+      CanonicalDelta delta = Unwrap(fixture.source.Apply(op), "apply");
+      auto start = std::chrono::steady_clock::now();
+      Check(fixture.warehouse.Integrate(delta), "integrate");
+      if (timed) {
+        latencies.push_back(std::chrono::duration<double, std::micro>(
+                                std::chrono::steady_clock::now() - start)
+                                .count());
+      }
+      UpdateOp undo;
+      undo.relation = "Sales";
+      undo.deletes = op.inserts;
+      CanonicalDelta undo_delta = Unwrap(fixture.source.Apply(undo), "undo");
+      Check(fixture.warehouse.Integrate(undo_delta), "undo integrate");
+    };
+    refresh(/*timed=*/false);
+    for (int i = 0; i < 8; ++i) {
+      refresh(/*timed=*/true);
+    }
+    BenchRow row;
+    row.name = StrCat("incremental_aggregate/batch=", batch);
+    row.latency = SummarizeLatencies(std::move(latencies));
+    row.counters["tuples_s"] =
+        row.latency.ops_per_sec * static_cast<double>(batch);
+    rows.push_back(std::move(row));
+  }
+  {
+    Fixture fixture(6000);
+    SchemaResolver resolver = fixture.spec->WarehouseResolver();
+    AggregateView view =
+        Unwrap(AggregateView::Create(SummaryDef(), resolver), "create");
+    Environment env = fixture.warehouse.Env();
+    BenchRow row;
+    row.name = "reaggregate_scratch";
+    row.latency = SummarizeLatencies(MeasureLatenciesUs(5, [&] {
+      Check(view.Initialize(env), "init");
+      benchmark::DoNotOptimize(view.materialized());
+    }));
+    row.counters["fact_tuples"] = static_cast<double>(
+        fixture.warehouse.FindRelation("FactSales")->size());
+    rows.push_back(std::move(row));
+  }
+  for (size_t batch : {size_t{1}, size_t{10}, size_t{100}}) {
+    Fixture fixture(6000);
+    Check(fixture.warehouse.AddAggregateView(SummaryDef()), "agg");
+    Rng rng(29);
+    std::vector<double> latencies;
+    auto refresh = [&](bool timed) {
+      std::vector<Tuple> victims;
+      {
+        const Relation* sales = fixture.source.db().FindRelation("Sales");
+        auto it = sales->tuples().begin();
+        std::advance(it, rng.Below(sales->size() - batch));
+        for (size_t i = 0; i < batch; ++i, ++it) {
+          victims.push_back(*it);
+        }
+      }
+      UpdateOp del{"Sales", {}, victims};
+      CanonicalDelta delta = Unwrap(fixture.source.Apply(del), "apply");
+      auto start = std::chrono::steady_clock::now();
+      Check(fixture.warehouse.Integrate(delta), "integrate");
+      if (timed) {
+        latencies.push_back(std::chrono::duration<double, std::micro>(
+                                std::chrono::steady_clock::now() - start)
+                                .count());
+      }
+      UpdateOp redo{"Sales", victims, {}};
+      CanonicalDelta redo_delta = Unwrap(fixture.source.Apply(redo), "redo");
+      Check(fixture.warehouse.Integrate(redo_delta), "redo integrate");
+    };
+    refresh(/*timed=*/false);
+    for (int i = 0; i < 8; ++i) {
+      refresh(/*timed=*/true);
+    }
+    BenchRow row;
+    row.name = StrCat("delete_heavy/batch=", batch);
+    row.latency = SummarizeLatencies(std::move(latencies));
+    row.counters["tuples_s"] =
+        row.latency.ops_per_sec * static_cast<double>(batch);
+    rows.push_back(std::move(row));
+  }
+  PrintBenchRows(rows);
+  WriteBenchJson("aggregates", rows);
+  return 0;
+}
+
 }  // namespace
 }  // namespace bench
 }  // namespace dwc
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return dwc::bench::Main(argc, argv); }

@@ -2,6 +2,8 @@
 #define DWC_BENCH_BENCH_COMMON_H_
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -125,6 +127,27 @@ struct LatencyStats {
   double p99_us = 0;
 };
 
+// Runs `op` once untimed (warmup), then `iterations` timed runs; returns
+// per-iteration latencies in microseconds. The building block for the
+// --json measurement loops (google-benchmark's adaptive iteration count
+// would make artifact timings run-dependent; a fixed count keeps the JSON
+// rows comparable across commits).
+template <typename F>
+inline std::vector<double> MeasureLatenciesUs(size_t iterations, F&& op) {
+  op();
+  std::vector<double> latencies;
+  latencies.reserve(iterations);
+  for (size_t i = 0; i < iterations; ++i) {
+    auto start = std::chrono::steady_clock::now();
+    op();
+    latencies.push_back(std::chrono::duration<double, std::micro>(
+                            std::chrono::steady_clock::now() - start)
+                            .count());
+  }
+  return latencies;
+}
+
+
 // Order statistics over per-iteration latencies (microseconds).
 inline LatencyStats SummarizeLatencies(std::vector<double> latencies_us) {
   LatencyStats stats;
@@ -177,6 +200,22 @@ inline void WriteBenchJson(const std::string& bench_name,
   }
   out << "  ]\n}\n";
   std::cout << "wrote " << path << "\n";
+}
+
+// Console rendering of JSON-mode rows (one line per row), so --json runs
+// are still human-readable in CI logs.
+inline void PrintBenchRows(const std::vector<BenchRow>& rows) {
+  std::printf("%-40s %12s %12s %12s\n", "configuration", "ops/sec", "p50 us",
+              "p99 us");
+  for (const BenchRow& row : rows) {
+    std::printf("%-40s %12.1f %12.1f %12.1f", row.name.c_str(),
+                row.latency.ops_per_sec, row.latency.p50_us,
+                row.latency.p99_us);
+    for (const auto& [key, value] : row.counters) {
+      std::printf("  %s=%.3g", key.c_str(), value);
+    }
+    std::printf("\n");
+  }
 }
 
 }  // namespace bench

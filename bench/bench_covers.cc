@@ -110,8 +110,78 @@ BENCHMARK(BM_ComputeComplementWithFragments)
     ->Arg(9)
     ->Unit(benchmark::kMicrosecond);
 
+// --json: fixed-iteration sweep over the same grids, written to
+// BENCH_covers.json for CI artifact collection.
+int Main(int argc, char** argv) {
+  if (!JsonRequested(argc, argv)) {
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+      return 1;
+    }
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+  }
+  std::vector<BenchRow> rows;
+  const std::pair<size_t, size_t> kEnumerations[] = {
+      {4, 8}, {8, 8}, {12, 8}, {16, 8}, {8, 12}, {8, 16}};
+  for (const auto& [n, attrs] : kEnumerations) {
+    std::vector<CoverCandidate> candidates = MakeCandidates(n, attrs, 42);
+    AttrSet target;
+    for (size_t a = 0; a < attrs; ++a) {
+      target.insert(StrCat("a", a));
+    }
+    size_t covers = 0;
+    BenchRow row;
+    row.name = StrCat("enumerate_covers/candidates=", n, "/attrs=", attrs);
+    row.latency = SummarizeLatencies(MeasureLatenciesUs(10, [&] {
+      std::vector<Cover> result =
+          EnumerateMinimalCovers(candidates, target, /*max_covers=*/4096);
+      covers = result.size();
+      benchmark::DoNotOptimize(result);
+    }));
+    row.counters["covers"] = static_cast<double>(covers);
+    rows.push_back(std::move(row));
+  }
+  for (size_t width : {size_t{3}, size_t{5}, size_t{7}, size_t{9}}) {
+    auto catalog = std::make_shared<Catalog>();
+    std::vector<Attribute> attrs;
+    attrs.push_back({"A", ValueType::kInt});
+    for (size_t i = 1; i < width; ++i) {
+      attrs.push_back({StrCat("X", i), ValueType::kInt});
+    }
+    Check(catalog->AddRelation("R", Schema(attrs)), "rel");
+    Check(catalog->AddKey("R", {"A"}), "key");
+    std::vector<ViewDef> views;
+    for (size_t i = 1; i < width; ++i) {
+      views.push_back(ViewDef{
+          StrCat("F", i),
+          Expr::Project({"A", StrCat("X", i)}, Expr::Base("R"))});
+      views.push_back(ViewDef{
+          StrCat("G", i),
+          Expr::Project({"A", StrCat("X", i)}, Expr::Base("R"))});
+    }
+    ComplementOptions options;
+    options.max_covers = 4096;
+    size_t covers = 0;
+    BenchRow row;
+    row.name = StrCat("complement_fragments/width=", width);
+    row.latency = SummarizeLatencies(MeasureLatenciesUs(5, [&] {
+      ComplementResult result =
+          Unwrap(ComputeComplement(views, *catalog, options), "complement");
+      covers = result.per_base[0].cover_labels.size();
+      benchmark::DoNotOptimize(result);
+    }));
+    row.counters["covers"] = static_cast<double>(covers);
+    rows.push_back(std::move(row));
+  }
+  PrintBenchRows(rows);
+  WriteBenchJson("covers", rows);
+  return 0;
+}
+
 }  // namespace
 }  // namespace bench
 }  // namespace dwc
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return dwc::bench::Main(argc, argv); }

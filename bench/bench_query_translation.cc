@@ -17,6 +17,7 @@
 #include "bench/bench_common.h"
 #include "core/query_translation.h"
 #include "parser/parser.h"
+#include "util/string_util.h"
 
 namespace dwc {
 namespace bench {
@@ -115,8 +116,63 @@ BENCHMARK(BM_TranslateOnly)->Apply(Args);
 BENCHMARK(BM_AnswerAtWarehouse)->Apply(Args);
 BENCHMARK(BM_AnswerAtSource)->Apply(Args);
 
+// --json: the same (query, fact) grid with fixed iteration counts, written
+// to BENCH_query_translation.json for CI artifact collection.
+int Main(int argc, char** argv) {
+  if (!JsonRequested(argc, argv)) {
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+      return 1;
+    }
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+  }
+  std::vector<BenchRow> rows;
+  for (size_t fact : {size_t{1000}, size_t{8000}}) {
+    Fixture& fixture = SharedFixture(fact);
+    for (int q = 0; q < 3; ++q) {
+      ExprRef query = Query(q);
+      BenchRow translate;
+      translate.name = StrCat("translate_only/q", q + 1, "/fact=", fact);
+      translate.latency = SummarizeLatencies(MeasureLatenciesUs(50, [&] {
+        ExprRef translated =
+            Unwrap(TranslateQuery(query, *fixture.spec), "translate");
+        benchmark::DoNotOptimize(translated);
+      }));
+      rows.push_back(std::move(translate));
+
+      size_t out = 0;
+      BenchRow warehouse;
+      warehouse.name = StrCat("answer_warehouse/q", q + 1, "/fact=", fact);
+      warehouse.latency = SummarizeLatencies(MeasureLatenciesUs(15, [&] {
+        Relation answer =
+            Unwrap(fixture.warehouse->AnswerQuery(query), "answer");
+        out = answer.size();
+        benchmark::DoNotOptimize(answer);
+      }));
+      warehouse.counters["result_tuples"] = static_cast<double>(out);
+      rows.push_back(std::move(warehouse));
+
+      BenchRow at_source;
+      at_source.name = StrCat("answer_source/q", q + 1, "/fact=", fact);
+      at_source.latency = SummarizeLatencies(MeasureLatenciesUs(15, [&] {
+        Relation answer =
+            Unwrap(EvalExpr(*query, fixture.source_env), "answer");
+        out = answer.size();
+        benchmark::DoNotOptimize(answer);
+      }));
+      at_source.counters["result_tuples"] = static_cast<double>(out);
+      rows.push_back(std::move(at_source));
+    }
+  }
+  PrintBenchRows(rows);
+  WriteBenchJson("query_translation", rows);
+  return 0;
+}
+
 }  // namespace
 }  // namespace bench
 }  // namespace dwc
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return dwc::bench::Main(argc, argv); }

@@ -9,6 +9,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_common.h"
+#include "util/string_util.h"
 #include "workload/star_schema.h"
 
 namespace dwc {
@@ -84,8 +85,79 @@ BENCHMARK(BM_SalesAppend)
     ->Arg(1000)
     ->Unit(benchmark::kMillisecond);
 
+// --json: fixed-iteration sweep written to BENCH_star_schema.json for CI
+// artifact collection (the 32000-row load is skipped to keep the perf-smoke
+// job fast; run the google-benchmark path for the full grid).
+int Main(int argc, char** argv) {
+  if (!JsonRequested(argc, argv)) {
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+      return 1;
+    }
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+  }
+  std::vector<BenchRow> rows;
+  for (size_t sales : {size_t{2000}, size_t{8000}}) {
+    StarSchema star = Unwrap(BuildStarSchema(BenchConfig(sales)), "star");
+    auto spec = std::make_shared<WarehouseSpec>(
+        Unwrap(SpecifyWarehouse(star.catalog, star.views), "spec"));
+    BenchRow row;
+    row.name = StrCat("initial_load/sales=", sales);
+    row.latency = SummarizeLatencies(MeasureLatenciesUs(3, [&] {
+      Warehouse warehouse = Unwrap(Warehouse::Load(spec, star.db), "load");
+      benchmark::DoNotOptimize(warehouse);
+    }));
+    row.counters["fact_tuples"] = static_cast<double>(sales);
+    rows.push_back(std::move(row));
+  }
+  for (size_t batch : {size_t{1}, size_t{10}, size_t{100}, size_t{1000}}) {
+    StarSchema star = Unwrap(BuildStarSchema(BenchConfig(6000)), "star");
+    auto spec = std::make_shared<WarehouseSpec>(
+        Unwrap(SpecifyWarehouse(star.catalog, star.views), "spec"));
+    Source source(star.db);
+    Warehouse warehouse = Unwrap(Warehouse::Load(spec, source.db()), "load");
+    Rng rng(17);
+    // Timed: the forward Integrate; untimed: batch generation and the
+    // rollback keeping the database size fixed.
+    std::vector<double> latencies;
+    auto refresh = [&](bool timed) {
+      UpdateOp op =
+          Unwrap(GenerateSalesBatch(source.db(), batch, &rng), "gen");
+      CanonicalDelta delta = Unwrap(source.Apply(op), "apply");
+      auto start = std::chrono::steady_clock::now();
+      Check(warehouse.Integrate(delta), "integrate");
+      if (timed) {
+        latencies.push_back(std::chrono::duration<double, std::micro>(
+                                std::chrono::steady_clock::now() - start)
+                                .count());
+      }
+      UpdateOp undo;
+      undo.relation = "Sales";
+      undo.deletes = op.inserts;
+      CanonicalDelta undo_delta = Unwrap(source.Apply(undo), "undo");
+      Check(warehouse.Integrate(undo_delta), "undo integrate");
+    };
+    refresh(/*timed=*/false);
+    for (int i = 0; i < 8; ++i) {
+      refresh(/*timed=*/true);
+    }
+    BenchRow row;
+    row.name = StrCat("sales_append/batch=", batch);
+    row.latency = SummarizeLatencies(std::move(latencies));
+    row.counters["tuples_s"] =
+        row.latency.ops_per_sec * static_cast<double>(batch);
+    row.counters["src_queries"] = static_cast<double>(source.query_count());
+    rows.push_back(std::move(row));
+  }
+  PrintBenchRows(rows);
+  WriteBenchJson("star_schema", rows);
+  return 0;
+}
+
 }  // namespace
 }  // namespace bench
 }  // namespace dwc
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return dwc::bench::Main(argc, argv); }

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Gate a fresh BENCH_*.json against a committed baseline.
+
+Usage:
+    check_bench_regression.py BASELINE.json FRESH.json [--threshold 0.25]
+
+Compares rows by name: the check fails if any baseline row is missing
+from the fresh run, or if a fresh row's ops_per_sec dropped more than
+`threshold` (fraction) below the baseline's. Rows present only in the
+fresh run are reported but never fail the check, so adding a
+configuration does not require regenerating the baseline first.
+
+Stdlib only — CI runs this straight from the checkout.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_rows(path):
+    with open(path) as f:
+        doc = json.load(f)
+    rows = {}
+    for row in doc.get("rows", []):
+        rows[row["name"]] = float(row.get("ops_per_sec", 0.0))
+    if not rows:
+        sys.exit(f"error: {path} contains no benchmark rows")
+    return rows
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="allowed fractional ops/sec drop before failing (default 0.25)",
+    )
+    args = parser.parse_args()
+
+    baseline = load_rows(args.baseline)
+    fresh = load_rows(args.fresh)
+
+    failures = []
+    print(f"{'configuration':<44} {'baseline':>12} {'fresh':>12} {'ratio':>7}")
+    for name, base_ops in sorted(baseline.items()):
+        if name not in fresh:
+            failures.append(f"row missing from fresh run: {name}")
+            print(f"{name:<44} {base_ops:>12.1f} {'MISSING':>12}")
+            continue
+        fresh_ops = fresh[name]
+        ratio = fresh_ops / base_ops if base_ops > 0 else float("inf")
+        flag = ""
+        if fresh_ops < base_ops * (1.0 - args.threshold):
+            failures.append(
+                f"{name}: ops/sec fell {1.0 - ratio:.1%} "
+                f"({base_ops:.1f} -> {fresh_ops:.1f}), "
+                f"threshold is {args.threshold:.0%}"
+            )
+            flag = "  REGRESSED"
+        print(
+            f"{name:<44} {base_ops:>12.1f} {fresh_ops:>12.1f} "
+            f"{ratio:>6.2f}x{flag}"
+        )
+    for name in sorted(set(fresh) - set(baseline)):
+        print(f"{name:<44} {'(new)':>12} {fresh[name]:>12.1f}")
+
+    if failures:
+        print(f"\n{len(failures)} regression(s):", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        sys.exit(1)
+    print(f"\nok: no row regressed more than {args.threshold:.0%}")
+
+
+if __name__ == "__main__":
+    main()

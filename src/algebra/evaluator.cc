@@ -170,13 +170,18 @@ void EvalStats::MergeFrom(const EvalStats& other) {
   pushdown_differences += other.pushdown_differences;
   index_probes += other.index_probes;
   parallel_kernels += other.parallel_kernels;
+  cache_hits += other.cache_hits;
+  cache_misses += other.cache_misses;
+  cache_evictions += other.cache_evictions;
 }
 
 std::string EvalStats::ToString() const {
   return StrCat("joins=", joins, " (pushdown ", pushdown_joins,
                 "), differences=", differences, " (pushdown ",
                 pushdown_differences, "), index_probes=", index_probes,
-                ", parallel_kernels=", parallel_kernels);
+                ", parallel_kernels=", parallel_kernels,
+                ", cache=", cache_hits, "/", cache_hits + cache_misses,
+                " hits (", cache_evictions, " evictions)");
 }
 
 bool Evaluator::WorthPushdown(size_t actual, size_t estimate) const {
@@ -427,6 +432,95 @@ size_t Evaluator::EstimateSize(const Expr& expr) const {
 }
 
 Result<Evaluator::EvalOut> Evaluator::EvalInternal(const Expr& expr) {
+  // Fast path: no cache wired (or disabled by budget 0) — exactly the
+  // pre-cache pipeline.
+  if (cache_ == nullptr || interner_ == nullptr) {
+    return EvalNode(expr);
+  }
+  // Leaves alias bindings or build empties; memoizing them only copies.
+  if (expr.kind() == Expr::Kind::kBase || expr.kind() == Expr::Kind::kEmpty) {
+    return EvalNode(expr);
+  }
+  const uint64_t id = interner_->IdOf(&expr);
+  if (id == 0) {
+    return EvalNode(expr);  // Not an interned node: nothing to key on.
+  }
+  const std::vector<std::string>* inputs = interner_->InputsOf(&expr);
+  if (inputs == nullptr) {
+    return EvalNode(expr);
+  }
+  // Snapshot the (uid, version) identity of every input relation, in the
+  // interner's sorted-name order so commutative twins agree. An unresolved
+  // name falls back to plain evaluation, which reports the error properly.
+  SubplanCache::Snapshot snapshot;
+  snapshot.reserve(inputs->size());
+  for (const std::string& name : *inputs) {
+    const Relation* rel = env_->Find(name);
+    if (rel == nullptr) {
+      return EvalNode(expr);
+    }
+    snapshot.emplace_back(rel->uid(), rel->version());
+  }
+
+  const uint64_t cid = interner_->CidOf(&expr);
+  if (std::optional<SubplanCache::Hit> hit = cache_->Lookup(cid, snapshot)) {
+    if (hit->producer_id == id) {
+      // Same structural node: the cached result is bit-identical to what
+      // evaluation would produce. Stable: the entry outlives this call and
+      // its relation accumulates a reusable index cache.
+      ++stats_.cache_hits;
+      return EvalOut{std::move(hit->rel), /*stable=*/true};
+    }
+    // Commutative twin (e.g. A ⋈ B recycled for B ⋈ A): identical contents,
+    // possibly different column order. Realign to exactly the order plain
+    // evaluation of *this* node would emit; if that order cannot be
+    // established, fall through and evaluate fresh.
+    std::optional<std::vector<std::string>> names = OutputNames(expr, *env_);
+    if (names.has_value() && names->size() == hit->rel->schema().size()) {
+      const Schema& have = hit->rel->schema();
+      bool already_aligned = true;
+      std::vector<Attribute> attrs;
+      attrs.reserve(names->size());
+      bool resolvable = true;
+      for (size_t i = 0; i < names->size(); ++i) {
+        std::optional<size_t> idx = have.IndexOf((*names)[i]);
+        if (!idx.has_value()) {
+          resolvable = false;
+          break;
+        }
+        already_aligned = already_aligned && *idx == i;
+        attrs.push_back(have.attribute(*idx));
+      }
+      if (resolvable) {
+        if (already_aligned) {
+          ++stats_.cache_hits;
+          return EvalOut{std::move(hit->rel), /*stable=*/true};
+        }
+        Result<Schema> target = Schema::Create(std::move(attrs));
+        if (target.ok()) {
+          Result<Relation> aligned = hit->rel->AlignTo(*target);
+          if (aligned.ok()) {
+            ++stats_.cache_hits;
+            return EvalOut{Own(std::move(aligned).value()), /*stable=*/false};
+          }
+        }
+      }
+    }
+  }
+
+  ++stats_.cache_misses;
+  Result<EvalOut> out = EvalNode(expr);
+  if (!out.ok()) {
+    return out;
+  }
+  // Non-leaf results are always owned (never env aliases), so the cache can
+  // retain them safely.
+  stats_.cache_evictions +=
+      cache_->Insert(cid, id, std::move(snapshot), out->rel);
+  return out;
+}
+
+Result<Evaluator::EvalOut> Evaluator::EvalNode(const Expr& expr) {
   switch (expr.kind()) {
     case Expr::Kind::kBase: {
       const Relation* rel = env_->Find(expr.base_name());

@@ -5,6 +5,8 @@
 
 #include "algebra/environment.h"
 #include "algebra/expr.h"
+#include "algebra/interner.h"
+#include "algebra/subplan_cache.h"
 #include "exec/kernels.h"
 #include "relational/relation.h"
 #include "util/result.h"
@@ -42,6 +44,13 @@ struct EvaluatorOptions {
   size_t morsel_size = 1024;
   size_t min_parallel_tuples = 4096;
 
+  // Cached-tuples budget of the subplan recycler cache (see
+  // algebra/subplan_cache.h). 0 disables memoization entirely, reproducing
+  // pre-cache evaluation exactly; a nonzero budget lets the evaluator
+  // recycle subplans whose input relation versions are unchanged, with LRU
+  // eviction once the cached results exceed the budget.
+  size_t cache_budget_tuples = 0;
+
   // The kernel-layer view of these knobs.
   ExecOptions exec() const {
     ExecOptions exec_options;
@@ -65,6 +74,12 @@ struct EvalStats {
   size_t index_probes = 0;
   // Operator instances that took a morsel-driven parallel path.
   size_t parallel_kernels = 0;
+  // Subplan-cache outcomes: memoized results recycled / evaluated fresh /
+  // entries evicted to hold the tuple budget. All zero when the cache is
+  // disabled (cache_budget_tuples == 0) or not wired up.
+  size_t cache_hits = 0;
+  size_t cache_misses = 0;
+  size_t cache_evictions = 0;
 
   // Accumulates `other` into this (all counters add). The warehouse uses
   // this to fold the per-task evaluator stats of a parallel refresh into
@@ -76,10 +91,21 @@ struct EvalStats {
 
 class Evaluator {
  public:
-  // `env` must outlive the evaluator and is not owned.
+  // `env` must outlive the evaluator and is not owned. `interner` and
+  // `cache` (both optional, both borrowed) enable subplan memoization:
+  // expressions interned through `interner` carry canonical ids, and
+  // results of id-carrying subplans are recycled from `cache` whenever the
+  // (uid, version) snapshot of their input relations is unchanged. With
+  // either absent — or with options.cache_budget_tuples == 0 — evaluation
+  // is exactly the uncached pipeline.
   explicit Evaluator(const Environment* env,
-                     EvaluatorOptions options = EvaluatorOptions())
-      : env_(env), options_(options) {}
+                     EvaluatorOptions options = EvaluatorOptions(),
+                     const ExprInterner* interner = nullptr,
+                     SubplanCache* cache = nullptr)
+      : env_(env),
+        options_(options),
+        interner_(interner),
+        cache_(options.cache_budget_tuples > 0 ? cache : nullptr) {}
 
   // Returns a relation that may alias a bound relation (kBase leaves).
   // The result is invalidated by mutating the aliased relation.
@@ -107,7 +133,15 @@ class Evaluator {
     const Relation::TupleSet* keys;
   };
 
+  // Memo wrapper: consults the subplan cache (when wired) before delegating
+  // to EvalNode, and stores fresh exact results afterwards. Every recursive
+  // evaluation funnels through here, so sharing applies at all levels of
+  // the DAG. Filter-restricted evaluations (EvalWithFilter) are *not*
+  // routed through the cache: their results are subsets, not the subplan's
+  // value.
   Result<EvalOut> EvalInternal(const Expr& expr);
+  // The actual operator dispatch (the pre-cache EvalInternal).
+  Result<EvalOut> EvalNode(const Expr& expr);
   Result<EvalOut> EvalJoin(const Expr& expr);
   Result<EvalOut> EvalDifference(const Expr& expr);
 
@@ -141,6 +175,8 @@ class Evaluator {
 
   const Environment* env_;
   EvaluatorOptions options_;
+  const ExprInterner* interner_ = nullptr;
+  SubplanCache* cache_ = nullptr;
   EvalStats stats_;
 };
 

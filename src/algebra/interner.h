@@ -1,0 +1,87 @@
+#ifndef DWC_ALGEBRA_INTERNER_H_
+#define DWC_ALGEBRA_INTERNER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "algebra/expr.h"
+
+namespace dwc {
+
+// Hash-conses Expr trees into a canonical DAG of shared immutable nodes.
+//
+// The paper's pipeline reuses the same algebraic structure everywhere: each
+// reconstruction R̂i = ∪ π_Ri(Vj) appears inside every complement
+// Ci = Ri \ R̂i, and the inverse expressions W⁻¹ are substituted verbatim
+// into every translated query (Theorem 3.1) and maintenance expression
+// (Theorem 4.1). Interning all of those trees turns the textual repetition
+// into literal node sharing: structurally equal subtrees become one node
+// with one structural id, which is what lets the evaluator memoize a
+// subplan once and recycle it across complements, maintenance plans, and
+// translated queries.
+//
+// Two ids per interned node:
+//  * id  — structural identity: equal trees (same operator, payload, and
+//    child ids, in order) get equal ids.
+//  * cid — commutative-equivalence class: joins and unions additionally
+//    identify A op B with B op A (operand cids sorted). Natural join and
+//    set union are commutative up to column order, which the evaluator's
+//    cache repairs by realignment; cids are exact equivalence classes
+//    (canonical keys mapped through a table), never bare hashes, so a
+//    collision can not silently merge different plans.
+//
+// Keys are built length-prefixed, so no payload string can collide with a
+// delimiter. All methods are thread-safe (one internal mutex); interned
+// nodes live as long as the interner (it keeps one ExprRef per class).
+class ExprInterner {
+ public:
+  ExprInterner() = default;
+  ExprInterner(const ExprInterner&) = delete;
+  ExprInterner& operator=(const ExprInterner&) = delete;
+
+  // Returns the canonical node for `expr`, interning every subtree
+  // bottom-up. Child pointers of the result are themselves canonical, so
+  // structurally equal subtrees are pointer-equal afterwards.
+  ExprRef Intern(const ExprRef& expr);
+
+  // Structural id of an interned node, or 0 if `expr` was not produced by
+  // Intern() on this interner.
+  uint64_t IdOf(const Expr* expr) const;
+  // Commutative-class id, or 0 if unknown.
+  uint64_t CidOf(const Expr* expr) const;
+  // Sorted names of the base relations the node transitively reads, or
+  // nullptr if unknown. The pointer stays valid for the interner lifetime.
+  const std::vector<std::string>* InputsOf(const Expr* expr) const;
+
+  // Number of distinct interned nodes (the DAG size; equal subtrees count
+  // once). Exposed for the CSE tests and the lint duplicate-view pass.
+  size_t size() const;
+
+ private:
+  struct NodeInfo {
+    uint64_t id = 0;
+    uint64_t cid = 0;
+    std::vector<std::string> inputs;
+  };
+
+  // Must be called with mu_ held.
+  ExprRef InternLocked(const ExprRef& expr);
+  uint64_t CidForKeyLocked(const std::string& key);
+
+  mutable std::mutex mu_;
+  // Structural key → canonical node.
+  std::unordered_map<std::string, ExprRef> by_key_;
+  // Canonical node → its ids and inputs.
+  std::unordered_map<const Expr*, NodeInfo> info_;
+  // Commutative key → class id.
+  std::unordered_map<std::string, uint64_t> cid_by_key_;
+  uint64_t next_id_ = 1;
+  uint64_t next_cid_ = 1;
+};
+
+}  // namespace dwc
+
+#endif  // DWC_ALGEBRA_INTERNER_H_

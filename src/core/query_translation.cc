@@ -28,7 +28,13 @@ Result<ExprRef> TranslateQuery(const ExprRef& query,
   // Push selections toward the leaves so the evaluator can probe indexes
   // inside the (often large) inverse reconstructions.
   translated = PushDownSelections(translated, resolver);
-  return Simplify(translated, &resolver);
+  translated = Simplify(translated, &resolver);
+  // Canonicalize through the spec's interner: repeated translations of the
+  // same (or structurally overlapping) queries share nodes with each other
+  // and with the maintenance machinery, which is what lets the warehouse's
+  // subplan cache turn a repeated translated query against an unchanged
+  // state into a pure cache hit.
+  return spec.interner()->Intern(translated);
 }
 
 }  // namespace dwc

@@ -11,7 +11,22 @@ WarehouseSpec::WarehouseSpec(std::shared_ptr<const Catalog> catalog,
     : catalog_(std::move(catalog)),
       views_(std::move(views)),
       complement_(std::move(complement)),
-      warehouse_schemas_(std::move(warehouse_schemas)) {}
+      warehouse_schemas_(std::move(warehouse_schemas)),
+      interner_(std::make_shared<ExprInterner>()) {
+  // Cross-expression CSE: intern every definition the spec carries so that
+  // structurally equal subtrees — which the paper's constructions repeat
+  // liberally — become shared canonical nodes with stable ids.
+  for (ViewDef& view : views_) {
+    view.expr = interner_->Intern(view.expr);
+  }
+  for (ViewDef& comp : complement_.complements) {
+    comp.expr = interner_->Intern(comp.expr);
+  }
+  for (auto& [base, inverse] : complement_.inverses) {
+    (void)base;
+    inverse = interner_->Intern(inverse);
+  }
+}
 
 std::vector<ViewDef> WarehouseSpec::AllWarehouseViews() const {
   std::vector<ViewDef> all = views_;

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "algebra/interner.h"
 #include "algebra/schema_inference.h"
 #include "algebra/view.h"
 #include "core/complement.h"
@@ -51,6 +52,16 @@ class WarehouseSpec {
   // validation of translated queries).
   SchemaResolver WarehouseResolver() const;
 
+  // The hash-consing interner shared by everything derived from this spec.
+  // The constructor runs cross-expression CSE over all view, complement and
+  // inverse expressions through it, so the repeated structure the paper's
+  // constructions share (each R̂i inside Ci, each W⁻¹ inside every
+  // translated query and maintenance expression) becomes literal node
+  // sharing; the warehouse then interns maintenance plans and translated
+  // queries through the same instance so its subplan cache can recycle
+  // results across all of them.
+  const std::shared_ptr<ExprInterner>& interner() const { return interner_; }
+
   std::string ToString() const;
 
  private:
@@ -58,6 +69,7 @@ class WarehouseSpec {
   std::vector<ViewDef> views_;
   ComplementResult complement_;
   std::map<std::string, Schema> warehouse_schemas_;
+  std::shared_ptr<ExprInterner> interner_;
 };
 
 // Runs PSJ analysis, complement computation and schema inference, yielding a

@@ -85,6 +85,15 @@ const std::vector<LintRule>& LintRules() {
       {"DWC-N002", LintSeverity::kNote,
        "relation is not referenced by any view; the complement must "
        "materialize it in full", "Prop. 2.2, Ci = Ri \\ R^i"},
+      {"DWC-N003", LintSeverity::kNote,
+       "view's canonicalized definition is identical to another view's; "
+       "the warehouse materializes the same relation twice",
+       "hash-consed expression DAG, algebra/interner.h"},
+      {"DWC-N004", LintSeverity::kNote,
+       "view's canonicalized definition appears as a subexpression of "
+       "another view's definition; consider defining the larger view over "
+       "the smaller one's bases once",
+       "hash-consed expression DAG, algebra/interner.h"},
   };
   return kRules;
 }

@@ -9,6 +9,9 @@
 #include <vector>
 
 #include "algebra/implication.h"
+#include "algebra/interner.h"
+#include "algebra/schema_inference.h"
+#include "algebra/simplifier.h"
 #include "core/psj.h"
 #include "lint/predicate_analysis.h"
 #include "util/string_util.h"
@@ -518,6 +521,108 @@ class RedundantViewPass : public LintPass {
   }
 };
 
+// ---------------------------------------------------------------------------
+// canonical-duplicates: hash-cons every (simplifier-normalized) view
+// definition through the same ExprInterner machinery the evaluator's subplan
+// cache keys on, then flag views whose canonical class coincides with
+// another view's (DWC-N003) or appears as a non-leaf subexpression inside
+// another view's definition (DWC-N004). Unlike redundant-views, this is
+// purely structural — no predicate implication — so it also covers shapes
+// AnalyzePsj rejects, and it catches duplicates that differ only in
+// commutative operand order (A JOIN B vs B JOIN A share a cid).
+
+class CanonicalDuplicatePass : public LintPass {
+ public:
+  const char* name() const override { return "canonical-duplicates"; }
+  const char* description() const override {
+    return "views whose canonicalized definitions duplicate or appear "
+           "inside other views";
+  }
+
+  void Run(const LintInput& input, DiagnosticSink* sink) const override {
+    if (input.catalog == nullptr) {
+      return;
+    }
+    ExprInterner interner;
+    SchemaResolver resolver = ResolverFromCatalog(*input.catalog);
+    std::vector<ExprRef> canon(input.views.size());
+    for (size_t i = 0; i < input.views.size(); ++i) {
+      canon[i] =
+          interner.Intern(Simplify(input.views[i].def.expr, &resolver));
+    }
+
+    // DWC-N003: same commutative class ⇒ the same relation on every
+    // database. Flag the later declaration of each pair, mirroring
+    // redundant-views.
+    std::vector<bool> is_duplicate(input.views.size(), false);
+    std::map<uint64_t, size_t> first_with_cid;
+    for (size_t i = 0; i < input.views.size(); ++i) {
+      uint64_t cid = interner.CidOf(canon[i].get());
+      auto [it, inserted] = first_with_cid.emplace(cid, i);
+      if (inserted) {
+        continue;
+      }
+      is_duplicate[i] = true;
+      sink->Report("DWC-N003", input.views[i].loc,
+                   StrCat("view '", input.views[i].def.name,
+                          "' has the same canonicalized definition as view "
+                          "'", input.views[it->second].def.name,
+                          "'; the warehouse materializes it twice"),
+                   input.views[i].def.name);
+    }
+
+    // DWC-N004: a view whose whole definition is a proper, non-leaf
+    // subexpression of another view's. Leaves (bare base relations) are
+    // skipped — an identity view would otherwise match every view over
+    // that base. Exact duplicates already reported above are skipped too.
+    std::vector<std::set<uint64_t>> subexprs(input.views.size());
+    for (size_t j = 0; j < input.views.size(); ++j) {
+      CollectProperSubexprCids(interner, *canon[j], &subexprs[j]);
+    }
+    for (size_t i = 0; i < input.views.size(); ++i) {
+      if (is_duplicate[i] || IsLeaf(*canon[i])) {
+        continue;
+      }
+      uint64_t cid = interner.CidOf(canon[i].get());
+      for (size_t j = 0; j < input.views.size(); ++j) {
+        if (j == i || subexprs[j].count(cid) == 0) {
+          continue;
+        }
+        sink->Report(
+            "DWC-N004", input.views[i].loc,
+            StrCat("view '", input.views[i].def.name,
+                   "'s canonicalized definition appears inside view '",
+                   input.views[j].def.name,
+                   "'; the subplan cache will recycle it, but the spec "
+                   "repeats the structure"),
+            input.views[i].def.name);
+        break;
+      }
+    }
+  }
+
+ private:
+  static bool IsLeaf(const Expr& expr) {
+    return expr.kind() == Expr::Kind::kBase ||
+           expr.kind() == Expr::Kind::kEmpty;
+  }
+
+  // Commutative class ids of every proper non-leaf subtree of `expr`.
+  static void CollectProperSubexprCids(const ExprInterner& interner,
+                                       const Expr& expr,
+                                       std::set<uint64_t>* out) {
+    for (const ExprRef* child : {&expr.left(), &expr.right()}) {
+      if (*child == nullptr) {
+        continue;
+      }
+      if (!IsLeaf(**child)) {
+        out->insert(interner.CidOf(child->get()));
+      }
+      CollectProperSubexprCids(interner, **child, out);
+    }
+  }
+};
+
 }  // namespace
 
 const std::vector<const LintPass*>& AllLintPasses() {
@@ -526,8 +631,9 @@ const std::vector<const LintPass*>& AllLintPasses() {
   static const PredicatePass predicates;
   static const KeyCoveragePass coverage;
   static const RedundantViewPass redundant;
+  static const CanonicalDuplicatePass canonical;
   static const std::vector<const LintPass*> kPasses = {
-      &shape, &cycles, &predicates, &coverage, &redundant};
+      &shape, &cycles, &predicates, &coverage, &redundant, &canonical};
   return kPasses;
 }
 

@@ -27,6 +27,7 @@ class LintPass {
 //   predicates      DWC-W001/W002
 //   key-coverage    DWC-W003/W004, DWC-N002
 //   redundant-views DWC-W005
+//   canonical-duplicates DWC-N003/N004
 const std::vector<const LintPass*>& AllLintPasses();
 
 }  // namespace dwc

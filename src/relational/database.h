@@ -43,6 +43,18 @@ class Database {
   // state; returns the first violation found.
   Status ValidateConstraints() const;
 
+  // Sum of all relation versions: changes whenever any relation's content
+  // changes in place. Cheap coarse staleness probe for whole-state caches
+  // (per-subplan invalidation uses the individual (uid, version) pairs).
+  uint64_t ContentVersion() const {
+    uint64_t total = 0;
+    for (const auto& [name, relation] : relations_) {
+      (void)name;
+      total += relation.version();
+    }
+    return total;
+  }
+
   // Structural equality of states: same relation names, same contents.
   bool SameStateAs(const Database& other) const;
 

@@ -11,6 +11,7 @@ bool Relation::Insert(Tuple tuple) {
   assert(tuple.size() == schema_.size());
   auto [it, inserted] = tuples_.insert(std::move(tuple));
   if (inserted) {
+    ++version_;
     for (auto& [name, entry] : indexes_) {
       (void)name;
       Tuple key = it->Project(entry.indices);
@@ -40,10 +41,14 @@ bool Relation::Erase(const Tuple& tuple) {
     }
   }
   tuples_.erase(it);
+  ++version_;
   return true;
 }
 
 void Relation::Clear() {
+  if (!tuples_.empty()) {
+    ++version_;
+  }
   tuples_.clear();
   indexes_.clear();
 }

@@ -1,6 +1,8 @@
 #ifndef DWC_RELATIONAL_RELATION_H_
 #define DWC_RELATIONAL_RELATION_H_
 
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -42,6 +44,14 @@ class Relation {
   explicit Relation(Schema schema) : schema_(std::move(schema)) {}
 
   // Relations are copyable (indexes are dropped on copy) and movable.
+  //
+  // Identity discipline for the subplan cache: every freshly constructed
+  // relation — including copy- and move-*constructed* ones — gets a new uid,
+  // so two distinct objects never share an identity. Assignment keeps the
+  // destination's uid (it is the same storage cell changing content) and
+  // bumps its version. A moved-from source is left with its old uid but its
+  // content gone; bumping its version keeps any stale (uid, version)
+  // snapshot of it from ever matching again.
   Relation(const Relation& other)
       : schema_(other.schema_), tuples_(other.tuples_) {}
   Relation& operator=(const Relation& other) {
@@ -49,6 +59,7 @@ class Relation {
       schema_ = other.schema_;
       tuples_ = other.tuples_;
       indexes_.clear();
+      ++version_;
     }
     return *this;
   }
@@ -57,12 +68,16 @@ class Relation {
   Relation(Relation&& other) noexcept
       : schema_(std::move(other.schema_)),
         tuples_(std::move(other.tuples_)),
-        indexes_(std::move(other.indexes_)) {}
+        indexes_(std::move(other.indexes_)) {
+    ++other.version_;
+  }
   Relation& operator=(Relation&& other) noexcept {
     if (this != &other) {
       schema_ = std::move(other.schema_);
       tuples_ = std::move(other.tuples_);
       indexes_ = std::move(other.indexes_);
+      ++version_;
+      ++other.version_;
     }
     return *this;
   }
@@ -112,7 +127,20 @@ class Relation {
   // Multi-line rendering: schema header plus sorted tuples.
   std::string ToString() const;
 
+  // Identity + content version for memoized evaluation. `uid()` is unique
+  // per live object for the process lifetime; `version()` increments on
+  // every content change (Insert/Erase that took effect, Clear of a
+  // non-empty relation, any assignment). A cached result tagged with this
+  // relation's (uid, version) is valid iff both still match.
+  uint64_t uid() const { return uid_; }
+  uint64_t version() const { return version_; }
+
  private:
+  static uint64_t NextUid() {
+    static std::atomic<uint64_t> counter{1};
+    return counter.fetch_add(1, std::memory_order_relaxed);
+  }
+
   struct IndexEntry {
     std::vector<std::string> attrs;
     std::vector<size_t> indices;
@@ -121,6 +149,8 @@ class Relation {
 
   Schema schema_;
   TupleSet tuples_;
+  uint64_t uid_ = NextUid();
+  uint64_t version_ = 0;
   // Keyed by comma-joined attribute list. Mutable: building an index does not
   // change the logical content. Entries are pointer-stable (map of unique_ptr
   // not needed: std::map nodes are stable). Lazy builds are serialized by

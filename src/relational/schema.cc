@@ -7,7 +7,14 @@
 namespace dwc {
 
 Schema::Schema(std::vector<Attribute> attributes)
-    : attributes_(std::move(attributes)) {}
+    : attributes_(std::move(attributes)) {
+  auto index = std::make_shared<std::unordered_map<std::string, size_t>>();
+  index->reserve(attributes_.size());
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    index->emplace(attributes_[i].name, i);  // emplace keeps the first i.
+  }
+  index_ = std::move(index);
+}
 
 Result<Schema> Schema::Create(std::vector<Attribute> attributes) {
   std::unordered_set<std::string> seen;
@@ -18,15 +25,6 @@ Result<Schema> Schema::Create(std::vector<Attribute> attributes) {
     }
   }
   return Schema(std::move(attributes));
-}
-
-std::optional<size_t> Schema::IndexOf(const std::string& name) const {
-  for (size_t i = 0; i < attributes_.size(); ++i) {
-    if (attributes_[i].name == name) {
-      return i;
-    }
-  }
-  return std::nullopt;
 }
 
 bool Schema::ContainsAll(const AttrSet& names) const {

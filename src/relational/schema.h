@@ -1,9 +1,11 @@
 #ifndef DWC_RELATIONAL_SCHEMA_H_
 #define DWC_RELATIONAL_SCHEMA_H_
 
+#include <memory>
 #include <optional>
 #include <set>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "relational/value.h"
@@ -43,8 +45,19 @@ class Schema {
   const Attribute& attribute(size_t i) const { return attributes_[i]; }
   const std::vector<Attribute>& attributes() const { return attributes_; }
 
-  // Index of `name`, or nullopt.
-  std::optional<size_t> IndexOf(const std::string& name) const;
+  // Index of `name`, or nullopt. O(1): positions are cached in a name→index
+  // map built once at construction and shared across copies (Project/AlignTo
+  // resolve positions per tuple batch, so a linear scan here was a hot path).
+  std::optional<size_t> IndexOf(const std::string& name) const {
+    if (index_ == nullptr) {
+      return std::nullopt;
+    }
+    auto it = index_->find(name);
+    if (it == index_->end()) {
+      return std::nullopt;
+    }
+    return it->second;
+  }
   bool Contains(const std::string& name) const {
     return IndexOf(name).has_value();
   }
@@ -78,6 +91,10 @@ class Schema {
 
  private:
   std::vector<Attribute> attributes_;
+  // name → first position with that name (matching the old linear scan's
+  // first-match behavior for the unchecked duplicate-name constructor).
+  // Immutable after construction, so copies of the schema share it.
+  std::shared_ptr<const std::unordered_map<std::string, size_t>> index_;
 };
 
 }  // namespace dwc

@@ -33,6 +33,11 @@ Result<Warehouse> Warehouse::Load(std::shared_ptr<const WarehouseSpec> spec,
   if (strategy == MaintenanceStrategy::kIncremental) {
     DWC_ASSIGN_OR_RETURN(warehouse.plan_,
                          DeriveMaintenancePlan(*warehouse.spec_));
+    // Cross-expression CSE over the plan: shared structure (each R̂i, the
+    // inverse expressions, repeated delta-semijoins) collapses onto the
+    // spec's canonical DAG, so the subplan cache can recycle results
+    // between maintenance rounds and translated queries.
+    warehouse.plan_.Canonicalize(warehouse.spec_->interner().get());
   }
   Environment env = Environment::FromDatabase(sources);
   DWC_RETURN_IF_ERROR(warehouse.MaterializeFrom(env));
@@ -45,7 +50,7 @@ Status Warehouse::MaterializeFrom(const Environment& base_env) {
   Environment env = base_env;
   Database fresh;
   for (const ViewDef& view : spec_->AllWarehouseViews()) {
-    Evaluator evaluator(&env, evaluator_options_);
+    Evaluator evaluator = MakeEvaluator(&env);
     Result<Relation> rel = evaluator.Materialize(*view.expr);
     if (!rel.ok()) {
       return rel.status();
@@ -146,6 +151,11 @@ Status Warehouse::IntegrateTransaction(
         if (!plan.ok()) {
           return plan.status();
         }
+        for (auto& [relation, pair] : *plan) {
+          (void)relation;
+          pair.plus = spec_->interner()->Intern(pair.plus);
+          pair.minus = spec_->interner()->Intern(pair.minus);
+        }
         it = transaction_plans_.emplace(key, std::move(plan).value()).first;
       }
       return ApplyPlanned(it->second, nonempty);
@@ -222,7 +232,9 @@ Status Warehouse::ApplyPlanned(
   ThreadPool::Shared().ParallelFor(
       items.size(), evaluator_options_.exec().ResolvedThreads(),
       [&](size_t i) {
-        Evaluator task_evaluator(&env, evaluator_options_);
+        // Tasks share the warehouse subplan cache: lookups/inserts are
+        // serialized inside the cache, cache misses evaluate in parallel.
+        Evaluator task_evaluator = MakeEvaluator(&env);
         auto eval_one = [&](const ExprRef& expr,
                             Relation* out) -> Status {
           Result<Relation> rel = task_evaluator.Materialize(*expr);
@@ -296,11 +308,13 @@ Status Warehouse::ApplyPlanned(
           if (!derived.ok()) {
             return derived.status();
           }
+          derived->plus = spec_->interner()->Intern(derived->plus);
+          derived->minus = spec_->interner()->Intern(derived->minus);
           cached = aggregate_delta_cache_
                        .emplace(cache_key, std::move(derived).value())
                        .first;
         }
-        Evaluator agg_evaluator(&agg_env, evaluator_options_);
+        Evaluator agg_evaluator = MakeEvaluator(&agg_env);
         Result<Relation> plus = agg_evaluator.Materialize(*cached->second.plus);
         if (!plus.ok()) {
           return plus.status();
@@ -504,7 +518,7 @@ Status Warehouse::IntegrateQuerySource(const Source& source) {
   }
   env.BindDatabase(base_copy);
   for (const ViewDef& view : spec_->AllWarehouseViews()) {
-    Evaluator evaluator(&env, evaluator_options_);
+    Evaluator evaluator = MakeEvaluator(&env);
     Result<Relation> rel = evaluator.Materialize(*view.expr);
     if (!rel.ok()) {
       return rel.status();
@@ -557,8 +571,11 @@ Result<Relation> Warehouse::AnswerQuery(const ExprRef& query,
   translated = Simplify(translated, &resolver_fn);
   translated = PushDownSelections(translated, resolver_fn);
   translated = Simplify(translated, &resolver_fn);
+  // Canonicalize the optimized plan: a repeated query against an unchanged
+  // warehouse recycles every one of its subplans from the cache.
+  translated = spec_->interner()->Intern(translated);
   Environment env = Env();
-  Evaluator evaluator(&env, evaluator_options_);
+  Evaluator evaluator = MakeEvaluator(&env);
   Result<Relation> result = evaluator.Materialize(*translated);
   if (stats != nullptr) {
     *stats = evaluator.stats();
@@ -590,7 +607,7 @@ Result<Relation> Warehouse::ReconstructBase(const std::string& name) const {
         StrCat("base relation '", name, "' has no inverse expression"));
   }
   Environment env = Env();
-  Evaluator evaluator(&env, evaluator_options_);
+  Evaluator evaluator = MakeEvaluator(&env);
   DWC_ASSIGN_OR_RETURN(Relation rel, evaluator.Materialize(**inverse));
   const Schema* declared = spec_->catalog().FindSchema(name);
   if (declared != nullptr && !(rel.schema() == *declared)) {
@@ -618,7 +635,7 @@ Result<Database> Warehouse::ReconstructSources() const {
   ThreadPool::Shared().ParallelFor(
       items.size(), evaluator_options_.exec().ResolvedThreads(),
       [&](size_t i) {
-        Evaluator evaluator(&env, evaluator_options_);
+        Evaluator evaluator = MakeEvaluator(&env);
         Result<Relation> rel = evaluator.Materialize(*(*items[i].inverse));
         if (!rel.ok()) {
           statuses[i] = rel.status();

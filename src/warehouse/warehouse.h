@@ -116,11 +116,12 @@ class Warehouse {
   bool validate_deltas() const { return validate_deltas_; }
 
   // Execution knobs for every evaluator this warehouse constructs (parallel
-  // kernel thread count, morsel sizing, pushdown thresholds). Takes effect
-  // for subsequent operations; thread count never changes results (see
-  // EvaluatorOptions::num_threads).
+  // kernel thread count, morsel sizing, pushdown thresholds, subplan-cache
+  // budget). Takes effect for subsequent operations; neither thread count
+  // nor cache budget ever changes results (see EvaluatorOptions).
   void SetEvaluatorOptions(const EvaluatorOptions& options) {
     evaluator_options_ = options;
+    subplan_cache_->set_budget(options.cache_budget_tuples);
   }
   const EvaluatorOptions& evaluator_options() const {
     return evaluator_options_;
@@ -132,6 +133,12 @@ class Warehouse {
   const EvalStats& last_integrate_stats() const {
     return last_integrate_stats_;
   }
+
+  // The subplan recycler cache shared by every evaluator this warehouse
+  // constructs (see algebra/subplan_cache.h). Purely derived state: it is
+  // never checkpointed and starts cold after DurableWarehouse::Resume.
+  // Inert until SetEvaluatorOptions grants a nonzero cache_budget_tuples.
+  const SubplanCache& subplan_cache() const { return *subplan_cache_; }
 
   // Testing hook for the crash-injection harness: invoked with a step index
   // that increases through each integration call; a non-OK return aborts
@@ -176,6 +183,13 @@ class Warehouse {
   // Materializes all warehouse relations from an environment that binds the
   // base relations, writing into `state_` (replacing existing relations).
   Status MaterializeFrom(const Environment& base_env);
+
+  // Every evaluator the warehouse runs is wired to the spec's interner and
+  // this warehouse's subplan cache (a no-op while the budget is 0).
+  Evaluator MakeEvaluator(const Environment* env) const {
+    return Evaluator(env, evaluator_options_, spec_->interner().get(),
+                     subplan_cache_.get());
+  }
   // Rebuilds every aggregate view from the current state.
   Status ReinitializeAggregates();
 
@@ -190,6 +204,13 @@ class Warehouse {
   // Cached transaction plans keyed by the comma-joined sorted base set.
   std::map<std::string, std::map<std::string, DeltaPair>> transaction_plans_;
   EvaluatorOptions evaluator_options_;
+  // Held by pointer so Warehouse stays movable/copyable (the cache embeds a
+  // mutex). A copied warehouse shares the cache storage, which is safe: its
+  // relations carry fresh uids, so it can never falsely hit the original's
+  // entries. AnswerQuery and the reconstruction helpers are logically const
+  // but still recycle (and populate) cached subplans.
+  std::shared_ptr<SubplanCache> subplan_cache_ =
+      std::make_shared<SubplanCache>();
   EvalStats last_integrate_stats_;
   bool validate_deltas_ = false;
   std::function<Status(int)> integration_hook_;

@@ -1,0 +1,138 @@
+// The evaluator's subplan memoization: recycled results must be
+// indistinguishable from fresh evaluation — same relations, same column
+// order — across repeated queries, commuted twins, and input mutations.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "algebra/environment.h"
+#include "algebra/evaluator.h"
+#include "algebra/expr.h"
+#include "algebra/interner.h"
+#include "algebra/predicate.h"
+#include "algebra/subplan_cache.h"
+#include "relational/relation.h"
+#include "testing/test_util.h"
+
+namespace dwc {
+namespace {
+
+using ::dwc::testing::I;
+using ::dwc::testing::S;
+using ::dwc::testing::T;
+
+class EvaluatorCacheTest : public ::testing::Test {
+ protected:
+  EvaluatorCacheTest()
+      : r_(Schema({{"a", ValueType::kInt}, {"b", ValueType::kString}})),
+        s_(Schema({{"a", ValueType::kInt}, {"c", ValueType::kInt}})) {
+    r_.Insert(T({I(1), S("x")}));
+    r_.Insert(T({I(2), S("y")}));
+    r_.Insert(T({I(3), S("z")}));
+    s_.Insert(T({I(1), I(10)}));
+    s_.Insert(T({I(3), I(30)}));
+    env_.Bind("R", &r_);
+    env_.Bind("S", &s_);
+    cache_.set_budget(1 << 20);
+  }
+
+  Evaluator CachedEvaluator() {
+    EvaluatorOptions options;
+    options.cache_budget_tuples = 1 << 20;
+    return Evaluator(&env_, options, &interner_, &cache_);
+  }
+
+  Relation r_;
+  Relation s_;
+  Environment env_;
+  ExprInterner interner_;
+  SubplanCache cache_;
+};
+
+TEST_F(EvaluatorCacheTest, RepeatedEvaluationHitsAndMatchesFresh) {
+  ExprRef expr = interner_.Intern(
+      Expr::Project({"a", "c"}, Expr::Join(Expr::Base("R"), Expr::Base("S"))));
+
+  Evaluator uncached(&env_);
+  Result<Relation> fresh = uncached.Materialize(*expr);
+  DWC_ASSERT_OK(fresh);
+
+  Evaluator cached = CachedEvaluator();
+  Result<Relation> first = cached.Materialize(*expr);
+  DWC_ASSERT_OK(first);
+  EXPECT_EQ(cached.stats().cache_hits, 0u);
+  EXPECT_GT(cached.stats().cache_misses, 0u);
+
+  Result<Relation> second = cached.Materialize(*expr);
+  DWC_ASSERT_OK(second);
+  EXPECT_GT(cached.stats().cache_hits, 0u);
+
+  EXPECT_EQ(first->schema(), fresh->schema());
+  EXPECT_EQ(second->schema(), fresh->schema());
+  EXPECT_TRUE(first->SameContentAs(*fresh));
+  EXPECT_TRUE(second->SameContentAs(*fresh));
+}
+
+TEST_F(EvaluatorCacheTest, MutationInvalidates) {
+  ExprRef expr = interner_.Intern(Expr::Join(Expr::Base("R"), Expr::Base("S")));
+  Evaluator cached = CachedEvaluator();
+  DWC_ASSERT_OK(cached.Materialize(*expr));
+  ASSERT_TRUE(cached.Materialize(*expr).ok());
+  const size_t hits_before = cached.stats().cache_hits;
+  EXPECT_GT(hits_before, 0u);
+
+  // Mutating an input bumps its version: the stale entry must not serve.
+  r_.Insert(T({I(4), S("w")}));
+  Result<Relation> after = cached.Materialize(*expr);
+  DWC_ASSERT_OK(after);
+  Evaluator uncached(&env_);
+  Result<Relation> fresh = uncached.Materialize(*expr);
+  DWC_ASSERT_OK(fresh);
+  EXPECT_TRUE(after->SameContentAs(*fresh));
+  EXPECT_EQ(after->schema(), fresh->schema());
+}
+
+TEST_F(EvaluatorCacheTest, CommutedTwinHitRealignsColumns) {
+  // R ⋈ S and S ⋈ R share a commutative class but emit different column
+  // orders; a twin hit must be realigned to exactly what plain evaluation
+  // of the requested tree produces.
+  ExprRef rs = interner_.Intern(Expr::Join(Expr::Base("R"), Expr::Base("S")));
+  ExprRef sr = interner_.Intern(Expr::Join(Expr::Base("S"), Expr::Base("R")));
+
+  Evaluator cached = CachedEvaluator();
+  DWC_ASSERT_OK(cached.Materialize(*rs));
+  Result<Relation> twin = cached.Materialize(*sr);
+  DWC_ASSERT_OK(twin);
+  EXPECT_GT(cached.stats().cache_hits, 0u);
+
+  Evaluator uncached(&env_);
+  Result<Relation> fresh = uncached.Materialize(*sr);
+  DWC_ASSERT_OK(fresh);
+  EXPECT_EQ(twin->schema(), fresh->schema());
+  EXPECT_TRUE(twin->SameContentAs(*fresh));
+}
+
+TEST_F(EvaluatorCacheTest, ZeroBudgetIsExactlyUncached) {
+  ExprRef expr = interner_.Intern(Expr::Join(Expr::Base("R"), Expr::Base("S")));
+  EvaluatorOptions options;  // cache_budget_tuples = 0.
+  Evaluator evaluator(&env_, options, &interner_, &cache_);
+  DWC_ASSERT_OK(evaluator.Materialize(*expr));
+  DWC_ASSERT_OK(evaluator.Materialize(*expr));
+  EXPECT_EQ(evaluator.stats().cache_hits, 0u);
+  EXPECT_EQ(evaluator.stats().cache_misses, 0u);
+  EXPECT_EQ(cache_.entries(), 0u);
+}
+
+TEST_F(EvaluatorCacheTest, UninternedExpressionsBypassTheCache) {
+  ExprRef foreign =
+      Expr::Join(Expr::Base("R"), Expr::Base("S"));  // Never interned.
+  Evaluator cached = CachedEvaluator();
+  DWC_ASSERT_OK(cached.Materialize(*foreign));
+  DWC_ASSERT_OK(cached.Materialize(*foreign));
+  EXPECT_EQ(cached.stats().cache_hits, 0u);
+  EXPECT_EQ(cache_.entries(), 0u);
+}
+
+}  // namespace
+}  // namespace dwc

@@ -1,0 +1,129 @@
+#include "algebra/subplan_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "relational/relation.h"
+#include "testing/test_util.h"
+
+namespace dwc {
+namespace {
+
+using ::dwc::testing::I;
+using ::dwc::testing::T;
+
+std::shared_ptr<const Relation> MakeRel(int tuples) {
+  auto rel = std::make_shared<Relation>(
+      Schema({{"a", ValueType::kInt}}));
+  for (int i = 0; i < tuples; ++i) {
+    rel->Insert(T({I(i)}));
+  }
+  return rel;
+}
+
+TEST(SubplanCacheTest, MissThenHitThenStale) {
+  SubplanCache cache;
+  cache.set_budget(100);
+  SubplanCache::Snapshot snapshot = {{7, 0}, {9, 3}};
+
+  EXPECT_FALSE(cache.Lookup(1, snapshot).has_value());
+  EXPECT_EQ(cache.Insert(1, 42, snapshot, MakeRel(5)), 0u);
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_EQ(cache.cached_tuples(), 5u);
+
+  auto hit = cache.Lookup(1, snapshot);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->producer_id, 42u);
+  EXPECT_EQ(hit->rel->size(), 5u);
+
+  // A bumped input version makes the entry stale; the failed lookup also
+  // drops it.
+  SubplanCache::Snapshot bumped = {{7, 0}, {9, 4}};
+  EXPECT_FALSE(cache.Lookup(1, bumped).has_value());
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(SubplanCacheTest, FreshUidIsNotTheOldRelation) {
+  // Same versions, different uid (a reconstructed/copied relation): miss.
+  SubplanCache cache;
+  cache.set_budget(100);
+  cache.Insert(1, 1, {{7, 0}}, MakeRel(1));
+  EXPECT_FALSE(cache.Lookup(1, {{8, 0}}).has_value());
+}
+
+TEST(SubplanCacheTest, ZeroBudgetDisables) {
+  SubplanCache cache;
+  EXPECT_EQ(cache.Insert(1, 1, {{7, 0}}, MakeRel(1)), 0u);
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_FALSE(cache.Lookup(1, {{7, 0}}).has_value());
+}
+
+TEST(SubplanCacheTest, SettingBudgetToZeroClears) {
+  SubplanCache cache;
+  cache.set_budget(100);
+  cache.Insert(1, 1, {{7, 0}}, MakeRel(5));
+  cache.set_budget(0);
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.cached_tuples(), 0u);
+}
+
+TEST(SubplanCacheTest, OversizedEntryIsNeverStored) {
+  SubplanCache cache;
+  cache.set_budget(3);
+  EXPECT_EQ(cache.Insert(1, 1, {{7, 0}}, MakeRel(4)), 0u);
+  EXPECT_EQ(cache.entries(), 0u);
+}
+
+TEST(SubplanCacheTest, LruEvictionUnderPressure) {
+  SubplanCache cache;
+  cache.set_budget(10);
+  cache.Insert(1, 1, {{7, 0}}, MakeRel(4));
+  cache.Insert(2, 2, {{7, 0}}, MakeRel(4));
+  // Touch cid 1 so cid 2 is the LRU victim.
+  ASSERT_TRUE(cache.Lookup(1, {{7, 0}}).has_value());
+  EXPECT_EQ(cache.Insert(3, 3, {{7, 0}}, MakeRel(4)), 1u);
+  EXPECT_TRUE(cache.Lookup(1, {{7, 0}}).has_value());
+  EXPECT_FALSE(cache.Lookup(2, {{7, 0}}).has_value());
+  EXPECT_TRUE(cache.Lookup(3, {{7, 0}}).has_value());
+  EXPECT_LE(cache.cached_tuples(), 10u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(SubplanCacheTest, ShrinkingBudgetEvicts) {
+  SubplanCache cache;
+  cache.set_budget(10);
+  cache.Insert(1, 1, {{7, 0}}, MakeRel(4));
+  cache.Insert(2, 2, {{7, 0}}, MakeRel(4));
+  cache.set_budget(4);
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_LE(cache.cached_tuples(), 4u);
+}
+
+TEST(SubplanCacheTest, SameCidInsertReplaces) {
+  SubplanCache cache;
+  cache.set_budget(100);
+  cache.Insert(1, 1, {{7, 0}}, MakeRel(5));
+  cache.Insert(1, 1, {{7, 1}}, MakeRel(2));
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_EQ(cache.cached_tuples(), 2u);
+  auto hit = cache.Lookup(1, {{7, 1}});
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->rel->size(), 2u);
+}
+
+TEST(SubplanCacheTest, ClearDropsEverythingButKeepsStats) {
+  SubplanCache cache;
+  cache.set_budget(100);
+  cache.Insert(1, 1, {{7, 0}}, MakeRel(5));
+  ASSERT_TRUE(cache.Lookup(1, {{7, 0}}).has_value());
+  cache.Clear();
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.cached_tuples(), 0u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+}  // namespace
+}  // namespace dwc

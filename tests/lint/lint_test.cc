@@ -174,6 +174,18 @@ const LintCase kLintCases[] = {
      "CREATE TABLE Unused(x INT, KEY(x));\n"
      "VIEW V AS R;",
      "DWC-N002", LintSeverity::kNote, 2, 1},
+    {"canonical_duplicate_commuted_join",
+     "CREATE TABLE R(a INT, KEY(a));\n"
+     "CREATE TABLE S(a INT, b INT, KEY(a));\n"
+     "VIEW V AS R JOIN S;\n"
+     "VIEW W AS S JOIN R;",
+     "DWC-N003", LintSeverity::kNote, 4, 1},
+    {"canonical_subexpression_of_other_view",
+     "CREATE TABLE R(a INT, b INT, KEY(a));\n"
+     "CREATE TABLE S(a INT, c INT, KEY(a));\n"
+     "VIEW Small AS SELECT[b > 0](R);\n"
+     "VIEW Big AS SELECT[b > 0](R) JOIN S;",
+     "DWC-N004", LintSeverity::kNote, 3, 1},
 };
 
 INSTANTIATE_TEST_SUITE_P(Cases, LintTableTest, ::testing::ValuesIn(kLintCases),

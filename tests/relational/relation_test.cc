@@ -173,5 +173,72 @@ TEST(SchemaTest, SameAttrsAsIgnoresOrderButNotTypes) {
   EXPECT_EQ(ab.ToString(), "(a INT, b STRING)");
 }
 
+TEST(SchemaTest, IndexOfOnWideSchemaAndAfterCopies) {
+  // Regression for the name→index map built at construction: every
+  // position resolves on a wide schema, and the map survives copies and
+  // moves (it is shared, not rebuilt or dangling).
+  std::vector<Attribute> attrs;
+  for (int i = 0; i < 64; ++i) {
+    attrs.push_back(Attribute{"col" + std::to_string(i), ValueType::kInt});
+  }
+  Result<Schema> wide = Schema::Create(attrs);
+  DWC_ASSERT_OK(wide);
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    EXPECT_EQ(wide->IndexOf(attrs[i].name), i);
+  }
+  Schema copy = *wide;
+  Schema moved = std::move(*wide);
+  EXPECT_EQ(copy.IndexOf("col63"), 63u);
+  EXPECT_EQ(moved.IndexOf("col0"), 0u);
+  EXPECT_FALSE(moved.IndexOf("col64").has_value());
+  // Default-constructed schema has no attributes and no lookups.
+  EXPECT_FALSE(Schema().IndexOf("col0").has_value());
+}
+
+TEST(RelationTest, VersionBumpsOnEffectiveMutationsOnly) {
+  Relation rel(AbSchema());
+  const uint64_t v0 = rel.version();
+  EXPECT_TRUE(rel.Insert(T({I(1), S("x")})));
+  EXPECT_GT(rel.version(), v0);
+  const uint64_t v1 = rel.version();
+  EXPECT_FALSE(rel.Insert(T({I(1), S("x")})));  // Duplicate: no-op.
+  EXPECT_EQ(rel.version(), v1);
+  EXPECT_FALSE(rel.Erase(T({I(2), S("x")})));  // Absent: no-op.
+  EXPECT_EQ(rel.version(), v1);
+  EXPECT_TRUE(rel.Erase(T({I(1), S("x")})));
+  EXPECT_GT(rel.version(), v1);
+  const uint64_t v2 = rel.version();
+  rel.Clear();  // Already empty: no-op.
+  EXPECT_EQ(rel.version(), v2);
+  rel.Insert(T({I(3), S("y")}));
+  rel.Clear();
+  EXPECT_GT(rel.version(), v2);
+}
+
+TEST(RelationTest, UidsAreFreshPerObjectAndStableAcrossMutations) {
+  Relation a(AbSchema());
+  Relation b(AbSchema());
+  EXPECT_NE(a.uid(), b.uid());
+  const uint64_t a_uid = a.uid();
+  a.Insert(T({I(1), S("x")}));
+  EXPECT_EQ(a.uid(), a_uid);  // Mutations bump version, never uid.
+
+  // Copies are new identities: a (uid, version) snapshot taken against the
+  // original can never match the copy.
+  Relation copy = a;
+  EXPECT_NE(copy.uid(), a.uid());
+
+  // Assignment replaces content: the target's version must move.
+  Relation assigned(AbSchema());
+  const uint64_t assigned_v0 = assigned.version();
+  assigned = a;
+  EXPECT_GT(assigned.version(), assigned_v0);
+
+  // Moving from a relation invalidates snapshots of the moved-from object.
+  const uint64_t a_version = a.version();
+  Relation moved = std::move(a);
+  EXPECT_GT(a.version(), a_version);  // NOLINT(bugprone-use-after-move)
+}
+
 }  // namespace
 }  // namespace dwc
