@@ -2,6 +2,7 @@
 #define DWC_ALGEBRA_ENVIRONMENT_H_
 
 #include <map>
+#include <set>
 #include <string>
 
 #include "relational/database.h"
@@ -47,8 +48,18 @@ class Environment {
     return bindings_;
   }
 
+  // Tags `name` as source-provided data: a binding the warehouse had to
+  // pull from a source rather than find in its own store. The evaluator
+  // counts resolutions of tagged names in EvalStats::source_reads, which
+  // is how SELF-maintainability certificates are checked dynamically.
+  void MarkSource(const std::string& name) { source_names_.insert(name); }
+  bool IsSourceBinding(const std::string& name) const {
+    return source_names_.count(name) > 0;
+  }
+
  private:
   std::map<std::string, const Relation*> bindings_;
+  std::set<std::string> source_names_;
 };
 
 }  // namespace dwc

@@ -173,6 +173,7 @@ void EvalStats::MergeFrom(const EvalStats& other) {
   cache_hits += other.cache_hits;
   cache_misses += other.cache_misses;
   cache_evictions += other.cache_evictions;
+  source_reads += other.source_reads;
 }
 
 std::string EvalStats::ToString() const {
@@ -181,7 +182,8 @@ std::string EvalStats::ToString() const {
                 pushdown_differences, "), index_probes=", index_probes,
                 ", parallel_kernels=", parallel_kernels,
                 ", cache=", cache_hits, "/", cache_hits + cache_misses,
-                " hits (", cache_evictions, " evictions)");
+                " hits (", cache_evictions, " evictions), source_reads=",
+                source_reads);
 }
 
 bool Evaluator::WorthPushdown(size_t actual, size_t estimate) const {
@@ -528,6 +530,9 @@ Result<Evaluator::EvalOut> Evaluator::EvalNode(const Expr& expr) {
         return Status::NotFound(
             StrCat("relation '", expr.base_name(), "' is not bound"));
       }
+      if (env_->IsSourceBinding(expr.base_name())) {
+        ++stats_.source_reads;
+      }
       return EvalOut{Alias(rel), /*stable=*/true};
     }
     case Expr::Kind::kEmpty:
@@ -544,6 +549,9 @@ Result<Evaluator::EvalOut> Evaluator::EvalNode(const Expr& expr) {
           CollectEqualityConjuncts(*expr.predicate(), rel->schema(),
                                    &eq_attrs, &eq_values);
           if (!eq_attrs.empty()) {
+            if (env_->IsSourceBinding(expr.child()->base_name())) {
+              ++stats_.source_reads;
+            }
             const Relation::Index& index = rel->GetIndex(eq_attrs);
             ++stats_.index_probes;
             Relation out(rel->schema());
@@ -744,6 +752,9 @@ Result<Evaluator::EvalOut> Evaluator::EvalWithFilter(const Expr& expr,
       if (rel == nullptr) {
         return Status::NotFound(
             StrCat("relation '", expr.base_name(), "' is not bound"));
+      }
+      if (env_->IsSourceBinding(expr.base_name())) {
+        ++stats_.source_reads;
       }
       // Probe the (cached) index with every key.
       const Relation::Index& index = rel->GetIndex(filter.attrs);

@@ -80,6 +80,10 @@ struct EvalStats {
   size_t cache_hits = 0;
   size_t cache_misses = 0;
   size_t cache_evictions = 0;
+  // Resolutions of environment bindings tagged with MarkSource — data the
+  // warehouse pulled from a source. Zero on a SELF/COMPLEMENT-certified
+  // integration; the warehouse's certificate cross-check asserts this.
+  size_t source_reads = 0;
 
   // Accumulates `other` into this (all counters add). The warehouse uses
   // this to fold the per-task evaluator stats of a parallel refresh into

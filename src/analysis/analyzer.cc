@@ -1,0 +1,43 @@
+#include "analysis/analyzer.h"
+
+#include <utility>
+
+namespace dwc {
+
+bool IsClaimedComplementName(const std::string& name) {
+  const std::string& prefix = ComplementOptions().name_prefix;
+  return name.size() > prefix.size() &&
+         name.compare(0, prefix.size(), prefix) == 0;
+}
+
+AnalysisResult AnalyzeWarehouse(const AnalysisInput& input) {
+  AnalysisResult result;
+  for (const ViewDef& view : input.views) {
+    if (IsClaimedComplementName(view.name)) {
+      result.claimed_complements.push_back(view);
+    } else {
+      result.user_views.push_back(view);
+    }
+  }
+
+  if (input.catalog == nullptr) {
+    result.spec_error = "no catalog";
+    return result;
+  }
+
+  result.invertibility = CheckInvertibility(
+      *input.catalog, result.user_views, result.claimed_complements);
+
+  Result<WarehouseSpec> spec =
+      SpecifyWarehouse(input.catalog, result.user_views);
+  if (!spec.ok()) {
+    result.spec_error = std::string(spec.status().message());
+    return result;
+  }
+  result.spec.emplace(std::move(*spec));
+  result.selfmaint = AnalyzeSelfMaintenance(*result.spec);
+  result.usage = AnalyzeComplementUsage(*result.spec, input.queries);
+  return result;
+}
+
+}  // namespace dwc

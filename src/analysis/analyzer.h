@@ -1,0 +1,55 @@
+#ifndef DWC_ANALYSIS_ANALYZER_H_
+#define DWC_ANALYSIS_ANALYZER_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "algebra/expr.h"
+#include "algebra/view.h"
+#include "analysis/demand.h"
+#include "analysis/invertibility.h"
+#include "analysis/selfmaint.h"
+#include "core/warehouse_spec.h"
+#include "relational/catalog.h"
+
+namespace dwc {
+
+// By the ComplementOptions::name_prefix convention, a view named
+// "C_<base>" is a *claimed complement*: the script asserts it is the
+// residual store making base reconstruction possible. The analyzer checks
+// the claim instead of trusting it.
+bool IsClaimedComplementName(const std::string& name);
+
+// One warehouse script's worth of semantic-analysis input.
+struct AnalysisInput {
+  std::shared_ptr<const Catalog> catalog;
+  // All views, claimed complements included; the analyzer partitions them.
+  std::vector<ViewDef> views;
+  // QUERY statements (expressions over base relation names).
+  std::vector<ExprRef> queries;
+};
+
+// Everything the three verdict engines derive for one input. `spec` is
+// empty when the user views are not a valid PSJ warehouse (the reason is
+// in `spec_error`); invertibility checking still runs in that case.
+struct AnalysisResult {
+  std::vector<ViewDef> user_views;
+  std::vector<ViewDef> claimed_complements;
+
+  std::optional<WarehouseSpec> spec;
+  std::string spec_error;
+
+  SelfMaintReport selfmaint;
+  InvertibilityReport invertibility;
+  ComplementUsageReport usage;
+};
+
+// Runs the full semantic analysis. Never fails: engines that cannot run
+// report degraded verdicts with the reason recorded.
+AnalysisResult AnalyzeWarehouse(const AnalysisInput& input);
+
+}  // namespace dwc
+
+#endif  // DWC_ANALYSIS_ANALYZER_H_

@@ -1,0 +1,178 @@
+#include "analysis/demand.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "algebra/predicate.h"
+#include "algebra/rewriter.h"
+#include "maintenance/plan.h"
+#include "util/string_util.h"
+
+namespace dwc {
+
+namespace {
+
+// Demanded attributes flowing top-down. `all` means "every column" without
+// needing the node's schema (joins, unions and differences consume their
+// operands whole; only a projection narrows demand).
+struct DemandState {
+  std::map<std::string, AttrSet> partial;
+  std::set<std::string> full;
+};
+
+void Walk(const ExprRef& expr, bool all, const AttrSet& attrs,
+          DemandState* state) {
+  if (expr == nullptr) {
+    return;
+  }
+  switch (expr->kind()) {
+    case Expr::Kind::kBase:
+      if (all) {
+        state->full.insert(expr->base_name());
+      } else {
+        state->partial[expr->base_name()].insert(attrs.begin(), attrs.end());
+      }
+      return;
+    case Expr::Kind::kEmpty:
+      return;
+    case Expr::Kind::kSelect: {
+      if (all) {
+        Walk(expr->child(), true, {}, state);
+        return;
+      }
+      AttrSet needed = attrs;
+      AttrSet pred = expr->predicate()->Attributes();
+      needed.insert(pred.begin(), pred.end());
+      Walk(expr->child(), false, needed, state);
+      return;
+    }
+    case Expr::Kind::kProject: {
+      // The projection reads exactly its attribute list, however much of
+      // its own output is demanded.
+      AttrSet kept(expr->attrs().begin(), expr->attrs().end());
+      Walk(expr->child(), false, kept, state);
+      return;
+    }
+    case Expr::Kind::kUnion:
+      // Union-compatible branches: project[A](L ∪ R) = project[A](L) ∪
+      // project[A](R), so demand passes through exactly. This is what lets
+      // a narrow query see through the union-shaped inverses W⁻¹.
+      Walk(expr->left(), all, attrs, state);
+      Walk(expr->right(), all, attrs, state);
+      return;
+    case Expr::Kind::kJoin:
+    case Expr::Kind::kDifference:
+      // A join needs the join attributes even when they are not demanded
+      // above, and a difference compares full tuples: consume both operands
+      // whole (sound, coarse).
+      Walk(expr->left(), true, {}, state);
+      Walk(expr->right(), true, {}, state);
+      return;
+    case Expr::Kind::kRename: {
+      if (all) {
+        Walk(expr->child(), true, {}, state);
+        return;
+      }
+      // Incoming names are post-rename; map back to the child's names.
+      std::map<std::string, std::string> back;
+      for (const auto& [from, to] : expr->renames()) {
+        back.emplace(to, from);
+      }
+      AttrSet needed;
+      for (const std::string& attr : attrs) {
+        auto it = back.find(attr);
+        needed.insert(it == back.end() ? attr : it->second);
+      }
+      Walk(expr->child(), false, needed, state);
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string ComplementUsageReport::ToString() const {
+  std::string out;
+  for (const auto& [name, attrs] : demanded) {
+    out += StrCat(name, ": reads {", Join(attrs, ", "), "}");
+    auto dead = dead_columns.find(name);
+    if (dead != dead_columns.end()) {
+      out += StrCat(", dead {", Join(dead->second, ", "), "}");
+    }
+    out += "\n";
+  }
+  for (const std::string& name : dead_relations) {
+    out += StrCat(name, ": never read\n");
+  }
+  return out;
+}
+
+ComplementUsageReport AnalyzeComplementUsage(
+    const WarehouseSpec& spec, const std::vector<ExprRef>& queries) {
+  ComplementUsageReport report;
+  if (spec.complements().empty()) {
+    return report;
+  }
+
+  std::set<std::string> view_names;
+  for (const ViewDef& view : spec.views()) {
+    view_names.insert(view.name);
+  }
+
+  DemandState state;
+  Result<MaintenancePlan> plan = DeriveMaintenancePlan(spec);
+  if (!plan.ok()) {
+    // Without a plan there is no sound demand set; claim everything is
+    // read so no complement is flagged spuriously.
+    for (const ViewDef& complement : spec.complements()) {
+      state.full.insert(complement.name);
+    }
+  } else {
+    for (const auto& [relation, per_base] : plan->entries()) {
+      if (view_names.count(relation) == 0) {
+        continue;  // Complement self-upkeep is not a reason to keep it.
+      }
+      for (const auto& [base, pair] : per_base) {
+        Walk(pair.plus, true, {}, &state);
+        Walk(pair.minus, true, {}, &state);
+      }
+    }
+  }
+  for (const ExprRef& query : queries) {
+    if (query == nullptr) {
+      continue;
+    }
+    Walk(SubstituteNames(query, spec.inverses()), true, {}, &state);
+  }
+
+  for (const ViewDef& complement : spec.complements()) {
+    const Schema* schema = spec.FindWarehouseSchema(complement.name);
+    AttrSet columns = schema != nullptr ? schema->attr_names() : AttrSet{};
+
+    AttrSet demanded;
+    if (state.full.count(complement.name) > 0) {
+      demanded = columns;
+    } else {
+      auto it = state.partial.find(complement.name);
+      if (it != state.partial.end()) {
+        std::set_intersection(it->second.begin(), it->second.end(),
+                              columns.begin(), columns.end(),
+                              std::inserter(demanded, demanded.begin()));
+      }
+    }
+    if (demanded.empty()) {
+      report.dead_relations.push_back(complement.name);
+      continue;
+    }
+    AttrSet dead;
+    std::set_difference(columns.begin(), columns.end(), demanded.begin(),
+                        demanded.end(), std::inserter(dead, dead.begin()));
+    report.demanded[complement.name] = std::move(demanded);
+    if (!dead.empty()) {
+      report.dead_columns[complement.name] = std::move(dead);
+    }
+  }
+  return report;
+}
+
+}  // namespace dwc

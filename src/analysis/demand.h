@@ -1,0 +1,44 @@
+#ifndef DWC_ANALYSIS_DEMAND_H_
+#define DWC_ANALYSIS_DEMAND_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "algebra/expr.h"
+#include "core/warehouse_spec.h"
+#include "relational/schema.h"
+
+namespace dwc {
+
+// Which complement relations (and which of their columns) any consumer can
+// ever read. Consumers are the maintenance expressions of the *user* views
+// (complement self-upkeep does not count — a complement reading itself is
+// not a reason to keep it) and warehouse queries translated through W⁻¹.
+// A complement column nothing demands is dead weight; a complement relation
+// nothing demands at all is an over-complement: the views are maintainable
+// and queryable without it — the Section 4 closing remark (selection-only
+// views need no complement) is the canonical way this arises.
+struct ComplementUsageReport {
+  // Complement relation -> columns some consumer reads.
+  std::map<std::string, AttrSet> demanded;
+  // Complement relation -> columns *no* consumer reads (only relations
+  // with at least one dead column and at least one live one appear; fully
+  // dead relations are listed below instead).
+  std::map<std::string, AttrSet> dead_columns;
+  // Complement relations with no consumer at all.
+  std::vector<std::string> dead_relations;
+
+  std::string ToString() const;
+};
+
+// Runs the top-down demanded-attributes analysis over the spec's
+// maintenance plan and the given warehouse queries (expressions over base
+// relation names, translated through the spec's inverses before analysis).
+ComplementUsageReport AnalyzeComplementUsage(
+    const WarehouseSpec& spec, const std::vector<ExprRef>& queries);
+
+}  // namespace dwc
+
+#endif  // DWC_ANALYSIS_DEMAND_H_

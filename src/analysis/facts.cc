@@ -1,0 +1,303 @@
+#include "analysis/facts.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/string_util.h"
+
+namespace dwc {
+
+namespace {
+
+AttrSet Intersect(const AttrSet& a, const AttrSet& b) {
+  AttrSet out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::inserter(out, out.begin()));
+  return out;
+}
+
+bool Contains(const AttrSet& big, const AttrSet& small) {
+  return std::includes(big.begin(), big.end(), small.begin(), small.end());
+}
+
+void MergeDropped(const std::map<std::string, AttrSet>& from,
+                  std::map<std::string, AttrSet>* into) {
+  for (const auto& [base, attrs] : from) {
+    (*into)[base].insert(attrs.begin(), attrs.end());
+  }
+}
+
+AttrSet RenameAttrSet(const AttrSet& attrs,
+                      const std::map<std::string, std::string>& renames) {
+  AttrSet out;
+  for (const std::string& attr : attrs) {
+    auto it = renames.find(attr);
+    out.insert(it == renames.end() ? attr : it->second);
+  }
+  return out;
+}
+
+void AddKey(AttrSet key, std::set<AttrSet>* keys) {
+  if (keys->size() < DataflowAnalyzer::kMaxKeysPerNode) {
+    keys->insert(std::move(key));
+  }
+}
+
+}  // namespace
+
+std::string NodeFacts::ToString() const {
+  std::string out = StrCat("attrs={", Join(attrs, ", "), "}");
+  for (const auto& [base, visible] : provenance) {
+    out += StrCat(" ", base, "->{", Join(visible, ", "), "}");
+  }
+  for (const AttrSet& key : keys) {
+    out += StrCat(" key{", Join(key, ", "), "}");
+  }
+  if (!total_bases.empty()) {
+    out += StrCat(" total{", Join(total_bases, ", "), "}");
+  }
+  if (!sources.empty()) {
+    out += StrCat(" reads{", Join(sources, ", "), "}");
+  }
+  return out;
+}
+
+const NodeFacts& DataflowAnalyzer::Analyze(const ExprRef& expr) {
+  auto it = memo_.find(expr.get());
+  if (it != memo_.end()) {
+    return it->second;
+  }
+  NodeFacts facts = Compute(expr);
+  return memo_.emplace(expr.get(), std::move(facts)).first->second;
+}
+
+NodeFacts DataflowAnalyzer::ComputeBase(const std::string& name) {
+  NodeFacts facts;
+  const Schema* schema = catalog_->FindSchema(name);
+  if (schema == nullptr) {
+    // A name the catalog does not know (a view reference, a delta binding,
+    // an interned warehouse relation): no attribute-level facts, and no
+    // delta provenance — only catalog bases can receive source updates.
+    return facts;
+  }
+  facts.attrs = schema->attr_names();
+  facts.provenance[name] = facts.attrs;
+  // Set semantics: the full attribute set trivially determines the tuple.
+  AddKey(facts.attrs, &facts.keys);
+  if (std::optional<KeyConstraint> key = catalog_->FindKey(name)) {
+    AddKey(key->attrs, &facts.keys);
+  }
+  facts.total_bases.insert(name);
+  facts.sources.insert(name);
+  return facts;
+}
+
+NodeFacts DataflowAnalyzer::ComputeJoin(const NodeFacts& left,
+                                        const NodeFacts& right) {
+  NodeFacts facts;
+  facts.attrs = left.attrs;
+  facts.attrs.insert(right.attrs.begin(), right.attrs.end());
+  AttrSet common = Intersect(left.attrs, right.attrs);
+
+  facts.provenance = left.provenance;
+  for (const auto& [base, attrs] : right.provenance) {
+    facts.provenance[base].insert(attrs.begin(), attrs.end());
+  }
+
+  // FD closure through the natural join: k_l ∪ k_r always keys the output;
+  // k_l alone does when the join attributes contain a key of the right
+  // operand (each left tuple then matches at most one right tuple), and
+  // symmetrically.
+  bool right_keyed_by_common = false;
+  for (const AttrSet& key : right.keys) {
+    right_keyed_by_common = right_keyed_by_common || Contains(common, key);
+  }
+  bool left_keyed_by_common = false;
+  for (const AttrSet& key : left.keys) {
+    left_keyed_by_common = left_keyed_by_common || Contains(common, key);
+  }
+  for (const AttrSet& kl : left.keys) {
+    if (right_keyed_by_common) {
+      AddKey(kl, &facts.keys);
+    }
+    for (const AttrSet& kr : right.keys) {
+      AttrSet both = kl;
+      both.insert(kr.begin(), kr.end());
+      AddKey(std::move(both), &facts.keys);
+    }
+  }
+  if (left_keyed_by_common) {
+    for (const AttrSet& kr : right.keys) {
+      AddKey(kr, &facts.keys);
+    }
+  }
+
+  // Referential integrity makes a join total (Example 2.3): a base b total
+  // on one side stays total when an inclusion dependency guarantees every
+  // one of its tuples finds a partner — the join attributes sit inside a
+  // common-attribute IND from b into a base the other side is total on.
+  auto total_through = [this, &common](const std::string& base,
+                                       const NodeFacts& self,
+                                       const NodeFacts& other) {
+    if (common.empty()) {
+      return !other.attrs.empty() || !other.total_bases.empty();
+    }
+    auto prov = self.provenance.find(base);
+    if (prov == self.provenance.end() || !Contains(prov->second, common)) {
+      return false;
+    }
+    for (const InclusionDependency& ind : catalog_->inclusions()) {
+      if (!ind.IsCommonAttrForm() || ind.lhs_relation != base) {
+        continue;
+      }
+      AttrSet lhs(ind.lhs_attrs.begin(), ind.lhs_attrs.end());
+      if (!Contains(lhs, common)) {
+        continue;
+      }
+      if (other.total_bases.count(ind.rhs_relation) == 0) {
+        continue;
+      }
+      auto other_prov = other.provenance.find(ind.rhs_relation);
+      if (other_prov != other.provenance.end() &&
+          Contains(other_prov->second, common)) {
+        return true;
+      }
+    }
+    return false;
+  };
+  for (const std::string& base : left.total_bases) {
+    if (total_through(base, left, right)) {
+      facts.total_bases.insert(base);
+    }
+  }
+  for (const std::string& base : right.total_bases) {
+    if (total_through(base, right, left)) {
+      facts.total_bases.insert(base);
+    }
+  }
+
+  facts.sources = left.sources;
+  facts.sources.insert(right.sources.begin(), right.sources.end());
+  facts.dropped = left.dropped;
+  MergeDropped(right.dropped, &facts.dropped);
+  return facts;
+}
+
+NodeFacts DataflowAnalyzer::Compute(const ExprRef& expr) {
+  switch (expr->kind()) {
+    case Expr::Kind::kBase:
+      return ComputeBase(expr->base_name());
+    case Expr::Kind::kEmpty: {
+      NodeFacts facts;
+      facts.attrs = expr->empty_schema().attr_names();
+      AddKey(facts.attrs, &facts.keys);
+      return facts;
+    }
+    case Expr::Kind::kSelect: {
+      NodeFacts facts = Analyze(expr->child());
+      // A selection can drop any subset of tuples: totality is gone, but
+      // visibility, keys and provenance carry over unchanged.
+      facts.total_bases.clear();
+      return facts;
+    }
+    case Expr::Kind::kProject: {
+      const NodeFacts& child = Analyze(expr->child());
+      NodeFacts facts;
+      AttrSet kept(expr->attrs().begin(), expr->attrs().end());
+      facts.attrs = Intersect(kept, child.attrs);
+      if (child.attrs.empty()) {
+        facts.attrs = kept;  // Child unknown; trust the projection list.
+      }
+      for (const auto& [base, attrs] : child.provenance) {
+        AttrSet visible = Intersect(attrs, facts.attrs);
+        AttrSet lost;
+        std::set_difference(attrs.begin(), attrs.end(), facts.attrs.begin(),
+                            facts.attrs.end(),
+                            std::inserter(lost, lost.begin()));
+        if (!visible.empty()) {
+          facts.provenance[base] = std::move(visible);
+        }
+        if (!lost.empty()) {
+          facts.dropped[base].insert(lost.begin(), lost.end());
+        }
+      }
+      for (const AttrSet& key : child.keys) {
+        if (Contains(facts.attrs, key)) {
+          AddKey(key, &facts.keys);
+        }
+      }
+      AddKey(facts.attrs, &facts.keys);
+      facts.total_bases = child.total_bases;
+      facts.sources = child.sources;
+      MergeDropped(child.dropped, &facts.dropped);
+      return facts;
+    }
+    case Expr::Kind::kJoin:
+      return ComputeJoin(Analyze(expr->left()), Analyze(expr->right()));
+    case Expr::Kind::kUnion: {
+      const NodeFacts& left = Analyze(expr->left());
+      const NodeFacts& right = Analyze(expr->right());
+      NodeFacts facts;
+      facts.attrs = left.attrs;
+      facts.attrs.insert(right.attrs.begin(), right.attrs.end());
+      // An output tuple may descend from either branch, so an attribute is
+      // reliably b-sourced only when both branches agree.
+      for (const auto& [base, attrs] : left.provenance) {
+        auto it = right.provenance.find(base);
+        if (it == right.provenance.end()) {
+          continue;
+        }
+        AttrSet both = Intersect(attrs, it->second);
+        if (!both.empty()) {
+          facts.provenance[base] = std::move(both);
+        }
+      }
+      AddKey(facts.attrs, &facts.keys);
+      facts.total_bases = left.total_bases;
+      facts.total_bases.insert(right.total_bases.begin(),
+                               right.total_bases.end());
+      facts.sources = left.sources;
+      facts.sources.insert(right.sources.begin(), right.sources.end());
+      facts.dropped = left.dropped;
+      MergeDropped(right.dropped, &facts.dropped);
+      return facts;
+    }
+    case Expr::Kind::kDifference: {
+      const NodeFacts& left = Analyze(expr->left());
+      const NodeFacts& right = Analyze(expr->right());
+      NodeFacts facts = left;
+      // The subtrahend can remove any subset: totality is lost; the output
+      // is a subset of the left operand, so keys and provenance survive.
+      facts.total_bases.clear();
+      facts.sources.insert(right.sources.begin(), right.sources.end());
+      MergeDropped(right.dropped, &facts.dropped);
+      return facts;
+    }
+    case Expr::Kind::kRename: {
+      const NodeFacts& child = Analyze(expr->child());
+      const std::map<std::string, std::string>& renames = expr->renames();
+      NodeFacts facts;
+      facts.attrs = RenameAttrSet(child.attrs, renames);
+      for (const auto& [base, attrs] : child.provenance) {
+        facts.provenance[base] = RenameAttrSet(attrs, renames);
+      }
+      for (const AttrSet& key : child.keys) {
+        AddKey(RenameAttrSet(key, renames), &facts.keys);
+      }
+      facts.total_bases = child.total_bases;
+      facts.sources = child.sources;
+      for (const auto& [base, attrs] : child.dropped) {
+        facts.dropped[base] = attrs;  // Dropped attrs keep original names.
+      }
+      return facts;
+    }
+  }
+  return NodeFacts();
+}
+
+NodeFacts AnalyzeFacts(const ExprRef& expr, const Catalog& catalog) {
+  DataflowAnalyzer analyzer(&catalog);
+  return analyzer.Analyze(expr);
+}
+
+}  // namespace dwc

@@ -1,0 +1,101 @@
+#ifndef DWC_ANALYSIS_FACTS_H_
+#define DWC_ANALYSIS_FACTS_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "algebra/expr.h"
+#include "relational/catalog.h"
+#include "relational/schema.h"
+
+namespace dwc {
+
+// The attribute-level fact lattice the semantic analyzer propagates over
+// the (hash-consed) algebra DAG, one abstract value per node. Every
+// component is a *sound* approximation: facts claim only what holds on
+// every database state satisfying the catalog's keys and inclusion
+// dependencies.
+//
+// The lattice order is componentwise: fewer exposed attributes, fewer
+// candidate keys, fewer total bases, more sources. A single bottom-up pass
+// over the DAG reaches the (least) fixpoint because expressions are acyclic
+// and every transfer function below is monotone in its inputs; DESIGN.md
+// §11 spells out the rules.
+struct NodeFacts {
+  // Output attribute names of the node (the abstract "schema"; types live
+  // in schema inference, which the analyzer reuses for validation only).
+  AttrSet attrs;
+
+  // Per referenced base relation b: the attributes of b still visible in
+  // this node's output, under their current (post-rename) names. An entry
+  // means: whenever an output tuple descends from a tuple t of b, the
+  // listed output attributes carry the corresponding values of t. Bases
+  // reachable only through one branch of a union are dropped (their values
+  // are not reliably b-sourced).
+  std::map<std::string, AttrSet> provenance;
+
+  // Candidate keys: attribute sets that functionally determine the whole
+  // output tuple. Propagated through select (unchanged), project (keys
+  // fully inside the projection survive), and join (the FD closure rule:
+  // k_l alone suffices when the join attributes contain a key of the right
+  // side, and symmetrically; k_l ∪ k_r always works). Bounded by
+  // kMaxKeysPerNode; dropping keys is sound (the lattice only loses
+  // precision).
+  std::set<AttrSet> keys;
+
+  // Bases b such that the node provably retains (an image of) *every*
+  // tuple of b: base nodes are total on themselves, selections lose
+  // totality, joins preserve it when referential integrity (an inclusion
+  // dependency into a base the other side is total on) makes the join
+  // total — the Example 2.3/2.4 reasoning, lifted to a dataflow fact.
+  std::set<std::string> total_bases;
+
+  // Delta provenance: every base relation this node transitively reads.
+  // An update to a base outside this set can never change the node's
+  // value — the fact the self-maintainability verdicts start from.
+  std::set<std::string> sources;
+
+  // Attributes of each base dropped by projections somewhere below this
+  // node (the "lossy" part of the lattice): base -> attributes of that
+  // base that were visible below a projection but are not in its output.
+  std::map<std::string, AttrSet> dropped;
+
+  std::string ToString() const;
+};
+
+// Bottom-up abstract interpreter over expression trees/DAGs. Facts are
+// memoized per node identity, so on hash-consed expressions (see
+// algebra/interner.h) shared subplans are analyzed exactly once and the
+// whole pass is a single traversal of the DAG.
+class DataflowAnalyzer {
+ public:
+  // Keys/INDs and base schemas come from `catalog`, which must outlive the
+  // analyzer. Names not in the catalog (e.g. "ins:R"/"del:R" delta
+  // bindings, view references) get empty facts: sound, no assumptions.
+  explicit DataflowAnalyzer(const Catalog* catalog)
+      : catalog_(catalog) {}
+
+  // Facts for `expr` (computed on demand, memoized). The reference stays
+  // valid for the analyzer's lifetime.
+  const NodeFacts& Analyze(const ExprRef& expr);
+
+  // Cap on |keys| per node; derived keys beyond it are dropped (sound).
+  static constexpr size_t kMaxKeysPerNode = 16;
+
+ private:
+  NodeFacts Compute(const ExprRef& expr);
+  NodeFacts ComputeBase(const std::string& name);
+  NodeFacts ComputeJoin(const NodeFacts& left, const NodeFacts& right);
+
+  const Catalog* catalog_;
+  std::map<const Expr*, NodeFacts> memo_;
+};
+
+// Convenience for one-shot callers: facts of `expr` under `catalog`.
+NodeFacts AnalyzeFacts(const ExprRef& expr, const Catalog& catalog);
+
+}  // namespace dwc
+
+#endif  // DWC_ANALYSIS_FACTS_H_

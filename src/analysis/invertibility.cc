@@ -1,0 +1,244 @@
+#include "analysis/invertibility.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "algebra/interner.h"
+#include "analysis/facts.h"
+#include "core/complement.h"
+#include "util/string_util.h"
+
+namespace dwc {
+
+namespace {
+
+// Walks the residual spine of a claimed complement: projections, selections
+// and the minuend of differences, down to a base node. Returns the base
+// name, or "" when the expression does not bottom out at one.
+std::string ResidualBase(const ExprRef& expr) {
+  const Expr* node = expr.get();
+  while (node != nullptr) {
+    switch (node->kind()) {
+      case Expr::Kind::kBase:
+        return node->base_name();
+      case Expr::Kind::kSelect:
+      case Expr::Kind::kProject:
+      case Expr::Kind::kRename:
+        node = node->child().get();
+        break;
+      case Expr::Kind::kDifference:
+        node = node->left().get();
+        break;
+      default:
+        return "";
+    }
+  }
+  return "";
+}
+
+bool CanonicallyEqual(const ExprRef& a, const ExprRef& b) {
+  if (a == nullptr || b == nullptr) {
+    return a == b;
+  }
+  ExprInterner interner;
+  const ExprRef ia = interner.Intern(a);
+  const ExprRef ib = interner.Intern(b);
+  return interner.CidOf(ia.get()) == interner.CidOf(ib.get());
+}
+
+std::string DescribeCovers(const BaseComplementInfo& info) {
+  std::vector<std::string> labels;
+  for (const std::vector<std::string>& cover : info.cover_labels) {
+    labels.push_back(StrCat("{", Join(cover, ", "), "}"));
+  }
+  return Join(labels, ", ");
+}
+
+}  // namespace
+
+const char* InvertVerdictName(InvertVerdict verdict) {
+  switch (verdict) {
+    case InvertVerdict::kProven:
+      return "PROVEN";
+    case InvertVerdict::kProvenByConstruction:
+      return "PROVEN-BY-CONSTRUCTION";
+    case InvertVerdict::kNotProven:
+      return "NOT-PROVEN";
+  }
+  return "NOT-PROVEN";
+}
+
+const char* InvertFindingKindName(InvertFindingKind kind) {
+  switch (kind) {
+    case InvertFindingKind::kMissingAttributes:
+      return "missing-attributes";
+    case InvertFindingKind::kNoResidual:
+      return "no-residual";
+    case InvertFindingKind::kUnverifiedSubtraction:
+      return "unverified-subtraction";
+  }
+  return "no-residual";
+}
+
+std::string InvertFinding::ToString() const {
+  std::string out = StrCat(InvertFindingKindName(kind), " on ", base);
+  if (!missing.empty()) {
+    out += StrCat(" (witness: ", Join(missing, ", "), ")");
+  }
+  if (!detail.empty()) {
+    out += StrCat(": ", detail);
+  }
+  return out;
+}
+
+bool InvertibilityReport::AllProven() const {
+  for (const BaseInvertibility& entry : per_base) {
+    if (entry.verdict == InvertVerdict::kNotProven) {
+      return false;
+    }
+  }
+  return true;
+}
+
+const BaseInvertibility* InvertibilityReport::FindBase(
+    const std::string& base) const {
+  for (const BaseInvertibility& entry : per_base) {
+    if (entry.base == base) {
+      return &entry;
+    }
+  }
+  return nullptr;
+}
+
+std::string InvertibilityReport::ToString() const {
+  std::string out;
+  for (const BaseInvertibility& entry : per_base) {
+    out += StrCat(entry.base, ": ", InvertVerdictName(entry.verdict), "\n");
+    for (const std::string& step : entry.derivation) {
+      out += StrCat("    ", step, "\n");
+    }
+    for (const InvertFinding& finding : entry.findings) {
+      out += StrCat("    ! ", finding.ToString(), "\n");
+    }
+  }
+  return out;
+}
+
+InvertibilityReport CheckInvertibility(
+    const Catalog& catalog, const std::vector<ViewDef>& views,
+    const std::vector<ViewDef>& claimed_complements) {
+  InvertibilityReport report;
+  Result<ComplementResult> computed =
+      ComputeComplement(views, catalog, ComplementOptions());
+
+  // Index claimed residual stores by the base their spine bottoms out at.
+  std::map<std::string, const ViewDef*> claimed_by_base;
+  for (const ViewDef& claimed : claimed_complements) {
+    std::string base = ResidualBase(claimed.expr);
+    if (!base.empty()) {
+      claimed_by_base.emplace(base, &claimed);
+    }
+  }
+
+  DataflowAnalyzer analyzer(&catalog);
+  for (const auto& [base, schema] : catalog.relations()) {
+    BaseInvertibility entry;
+    entry.base = base;
+    const AttrSet base_attrs = schema.attr_names();
+
+    if (!computed.ok()) {
+      entry.verdict = InvertVerdict::kNotProven;
+      entry.derivation.push_back(StrCat("complement construction failed: ",
+                                        computed.status().message()));
+      report.per_base.push_back(std::move(entry));
+      continue;
+    }
+    const BaseComplementInfo* info = computed->FindBase(base);
+
+    auto claimed_it = claimed_by_base.find(base);
+    if (claimed_it == claimed_by_base.end()) {
+      if (info != nullptr && info->provably_empty) {
+        entry.verdict = InvertVerdict::kProven;
+        entry.derivation.push_back(StrCat(
+            "the views are lossless on ", base,
+            ": the constructed complement is provably empty (Theorem 2.2)"));
+        std::string covers = DescribeCovers(*info);
+        if (!covers.empty()) {
+          entry.derivation.push_back(StrCat("key covers: ", covers));
+        }
+      } else {
+        entry.verdict = InvertVerdict::kNotProven;
+        InvertFinding finding;
+        finding.kind = InvertFindingKind::kNoResidual;
+        finding.base = base;
+        finding.detail = StrCat(
+            "no complement relation holds the tuples of ", base,
+            " the views lose, and the views are not provably lossless on it");
+        entry.derivation.push_back(
+            "the constructed complement is not provably empty and no claimed "
+            "residual store exists");
+        entry.findings.push_back(std::move(finding));
+      }
+      report.per_base.push_back(std::move(entry));
+      continue;
+    }
+
+    const ViewDef& claimed = *claimed_it->second;
+    if (info != nullptr &&
+        CanonicallyEqual(claimed.expr, info->complement_def)) {
+      entry.verdict = InvertVerdict::kProvenByConstruction;
+      entry.derivation.push_back(StrCat(
+          claimed.name, " is canonically identical to the constructed ",
+          info->complement_name, " = ", base,
+          " \\ (rhat ∪ rhat_ir), which is correct by Equation (3)"));
+      report.per_base.push_back(std::move(entry));
+      continue;
+    }
+
+    // A hand-written residual: check attribute coverage first — a lossy
+    // projection is unrecoverable no matter what is subtracted.
+    const NodeFacts& facts = analyzer.Analyze(claimed.expr);
+    AttrSet covered;
+    auto prov = facts.provenance.find(base);
+    if (prov != facts.provenance.end()) {
+      covered = prov->second;
+    }
+    AttrSet missing;
+    std::set_difference(base_attrs.begin(), base_attrs.end(), covered.begin(),
+                        covered.end(), std::inserter(missing, missing.begin()));
+    if (!missing.empty()) {
+      entry.verdict = InvertVerdict::kNotProven;
+      InvertFinding finding;
+      finding.kind = InvertFindingKind::kMissingAttributes;
+      finding.base = base;
+      finding.missing = missing;
+      finding.detail = StrCat(
+          claimed.name, " projects these attributes away: tuples of ", base,
+          " the views lose cannot be reconstructed with their values");
+      entry.derivation.push_back(StrCat(
+          claimed.name, " retains only {", Join(covered, ", "), "} of ", base,
+          "'s attributes {", Join(base_attrs, ", "), "}"));
+      entry.findings.push_back(std::move(finding));
+      report.per_base.push_back(std::move(entry));
+      continue;
+    }
+
+    entry.verdict = InvertVerdict::kNotProven;
+    InvertFinding finding;
+    finding.kind = InvertFindingKind::kUnverifiedSubtraction;
+    finding.base = base;
+    finding.detail = StrCat(
+        claimed.name, " keeps the full width of ", base,
+        " but does not match the constructed complement: it may omit tuples "
+        "the views lose");
+    entry.derivation.push_back(StrCat(
+        claimed.name,
+        " retains every attribute, but its subtracted part differs from "
+        "the Equation (3) construction"));
+    entry.findings.push_back(std::move(finding));
+    report.per_base.push_back(std::move(entry));
+  }
+  return report;
+}
+
+}  // namespace dwc

@@ -1,0 +1,83 @@
+#ifndef DWC_ANALYSIS_INVERTIBILITY_H_
+#define DWC_ANALYSIS_INVERTIBILITY_H_
+
+#include <string>
+#include <vector>
+
+#include "algebra/view.h"
+#include "relational/catalog.h"
+#include "relational/schema.h"
+
+namespace dwc {
+
+// Per-base outcome of the invertibility proof: is every database state
+// recoverable from W = V ∪ C, i.e. is W⁻¹ well-defined (Proposition 2.1)?
+enum class InvertVerdict {
+  // Proven without a materialized residual: the views alone are lossless
+  // on this base (key covers / referential integrity make the computed
+  // complement provably empty — Theorem 2.2).
+  kProven,
+  // Proven because the claimed complement is canonically identical to the
+  // constructed one, C_b = b \ (R̂_b ∪ R̂_b^ir), which is correct by
+  // construction (Equation (3)).
+  kProvenByConstruction,
+  // No proof found; `findings` explains what blocks reconstruction.
+  kNotProven,
+};
+
+const char* InvertVerdictName(InvertVerdict verdict);
+
+// Why a base could not be proven reconstructible.
+enum class InvertFindingKind {
+  // The residual store projects away attributes of the base: tuples the
+  // views lose come back with holes. `missing` is the minimal witness —
+  // exactly the attributes of b no residual column carries.
+  kMissingAttributes,
+  // No claimed complement holds leftover tuples of the base, and the views
+  // are not provably lossless on it.
+  kNoResidual,
+  // The residual keeps full width, but what it subtracts could not be
+  // matched against the construction, so it may miss lost tuples.
+  kUnverifiedSubtraction,
+};
+
+const char* InvertFindingKindName(InvertFindingKind kind);
+
+struct InvertFinding {
+  InvertFindingKind kind = InvertFindingKind::kNoResidual;
+  std::string base;
+  // For kMissingAttributes: the minimal missing-attribute witness.
+  AttrSet missing;
+  std::string detail;
+
+  std::string ToString() const;
+};
+
+struct BaseInvertibility {
+  std::string base;
+  InvertVerdict verdict = InvertVerdict::kNotProven;
+  std::vector<std::string> derivation;
+  std::vector<InvertFinding> findings;
+};
+
+struct InvertibilityReport {
+  std::vector<BaseInvertibility> per_base;
+
+  bool AllProven() const;
+  const BaseInvertibility* FindBase(const std::string& base) const;
+  std::string ToString() const;
+};
+
+// Checks that `claimed_complements` (the warehouse's C-relations, by the
+// "C_<base>" naming convention of ComplementOptions::name_prefix) actually
+// make W = views ∪ claimed invertible over `catalog`. Pass an empty claimed
+// list to ask whether the views alone are lossless. Never fails: when the
+// construction itself cannot run (e.g. non-PSJ views), every base reports
+// kNotProven with the reason in its derivation and no findings.
+InvertibilityReport CheckInvertibility(
+    const Catalog& catalog, const std::vector<ViewDef>& views,
+    const std::vector<ViewDef>& claimed_complements);
+
+}  // namespace dwc
+
+#endif  // DWC_ANALYSIS_INVERTIBILITY_H_

@@ -1,0 +1,87 @@
+#ifndef DWC_ANALYSIS_SELFMAINT_H_
+#define DWC_ANALYSIS_SELFMAINT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/warehouse_spec.h"
+#include "maintenance/delta.h"
+#include "maintenance/plan.h"
+
+namespace dwc {
+
+// The two delta classes of Section 4: a reported batch of insertions into a
+// base relation, or a batch of deletions. (Mixed transactions are handled
+// by the runtime as one of each; their static verdict is the join of the
+// two certificates.)
+enum class DeltaKind { kInsert, kDelete };
+
+const char* DeltaKindName(DeltaKind kind);  // "insert" / "delete"
+
+// What maintaining warehouse relation `w` under a delta on base `b`
+// statically requires, from best to worst:
+//   kSelf       — only w's own old state and the reported delta; no other
+//                 warehouse relation, no source access (Theorem 4.1 in its
+//                 strongest per-relation form).
+//   kComplement — only materialized warehouse relations (siblings in V,
+//                 complements in C) and the delta; still zero source
+//                 access, i.e. the warehouse as a whole is
+//                 update-independent for this delta.
+//   kSource     — the maintenance expression references a base relation
+//                 (or no maintenance plan could be derived): the warehouse
+//                 must re-query the source.
+enum class MaintVerdict { kSelf, kComplement, kSource };
+
+const char* MaintVerdictName(MaintVerdict verdict);  // "SELF" / ...
+
+// A statically checkable promise about one (warehouse relation, base,
+// delta kind) triple, with the specialized maintenance expressions it was
+// proved from and a human-readable derivation chain.
+struct SelfMaintCertificate {
+  std::string relation;  // warehouse relation w (a view or complement)
+  std::string base;      // updated base relation b
+  DeltaKind kind = DeltaKind::kInsert;
+  MaintVerdict verdict = MaintVerdict::kSource;
+
+  // The plan's (Δ+w, Δ-w) with the inapplicable delta binding replaced by
+  // the empty relation and the result simplified — exactly what the
+  // engine would evaluate for a pure insert/delete batch. Null expressions
+  // when w provably never changes under this delta.
+  DeltaPair specialized;
+
+  // Relation names the specialized pair still references (delta bindings
+  // "ins:b"/"del:b" excluded — the reported update is an input, not a
+  // read).
+  std::vector<std::string> reads;
+
+  // Human-readable derivation, one step per line.
+  std::vector<std::string> derivation;
+
+  std::string ToString() const;
+};
+
+// Certificates for every (warehouse relation, catalog base, delta kind)
+// combination of a spec — the exhaustive grid the acceptance criteria ask
+// for, |W| * |B| * 2 entries.
+struct SelfMaintReport {
+  std::vector<SelfMaintCertificate> certificates;
+
+  const SelfMaintCertificate* Find(const std::string& relation,
+                                   const std::string& base,
+                                   DeltaKind kind) const;
+
+  // The warehouse-wide verdict for a delta on `base`: the worst verdict of
+  // any warehouse relation's certificate for it.
+  MaintVerdict Overall(const std::string& base, DeltaKind kind) const;
+
+  std::string ToString() const;
+};
+
+// Statically classifies maintenance for every triple. Never fails: when
+// plan derivation itself fails, every certificate degrades to kSource with
+// the error recorded in its derivation chain.
+SelfMaintReport AnalyzeSelfMaintenance(const WarehouseSpec& spec);
+
+}  // namespace dwc
+
+#endif  // DWC_ANALYSIS_SELFMAINT_H_

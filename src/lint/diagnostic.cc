@@ -78,6 +78,20 @@ const std::vector<LintRule>& LintRules() {
        "view is defined over another view; warehouse views must be PSJ "
        "expressions over base relations",
        "Section 2, V defined over D"},
+      {"DWC-S001", LintSeverity::kWarning,
+       "maintenance under this delta is statically classified SOURCE; "
+       "update independence is lost and integration must re-query the "
+       "source",
+       "Theorem 4.1, update independence"},
+      {"DWC-S002", LintSeverity::kWarning,
+       "base relation is not reconstructible from the warehouse; the "
+       "claimed complement drops attributes (see the missing-attribute "
+       "witness)",
+       "Proposition 2.1, invertibility of W"},
+      {"DWC-S003", LintSeverity::kWarning,
+       "base relation has no verified residual store; tuples the views "
+       "lose may be unrecoverable",
+       "Equation (3), Ci = Ri \\ (R^i U R^i_ir)"},
       {"DWC-N001", LintSeverity::kNote,
        "inclusion dependency is not in common-attribute form; Theorem 2.2 "
        "machinery only exploits common-attribute INDs",
@@ -94,6 +108,18 @@ const std::vector<LintRule>& LintRules() {
        "another view's definition; consider defining the larger view over "
        "the smaller one's bases once",
        "hash-consed expression DAG, algebra/interner.h"},
+      {"DWC-S004", LintSeverity::kNote,
+       "projection drops attributes of a base relation that no other view "
+       "exposes; they are recoverable only through the complement",
+       "Section 6, reduced complements"},
+      {"DWC-S005", LintSeverity::kNote,
+       "complement column is read by no view maintenance expression and no "
+       "translated query; it is materialized dead weight",
+       "Section 6, reduced complements"},
+      {"DWC-S006", LintSeverity::kNote,
+       "complement relation is read by no view maintenance expression and "
+       "no translated query; the views are maintainable without it",
+       "Section 4 closing remark, selection-only views"},
   };
   return kRules;
 }

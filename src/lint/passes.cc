@@ -99,7 +99,13 @@ class ShapeChecker {
 
  private:
   SourceLocation Loc(const ExprRef& expr) const {
-    SourceLocation loc = input_.source_map.ExprLoc(expr);
+    // Prefer the clause anchor (projection list / selection predicate) so
+    // findings on multi-line view definitions point at the offending
+    // clause, not the leading keyword.
+    SourceLocation loc = input_.source_map.ClauseLoc(expr);
+    if (!loc.valid()) {
+      loc = input_.source_map.ExprLoc(expr);
+    }
     return loc.valid() ? loc : view_.loc;
   }
 
@@ -370,7 +376,10 @@ class PredicatePass : public LintPass {
       return;
     }
     if (node->kind() == Expr::Kind::kSelect) {
-      SourceLocation loc = input.source_map.ExprLoc(node);
+      SourceLocation loc = input.source_map.ClauseLoc(node);
+      if (!loc.valid()) {
+        loc = input.source_map.ExprLoc(node);
+      }
       if (!loc.valid()) {
         loc = view.loc;
       }
@@ -633,7 +642,8 @@ const std::vector<const LintPass*>& AllLintPasses() {
   static const RedundantViewPass redundant;
   static const CanonicalDuplicatePass canonical;
   static const std::vector<const LintPass*> kPasses = {
-      &shape, &cycles, &predicates, &coverage, &redundant, &canonical};
+      &shape,     &cycles,    &predicates,           &coverage,
+      &redundant, &canonical, SemanticAnalysisPass()};
   return kPasses;
 }
 

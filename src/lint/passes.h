@@ -28,7 +28,14 @@ class LintPass {
 //   key-coverage    DWC-W003/W004, DWC-N002
 //   redundant-views DWC-W005
 //   canonical-duplicates DWC-N003/N004
+//   semantic        DWC-S001..S006 (src/analysis/ verdict engines)
 const std::vector<const LintPass*>& AllLintPasses();
+
+// The semantic pass alone (defined in analysis_pass.cc): runs the
+// self-maintainability, invertibility and complement-usage engines over
+// the spec and reports their verdicts as diagnostics. Silent when the
+// views do not form a valid warehouse (shape passes own those findings).
+const LintPass* SemanticAnalysisPass();
 
 }  // namespace dwc
 

@@ -1,0 +1,32 @@
+#ifndef DWC_LINT_SARIF_H_
+#define DWC_LINT_SARIF_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/diagnostic.h"
+
+namespace dwc {
+
+// Diagnostics of one analyzed file, for multi-file SARIF logs.
+struct SarifFileResults {
+  std::string file;
+  std::vector<Diagnostic> diagnostics;
+};
+
+// Renders a SARIF 2.1.0 log with a single run: `tool_name` as the driver,
+// the catalog entries of every rule that produced a result, and one result
+// per diagnostic with its physical location. GitHub code scanning accepts
+// this directly.
+std::string FormatSarif(const std::vector<SarifFileResults>& files,
+                        std::string_view tool_name);
+
+// Single-file convenience wrapper.
+std::string FormatDiagnosticsSarif(const std::vector<Diagnostic>& diagnostics,
+                                   std::string_view file,
+                                   std::string_view tool_name);
+
+}  // namespace dwc
+
+#endif  // DWC_LINT_SARIF_H_

@@ -160,8 +160,10 @@ LintInput BuildLintInput(const ParsedProgram& program, DiagnosticSink* sink) {
                             delta->relation, "'"),
                      delta->relation);
       }
+    } else if (const auto* query = std::get_if<QueryStmt>(&statement)) {
+      input.queries.push_back(LintedQuery{query->expr, query->loc});
     }
-    // QUERY and SUMMARY statements are warehouse-load-time concerns; the
+    // SUMMARY statements are warehouse-load-time concerns; the
     // specification passes do not inspect them.
   }
 

@@ -29,14 +29,22 @@ struct LintedInd {
   SourceLocation loc;
 };
 
+// A QUERY statement together with where it was issued. The semantic pass
+// feeds these to the dead-complement demand analysis.
+struct LintedQuery {
+  ExprRef expr;
+  SourceLocation loc;
+};
+
 // Everything the analysis passes look at: a best-effort catalog (valid
-// declarations only), the declared views, the raw IND list, and source
-// positions. Built either from a parsed script (with positions) or from
-// in-memory objects (without).
+// declarations only), the declared views, the raw IND list, the script's
+// queries, and source positions. Built either from a parsed script (with
+// positions) or from in-memory objects (without).
 struct LintInput {
   std::shared_ptr<const Catalog> catalog;
   std::vector<LintedView> views;
   std::vector<LintedInd> inds;
+  std::vector<LintedQuery> queries;
   // Where each relation was declared; empty for in-memory input.
   std::map<std::string, SourceLocation> relation_locs;
   SourceMap source_map;

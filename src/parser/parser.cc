@@ -19,6 +19,11 @@ SourceLocation SourceMap::PredicateLoc(const PredicateRef& pred) const {
   return it == predicates.end() ? SourceLocation{} : it->second;
 }
 
+SourceLocation SourceMap::ClauseLoc(const ExprRef& expr) const {
+  auto it = clauses.find(expr.get());
+  return it == clauses.end() ? SourceLocation{} : it->second;
+}
+
 namespace {
 
 // Recursive-descent parser over the token stream.
@@ -382,21 +387,28 @@ class Parser {
     }
     if (MatchKeyword("project")) {
       DWC_RETURN_IF_ERROR(Expect(TokenKind::kLBracket, "["));
+      SourceLocation clause_loc = Peek().location();
       DWC_ASSIGN_OR_RETURN(std::vector<std::string> attrs, ParseNameList());
       DWC_RETURN_IF_ERROR(Expect(TokenKind::kRBracket, "]"));
       DWC_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "("));
       DWC_ASSIGN_OR_RETURN(ExprRef child, ParseExpression());
       DWC_RETURN_IF_ERROR(Expect(TokenKind::kRParen, ")"));
-      return Note(loc, Expr::Project(std::move(attrs), std::move(child)));
+      ExprRef node =
+          Note(loc, Expr::Project(std::move(attrs), std::move(child)));
+      map_.clauses.emplace(node.get(), clause_loc);
+      return node;
     }
     if (MatchKeyword("select")) {
       DWC_RETURN_IF_ERROR(Expect(TokenKind::kLBracket, "["));
+      SourceLocation clause_loc = Peek().location();
       DWC_ASSIGN_OR_RETURN(PredicateRef pred, ParsePred());
       DWC_RETURN_IF_ERROR(Expect(TokenKind::kRBracket, "]"));
       DWC_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "("));
       DWC_ASSIGN_OR_RETURN(ExprRef child, ParseExpression());
       DWC_RETURN_IF_ERROR(Expect(TokenKind::kRParen, ")"));
-      return Note(loc, Expr::Select(std::move(pred), std::move(child)));
+      ExprRef node = Note(loc, Expr::Select(std::move(pred), std::move(child)));
+      map_.clauses.emplace(node.get(), clause_loc);
+      return node;
     }
     if (MatchKeyword("rename")) {
       DWC_RETURN_IF_ERROR(Expect(TokenKind::kLBracket, "["));

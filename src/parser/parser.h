@@ -22,10 +22,16 @@ namespace dwc {
 struct SourceMap {
   std::map<const Expr*, SourceLocation> exprs;
   std::map<const Predicate*, SourceLocation> predicates;
+  // For project/select nodes: where the *clause* starts — the first token
+  // of the projection attribute list or of the selection predicate. Lets
+  // diagnostics point at the offending clause of a multi-line view
+  // definition instead of the leading keyword.
+  std::map<const Expr*, SourceLocation> clauses;
 
   // Invalid location when the node is unknown.
   SourceLocation ExprLoc(const ExprRef& expr) const;
   SourceLocation PredicateLoc(const PredicateRef& pred) const;
+  SourceLocation ClauseLoc(const ExprRef& expr) const;
 };
 
 // A parsed script plus the positions of its statements and AST nodes.

@@ -104,19 +104,24 @@ Status Warehouse::BeginIntegration(
 Status Warehouse::Integrate(const CanonicalDelta& delta,
                             const Source* source) {
   DWC_RETURN_IF_ERROR(BeginIntegration({&delta}));
+  Status status = Status::Internal("unknown strategy");
   switch (strategy_) {
     case MaintenanceStrategy::kIncremental:
-      return IntegrateIncremental(delta);
+      status = IntegrateIncremental(delta);
+      break;
     case MaintenanceStrategy::kRecomputeFromInverse:
-      return IntegrateRecompute({&delta});
+      status = IntegrateRecompute({&delta});
+      break;
     case MaintenanceStrategy::kQuerySource:
       if (source == nullptr) {
         return Status::InvalidArgument(
             "kQuerySource maintenance needs a live Source");
       }
-      return IntegrateQuerySource(*source);
+      status = IntegrateQuerySource(*source);
+      break;
   }
-  return Status::Internal("unknown strategy");
+  DWC_RETURN_IF_ERROR(status);
+  return CheckCertificates({&delta});
 }
 
 Status Warehouse::IntegrateTransaction(
@@ -138,10 +143,12 @@ Status Warehouse::IntegrateTransaction(
     return Status::Ok();
   }
   DWC_RETURN_IF_ERROR(BeginIntegration(nonempty));
+  Status status = Status::Internal("unknown strategy");
   switch (strategy_) {
     case MaintenanceStrategy::kIncremental: {
       if (nonempty.size() == 1) {
-        return IntegrateIncremental(*nonempty[0]);
+        status = IntegrateIncremental(*nonempty[0]);
+        break;
       }
       std::string key = Join(bases, ",");
       auto it = transaction_plans_.find(key);
@@ -158,18 +165,22 @@ Status Warehouse::IntegrateTransaction(
         }
         it = transaction_plans_.emplace(key, std::move(plan).value()).first;
       }
-      return ApplyPlanned(it->second, nonempty);
+      status = ApplyPlanned(it->second, nonempty);
+      break;
     }
     case MaintenanceStrategy::kRecomputeFromInverse:
-      return IntegrateRecompute(nonempty);
+      status = IntegrateRecompute(nonempty);
+      break;
     case MaintenanceStrategy::kQuerySource:
       if (source == nullptr) {
         return Status::InvalidArgument(
             "kQuerySource maintenance needs a live Source");
       }
-      return IntegrateQuerySource(*source);
+      status = IntegrateQuerySource(*source);
+      break;
   }
-  return Status::Internal("unknown strategy");
+  DWC_RETURN_IF_ERROR(status);
+  return CheckCertificates(nonempty);
 }
 
 Status Warehouse::IntegrateIncremental(const CanonicalDelta& delta) {
@@ -494,6 +505,39 @@ Status Warehouse::IntegrateRecompute(
   return HookStep();
 }
 
+Status Warehouse::CheckCertificates(
+    const std::vector<const CanonicalDelta*>& deltas) const {
+  if (certificates_ == nullptr ||
+      last_integrate_stats_.source_reads == 0) {
+    return Status::Ok();
+  }
+  // Source traffic happened. That is fine exactly when some affected
+  // (base, delta-kind) is certified SOURCE; otherwise a SELF/COMPLEMENT
+  // certificate just lied and we fail loudly.
+  for (const CanonicalDelta* delta : deltas) {
+    bool insert_affected = !delta->inserts.empty();
+    bool delete_affected = !delta->deletes.empty();
+    if ((insert_affected &&
+         certificates_->Overall(delta->relation, DeltaKind::kInsert) ==
+             MaintVerdict::kSource) ||
+        (delete_affected &&
+         certificates_->Overall(delta->relation, DeltaKind::kDelete) ==
+             MaintVerdict::kSource)) {
+      return Status::Ok();
+    }
+  }
+  std::vector<std::string> bases;
+  for (const CanonicalDelta* delta : deltas) {
+    bases.push_back(delta->relation);
+  }
+  return Status::Internal(
+      StrCat("certificate violation: integration of deltas on {",
+             Join(bases, ", "), "} performed ",
+             last_integrate_stats_.source_reads,
+             " source read(s), but every affected (base, delta-kind) is "
+             "certified SELF or COMPLEMENT"));
+}
+
 Status Warehouse::IntegrateQuerySource(const Source& source) {
   // The traditional integrator: recompute every view by querying the source
   // databases (and the complements too, so state stays comparable).
@@ -517,9 +561,15 @@ Status Warehouse::IntegrateQuerySource(const Source& source) {
     DWC_RETURN_IF_ERROR(base_copy.AddRelation(name, std::move(rel).value()));
   }
   env.BindDatabase(base_copy);
+  // These bindings came off the wire from the source, not from the
+  // warehouse store: tag them so every resolution lands in source_reads.
+  for (const std::string& name : needed) {
+    env.MarkSource(name);
+  }
   for (const ViewDef& view : spec_->AllWarehouseViews()) {
     Evaluator evaluator = MakeEvaluator(&env);
     Result<Relation> rel = evaluator.Materialize(*view.expr);
+    last_integrate_stats_.MergeFrom(evaluator.stats());
     if (!rel.ok()) {
       return rel.status();
     }

@@ -9,6 +9,7 @@
 #include "aggregate/aggregate_view.h"
 #include "algebra/environment.h"
 #include "algebra/evaluator.h"
+#include "analysis/selfmaint.h"
 #include "core/query_translation.h"
 #include "core/warehouse_spec.h"
 #include "maintenance/plan.h"
@@ -134,6 +135,18 @@ class Warehouse {
     return last_integrate_stats_;
   }
 
+  // Debug cross-check of the static analyzer (src/analysis/): after each
+  // integration, if the evaluators touched source-tagged bindings
+  // (EvalStats::source_reads > 0) but no certificate for an affected
+  // (base, delta-kind) admits SOURCE maintenance, the integration fails
+  // loudly with Status::Internal — a SELF/COMPLEMENT certificate was
+  // violated at runtime. Pass nullptr to disable (the default; the check
+  // is for tests and debugging, not the hot path).
+  void EnforceCertificates(std::shared_ptr<const SelfMaintReport> report) {
+    certificates_ = std::move(report);
+  }
+  const SelfMaintReport* certificates() const { return certificates_.get(); }
+
   // The subplan recycler cache shared by every evaluator this warehouse
   // constructs (see algebra/subplan_cache.h). Purely derived state: it is
   // never checkpointed and starts cold after DurableWarehouse::Resume.
@@ -179,6 +192,9 @@ class Warehouse {
   // tables.
   Status ApplyPlanned(const std::map<std::string, DeltaPair>& per_relation_plan,
                       const std::vector<const CanonicalDelta*>& deltas);
+  // The EnforceCertificates() cross-check; Ok when no report is installed.
+  Status CheckCertificates(
+      const std::vector<const CanonicalDelta*>& deltas) const;
 
   // Materializes all warehouse relations from an environment that binds the
   // base relations, writing into `state_` (replacing existing relations).
@@ -212,6 +228,7 @@ class Warehouse {
   std::shared_ptr<SubplanCache> subplan_cache_ =
       std::make_shared<SubplanCache>();
   EvalStats last_integrate_stats_;
+  std::shared_ptr<const SelfMaintReport> certificates_;
   bool validate_deltas_ = false;
   std::function<Status(int)> integration_hook_;
   int hook_step_ = 0;

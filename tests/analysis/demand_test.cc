@@ -1,0 +1,104 @@
+// Unit tests for complement demand analysis (Section 6 reduced
+// complements, Section 4 closing remark): which complement columns do the
+// maintenance plan and the translated queries actually read?
+
+#include "analysis/demand.h"
+
+#include <gtest/gtest.h>
+
+#include "algebra/expr.h"
+#include "core/warehouse_spec.h"
+#include "testing/test_util.h"
+
+namespace dwc {
+namespace {
+
+using ::dwc::testing::MustRun;
+
+WarehouseSpec SpecOf(const std::string& script) {
+  ScriptContext context = MustRun(script);
+  Result<WarehouseSpec> spec = SpecifyWarehouse(context.catalog,
+                                                context.views);
+  EXPECT_TRUE(spec.ok()) << spec.status().message();
+  return std::move(spec).value();
+}
+
+TEST(DemandTest, SelectionOnlyViewsLeaveComplementDead) {
+  // Sigma-views are self-maintainable: nothing ever reads C_Emp.
+  WarehouseSpec spec = SpecOf(
+      "CREATE TABLE Emp(id INT, dept STRING, salary INT, KEY(id));\n"
+      "VIEW HighPaid AS SELECT[salary >= 100000](Emp);\n");
+  ComplementUsageReport report = AnalyzeComplementUsage(spec, {});
+  ASSERT_EQ(report.dead_relations.size(), 1u);
+  EXPECT_EQ(report.dead_relations[0], "C_Emp");
+  EXPECT_TRUE(report.demanded.empty());
+}
+
+TEST(DemandTest, JoinViewMaintenanceDemandsComplement) {
+  // OrderCity's maintenance joins against C_Cust: the complement is live.
+  WarehouseSpec spec = SpecOf(
+      "CREATE TABLE Cust(cid INT, city STRING, KEY(cid));\n"
+      "CREATE TABLE Ord(oid INT, cid INT, KEY(oid));\n"
+      "INCLUSION Ord(cid) SUBSETOF Cust(cid);\n"
+      "VIEW OrderCity AS PROJECT[oid, cid, city](Ord JOIN Cust);\n");
+  ComplementUsageReport report = AnalyzeComplementUsage(spec, {});
+  ASSERT_TRUE(report.demanded.count("C_Cust") > 0)
+      << report.ToString();
+  EXPECT_EQ(report.demanded.at("C_Cust"), AttrSet({"cid", "city"}));
+  EXPECT_TRUE(report.dead_relations.empty());
+}
+
+TEST(DemandTest, NarrowQuerySeesThroughUnionShapedInverse) {
+  // A query projecting one column of Emp demands exactly that column of
+  // C_Emp (union narrowing is exact); the other columns are dead weight.
+  WarehouseSpec spec = SpecOf(
+      "CREATE TABLE Emp(id INT, dept STRING, salary INT, KEY(id));\n"
+      "VIEW HighPaid AS SELECT[salary >= 100000](Emp);\n");
+  std::vector<ExprRef> queries = {
+      Expr::Project({"id"}, Expr::Base("Emp"))};
+  ComplementUsageReport report = AnalyzeComplementUsage(spec, queries);
+  ASSERT_TRUE(report.demanded.count("C_Emp") > 0) << report.ToString();
+  EXPECT_EQ(report.demanded.at("C_Emp"), AttrSet{"id"});
+  ASSERT_TRUE(report.dead_columns.count("C_Emp") > 0);
+  EXPECT_EQ(report.dead_columns.at("C_Emp"), AttrSet({"dept", "salary"}));
+}
+
+TEST(DemandTest, FullWidthQueryDemandsEverything) {
+  WarehouseSpec spec = SpecOf(
+      "CREATE TABLE Emp(id INT, dept STRING, salary INT, KEY(id));\n"
+      "VIEW HighPaid AS SELECT[salary >= 100000](Emp);\n");
+  std::vector<ExprRef> queries = {Expr::Base("Emp")};
+  ComplementUsageReport report = AnalyzeComplementUsage(spec, queries);
+  ASSERT_TRUE(report.demanded.count("C_Emp") > 0) << report.ToString();
+  EXPECT_EQ(report.demanded.at("C_Emp"),
+            AttrSet({"id", "dept", "salary"}));
+  EXPECT_TRUE(report.dead_columns.empty());
+}
+
+TEST(DemandTest, SelectionPredicateAttributesAreDemanded) {
+  // project[id](select[dept = 'x'](Emp)): the predicate column is read
+  // even though the projection drops it.
+  WarehouseSpec spec = SpecOf(
+      "CREATE TABLE Emp(id INT, dept STRING, salary INT, KEY(id));\n"
+      "VIEW HighPaid AS SELECT[salary >= 100000](Emp);\n");
+  std::vector<ExprRef> queries = {Expr::Project(
+      {"id"}, Expr::Select(Predicate::AttrEq("dept", Value::String("x")),
+                           Expr::Base("Emp")))};
+  ComplementUsageReport report = AnalyzeComplementUsage(spec, queries);
+  ASSERT_TRUE(report.demanded.count("C_Emp") > 0) << report.ToString();
+  EXPECT_EQ(report.demanded.at("C_Emp"), AttrSet({"id", "dept"}));
+}
+
+TEST(DemandTest, NoComplementsMeansEmptyReport) {
+  // V exposes all of R: the complement is provably empty, nothing to rate.
+  WarehouseSpec spec = SpecOf(
+      "CREATE TABLE R(a INT, b INT, KEY(a));\n"
+      "VIEW V AS R;\n");
+  ComplementUsageReport report = AnalyzeComplementUsage(spec, {});
+  EXPECT_TRUE(report.demanded.empty());
+  EXPECT_TRUE(report.dead_relations.empty());
+  EXPECT_TRUE(report.dead_columns.empty());
+}
+
+}  // namespace
+}  // namespace dwc

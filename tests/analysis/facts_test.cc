@@ -1,0 +1,162 @@
+// Unit tests for the attribute-level fact lattice (DESIGN.md §11): every
+// fact the DataflowAnalyzer derives must hold on all database states
+// satisfying the catalog's keys and inclusion dependencies.
+
+#include "analysis/facts.h"
+
+#include <gtest/gtest.h>
+
+#include "algebra/expr.h"
+#include "algebra/predicate.h"
+#include "testing/test_util.h"
+
+namespace dwc {
+namespace {
+
+using ::dwc::testing::MustRun;
+
+// Figure 1 with constraints: Emp(clerk, age) KEY(clerk),
+// Sale(item, clerk), Sale(clerk) ⊆ Emp(clerk).
+ScriptContext Fig1() {
+  return MustRun(
+      "CREATE TABLE Emp(clerk STRING, age INT, KEY(clerk));\n"
+      "CREATE TABLE Sale(item STRING, clerk STRING, KEY(item, clerk));\n"
+      "INCLUSION Sale(clerk) SUBSETOF Emp(clerk);\n");
+}
+
+TEST(FactsTest, BaseRelationFacts) {
+  ScriptContext context = Fig1();
+  NodeFacts facts = AnalyzeFacts(Expr::Base("Emp"), *context.catalog);
+  EXPECT_EQ(facts.attrs, AttrSet({"clerk", "age"}));
+  EXPECT_EQ(facts.provenance.at("Emp"), AttrSet({"clerk", "age"}));
+  // Declared key plus the trivial full-attribute key.
+  EXPECT_TRUE(facts.keys.count(AttrSet{"clerk"}));
+  EXPECT_TRUE(facts.keys.count(AttrSet({"clerk", "age"})));
+  // A base retains every tuple of itself, reads only itself.
+  EXPECT_TRUE(facts.total_bases.count("Emp"));
+  EXPECT_EQ(facts.sources, std::set<std::string>{"Emp"});
+  EXPECT_TRUE(facts.dropped.empty());
+}
+
+TEST(FactsTest, UnknownNameHasNoFacts) {
+  ScriptContext context = Fig1();
+  NodeFacts facts = AnalyzeFacts(Expr::Base("ins:Emp"), *context.catalog);
+  EXPECT_TRUE(facts.attrs.empty());
+  EXPECT_TRUE(facts.keys.empty());
+  EXPECT_TRUE(facts.total_bases.empty());
+}
+
+TEST(FactsTest, SelectionKeepsKeysLosesTotality) {
+  ScriptContext context = Fig1();
+  ExprRef expr = Expr::Select(Predicate::AttrEq("age", Value::Int(23)),
+                              Expr::Base("Emp"));
+  NodeFacts facts = AnalyzeFacts(expr, *context.catalog);
+  EXPECT_EQ(facts.attrs, AttrSet({"clerk", "age"}));
+  EXPECT_TRUE(facts.keys.count(AttrSet{"clerk"}));
+  // A selection can drop tuples: Emp is no longer provably total.
+  EXPECT_TRUE(facts.total_bases.empty());
+  EXPECT_EQ(facts.sources, std::set<std::string>{"Emp"});
+}
+
+TEST(FactsTest, ProjectionRecordsDroppedAttributes) {
+  ScriptContext context = Fig1();
+  ExprRef expr = Expr::Project({"clerk"}, Expr::Base("Emp"));
+  NodeFacts facts = AnalyzeFacts(expr, *context.catalog);
+  EXPECT_EQ(facts.attrs, AttrSet{"clerk"});
+  EXPECT_EQ(facts.provenance.at("Emp"), AttrSet{"clerk"});
+  // The declared key survives (it is inside the projection) and the image
+  // of Emp is still complete: projection loses width, not tuples.
+  EXPECT_TRUE(facts.keys.count(AttrSet{"clerk"}));
+  EXPECT_TRUE(facts.total_bases.count("Emp"));
+  EXPECT_EQ(facts.dropped.at("Emp"), AttrSet{"age"});
+}
+
+TEST(FactsTest, ProjectionDroppingKeyLosesIt) {
+  ScriptContext context = Fig1();
+  ExprRef expr = Expr::Project({"age"}, Expr::Base("Emp"));
+  NodeFacts facts = AnalyzeFacts(expr, *context.catalog);
+  // Only the trivial key of the output remains.
+  EXPECT_EQ(facts.keys, std::set<AttrSet>{AttrSet{"age"}});
+  EXPECT_EQ(facts.dropped.at("Emp"), AttrSet{"clerk"});
+}
+
+TEST(FactsTest, JoinKeyClosureRule) {
+  ScriptContext context = Fig1();
+  ExprRef expr = Expr::Join(Expr::Base("Sale"), Expr::Base("Emp"));
+  NodeFacts facts = AnalyzeFacts(expr, *context.catalog);
+  EXPECT_EQ(facts.attrs, AttrSet({"item", "clerk", "age"}));
+  // clerk is a key of Emp and the join attribute, so Sale's key alone
+  // functionally determines the whole output tuple (FD closure).
+  EXPECT_TRUE(facts.keys.count(AttrSet({"item", "clerk"})))
+      << "key of Sale should survive the join";
+  EXPECT_EQ(facts.sources, std::set<std::string>({"Sale", "Emp"}));
+  // Both bases stay visible.
+  EXPECT_EQ(facts.provenance.at("Sale"), AttrSet({"item", "clerk"}));
+  EXPECT_EQ(facts.provenance.at("Emp"), AttrSet({"clerk", "age"}));
+}
+
+TEST(FactsTest, ReferentialIntegrityMakesJoinTotalOnReferencingSide) {
+  // Example 2.3/2.4: Sale(clerk) ⊆ Emp(clerk) means no Sale tuple dangles,
+  // so Sale JOIN Emp retains an image of every Sale tuple — but not of
+  // every Emp tuple (clerks with no sales vanish).
+  ScriptContext context = Fig1();
+  ExprRef expr = Expr::Join(Expr::Base("Sale"), Expr::Base("Emp"));
+  NodeFacts facts = AnalyzeFacts(expr, *context.catalog);
+  EXPECT_TRUE(facts.total_bases.count("Sale"));
+  EXPECT_FALSE(facts.total_bases.count("Emp"));
+}
+
+TEST(FactsTest, JoinWithoutIndIsNotTotal) {
+  ScriptContext context = MustRun(
+      "CREATE TABLE Emp(clerk STRING, age INT, KEY(clerk));\n"
+      "CREATE TABLE Sale(item STRING, clerk STRING, KEY(item, clerk));\n");
+  ExprRef expr = Expr::Join(Expr::Base("Sale"), Expr::Base("Emp"));
+  NodeFacts facts = AnalyzeFacts(expr, *context.catalog);
+  EXPECT_TRUE(facts.total_bases.empty());
+}
+
+TEST(FactsTest, RenameRemapsEverything) {
+  ScriptContext context = Fig1();
+  ExprRef expr = Expr::Rename({{"clerk", "seller"}}, Expr::Base("Emp"));
+  NodeFacts facts = AnalyzeFacts(expr, *context.catalog);
+  EXPECT_EQ(facts.attrs, AttrSet({"seller", "age"}));
+  EXPECT_EQ(facts.provenance.at("Emp"), AttrSet({"seller", "age"}));
+  EXPECT_TRUE(facts.keys.count(AttrSet{"seller"}));
+  EXPECT_TRUE(facts.total_bases.count("Emp"));
+}
+
+TEST(FactsTest, UnionKeepsOnlyTrivialKey) {
+  ScriptContext context = Fig1();
+  ExprRef emp = Expr::Base("Emp");
+  ExprRef expr = Expr::Union(
+      Expr::Select(Predicate::AttrEq("age", Value::Int(23)), emp), emp);
+  NodeFacts facts = AnalyzeFacts(expr, *context.catalog);
+  // Keys don't survive a union in general; the trivial key remains.
+  EXPECT_EQ(facts.keys, std::set<AttrSet>{AttrSet({"clerk", "age"})});
+  // Totality is a union of the branches: the right branch is all of Emp.
+  EXPECT_TRUE(facts.total_bases.count("Emp"));
+}
+
+TEST(FactsTest, DifferenceKeepsLeftFactsDropsTotality) {
+  ScriptContext context = Fig1();
+  ExprRef expr = Expr::Difference(
+      Expr::Base("Emp"),
+      Expr::Select(Predicate::AttrEq("age", Value::Int(23)),
+                   Expr::Base("Emp")));
+  NodeFacts facts = AnalyzeFacts(expr, *context.catalog);
+  EXPECT_EQ(facts.attrs, AttrSet({"clerk", "age"}));
+  EXPECT_TRUE(facts.keys.count(AttrSet{"clerk"}));
+  EXPECT_TRUE(facts.total_bases.empty());
+}
+
+TEST(FactsTest, MemoizationReturnsSameFactsForSharedNode) {
+  ScriptContext context = Fig1();
+  DataflowAnalyzer analyzer(context.catalog.get());
+  ExprRef base = Expr::Base("Emp");
+  const NodeFacts& first = analyzer.Analyze(base);
+  const NodeFacts& second = analyzer.Analyze(base);
+  EXPECT_EQ(&first, &second) << "facts must be memoized per node";
+}
+
+}  // namespace
+}  // namespace dwc

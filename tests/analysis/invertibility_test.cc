@@ -1,0 +1,135 @@
+// Unit tests for the invertibility checker: is W⁻¹ well-defined
+// (Proposition 2.1), and does any claimed residual store actually make it
+// so? Lossy claimed complements must be rejected with a minimal
+// missing-attribute witness.
+
+#include "analysis/invertibility.h"
+
+#include <gtest/gtest.h>
+
+#include "algebra/expr.h"
+#include "core/complement.h"
+#include "testing/test_util.h"
+
+namespace dwc {
+namespace {
+
+using ::dwc::testing::MustRun;
+
+TEST(InvertibilityTest, IdentityViewProvenWithoutComplement) {
+  // V exposes all of R: the constructed complement is provably empty, so
+  // invertibility holds with no residual store at all.
+  ScriptContext context = MustRun(
+      "CREATE TABLE R(a INT, b INT, KEY(a));\n"
+      "VIEW V AS R;\n");
+  InvertibilityReport report =
+      CheckInvertibility(*context.catalog, context.views, {});
+  ASSERT_EQ(report.per_base.size(), 1u);
+  EXPECT_EQ(report.per_base[0].verdict, InvertVerdict::kProven)
+      << report.ToString();
+  EXPECT_TRUE(report.per_base[0].findings.empty());
+  EXPECT_TRUE(report.AllProven());
+}
+
+TEST(InvertibilityTest, SelectionViewAloneHasNoResidual) {
+  ScriptContext context = MustRun(
+      "CREATE TABLE R(a INT, b INT, KEY(a));\n"
+      "VIEW V AS SELECT[a > 0](R);\n");
+  InvertibilityReport report =
+      CheckInvertibility(*context.catalog, context.views, {});
+  const BaseInvertibility* base = report.FindBase("R");
+  ASSERT_NE(base, nullptr);
+  EXPECT_EQ(base->verdict, InvertVerdict::kNotProven);
+  ASSERT_EQ(base->findings.size(), 1u);
+  EXPECT_EQ(base->findings[0].kind, InvertFindingKind::kNoResidual);
+  EXPECT_FALSE(report.AllProven());
+}
+
+TEST(InvertibilityTest, ClaimedConstructionComplementIsProven) {
+  // Claim exactly the complement Equation (3) constructs: the checker
+  // recognizes it by canonical identity.
+  ScriptContext context = MustRun(
+      "CREATE TABLE R(a INT, b INT, KEY(a));\n"
+      "VIEW V AS SELECT[a > 0](R);\n");
+  Result<ComplementResult> complement =
+      ComputeComplement(context.views, *context.catalog);
+  DWC_ASSERT_OK(complement);
+  const BaseComplementInfo* info = complement->FindBase("R");
+  ASSERT_NE(info, nullptr);
+  ASSERT_FALSE(info->provably_empty);
+  std::vector<ViewDef> claimed = {{"C_R", info->complement_def}};
+  InvertibilityReport report =
+      CheckInvertibility(*context.catalog, context.views, claimed);
+  const BaseInvertibility* base = report.FindBase("R");
+  ASSERT_NE(base, nullptr);
+  EXPECT_EQ(base->verdict, InvertVerdict::kProvenByConstruction)
+      << report.ToString();
+  EXPECT_TRUE(base->findings.empty());
+  EXPECT_TRUE(report.AllProven());
+}
+
+TEST(InvertibilityTest, LossyClaimedComplementGetsMinimalWitness) {
+  // C_Sale projects `price` away: reconstruction of Sale is impossible and
+  // the witness is exactly the set of unrecoverable attributes.
+  ScriptContext context = MustRun(
+      "CREATE TABLE Sale(item INT, clerk STRING, price INT, KEY(item));\n"
+      "VIEW CheapSales AS SELECT[price < 100](Sale);\n"
+      "VIEW C_Sale AS PROJECT[item, clerk](SELECT[price >= 100](Sale));\n");
+  std::vector<ViewDef> views = {context.views[0]};
+  std::vector<ViewDef> claimed = {context.views[1]};
+  InvertibilityReport report =
+      CheckInvertibility(*context.catalog, views, claimed);
+  const BaseInvertibility* base = report.FindBase("Sale");
+  ASSERT_NE(base, nullptr);
+  EXPECT_EQ(base->verdict, InvertVerdict::kNotProven);
+  ASSERT_EQ(base->findings.size(), 1u);
+  const InvertFinding& finding = base->findings[0];
+  EXPECT_EQ(finding.kind, InvertFindingKind::kMissingAttributes);
+  EXPECT_EQ(finding.missing, AttrSet{"price"})
+      << "witness must be minimal: only the dropped attribute";
+}
+
+TEST(InvertibilityTest, FullWidthButDifferentSubtractionIsUnverified) {
+  ScriptContext context = MustRun(
+      "CREATE TABLE Sale(item INT, clerk STRING, price INT, KEY(item));\n"
+      "VIEW CheapSales AS SELECT[price < 100](Sale);\n"
+      "VIEW C_Sale AS SELECT[price >= 50](Sale);\n");
+  std::vector<ViewDef> views = {context.views[0]};
+  std::vector<ViewDef> claimed = {context.views[1]};
+  InvertibilityReport report =
+      CheckInvertibility(*context.catalog, views, claimed);
+  const BaseInvertibility* base = report.FindBase("Sale");
+  ASSERT_NE(base, nullptr);
+  EXPECT_EQ(base->verdict, InvertVerdict::kNotProven);
+  ASSERT_EQ(base->findings.size(), 1u);
+  EXPECT_EQ(base->findings[0].kind,
+            InvertFindingKind::kUnverifiedSubtraction);
+}
+
+TEST(InvertibilityTest, EveryCatalogRelationGetsAVerdict) {
+  ScriptContext context = MustRun(testing::Figure1Script(true));
+  InvertibilityReport report =
+      CheckInvertibility(*context.catalog, context.views, {});
+  EXPECT_EQ(report.per_base.size(),
+            context.catalog->RelationNames().size());
+  for (const BaseInvertibility& base : report.per_base) {
+    EXPECT_FALSE(base.derivation.empty()) << base.base;
+  }
+}
+
+TEST(InvertibilityTest, ReportToStringShowsWitness) {
+  ScriptContext context = MustRun(
+      "CREATE TABLE Sale(item INT, clerk STRING, price INT, KEY(item));\n"
+      "VIEW CheapSales AS SELECT[price < 100](Sale);\n"
+      "VIEW C_Sale AS PROJECT[item, clerk](SELECT[price >= 100](Sale));\n");
+  std::vector<ViewDef> views = {context.views[0]};
+  std::vector<ViewDef> claimed = {context.views[1]};
+  InvertibilityReport report =
+      CheckInvertibility(*context.catalog, views, claimed);
+  std::string text = report.ToString();
+  EXPECT_NE(text.find("price"), std::string::npos) << text;
+  EXPECT_NE(text.find("NOT-PROVEN"), std::string::npos) << text;
+}
+
+}  // namespace
+}  // namespace dwc

@@ -1,0 +1,130 @@
+// Unit tests for the self-maintainability certificate engine: one verdict
+// per (warehouse relation, base relation, delta kind), derived by
+// specializing the maintenance plan to single-kind delta batches
+// (Theorem 4.1 machinery, Section 4's sigma-view remark).
+
+#include "analysis/selfmaint.h"
+
+#include <gtest/gtest.h>
+
+#include "core/warehouse_spec.h"
+#include "testing/test_util.h"
+
+namespace dwc {
+namespace {
+
+using ::dwc::testing::MustRun;
+
+SelfMaintReport AnalyzeScript(const std::string& script) {
+  ScriptContext context = MustRun(script);
+  Result<WarehouseSpec> spec = SpecifyWarehouse(context.catalog,
+                                                context.views);
+  EXPECT_TRUE(spec.ok()) << spec.status().message();
+  return AnalyzeSelfMaintenance(*spec);
+}
+
+TEST(SelfMaintTest, CertificateGridIsComplete) {
+  ScriptContext context = MustRun(testing::Figure1Script(true));
+  Result<WarehouseSpec> spec = SpecifyWarehouse(context.catalog,
+                                                context.views);
+  ASSERT_TRUE(spec.ok()) << spec.status().message();
+  SelfMaintReport report = AnalyzeSelfMaintenance(*spec);
+  // Every (warehouse relation, base, kind) triple gets a certificate.
+  size_t warehouse_relations = spec->AllWarehouseViews().size();
+  size_t bases = spec->catalog().RelationNames().size();
+  EXPECT_EQ(report.certificates.size(), warehouse_relations * bases * 2);
+  for (const ViewDef& view : spec->AllWarehouseViews()) {
+    for (const std::string& base : spec->catalog().RelationNames()) {
+      for (DeltaKind kind : {DeltaKind::kInsert, DeltaKind::kDelete}) {
+        const SelfMaintCertificate* cert =
+            report.Find(view.name, base, kind);
+        ASSERT_NE(cert, nullptr)
+            << view.name << " / " << base << " / " << DeltaKindName(kind);
+        EXPECT_FALSE(cert->derivation.empty());
+      }
+    }
+  }
+}
+
+TEST(SelfMaintTest, SelectionViewIsSelfMaintainable) {
+  // Section 4's closing remark: sigma-views are self-maintainable for
+  // both insertions and deletions, no complement needed.
+  SelfMaintReport report = AnalyzeScript(
+      "CREATE TABLE Emp(id INT, dept STRING, salary INT, KEY(id));\n"
+      "VIEW HighPaid AS SELECT[salary >= 100000](Emp);\n");
+  for (DeltaKind kind : {DeltaKind::kInsert, DeltaKind::kDelete}) {
+    const SelfMaintCertificate* cert =
+        report.Find("HighPaid", "Emp", kind);
+    ASSERT_NE(cert, nullptr);
+    EXPECT_EQ(cert->verdict, MaintVerdict::kSelf)
+        << cert->ToString();
+    // A SELF certificate may read at most the relation itself (the delta
+    // bindings ins:/del: are excluded from `reads`).
+    for (const std::string& read : cert->reads) {
+      EXPECT_EQ(read, "HighPaid") << cert->ToString();
+    }
+  }
+}
+
+TEST(SelfMaintTest, UnrelatedBaseNeverChangesView) {
+  SelfMaintReport report = AnalyzeScript(
+      "CREATE TABLE R(a INT, KEY(a));\n"
+      "CREATE TABLE S(b INT, KEY(b));\n"
+      "VIEW V AS SELECT[a > 0](R);\n"
+      "VIEW W AS SELECT[b > 0](S);\n");
+  const SelfMaintCertificate* cert =
+      report.Find("V", "S", DeltaKind::kInsert);
+  ASSERT_NE(cert, nullptr);
+  // V does not read S: the plan has no entry, which is the strongest SELF.
+  EXPECT_EQ(cert->verdict, MaintVerdict::kSelf) << cert->ToString();
+  EXPECT_TRUE(cert->reads.empty());
+}
+
+TEST(SelfMaintTest, JoinViewMaintainableFromWarehouseAlone) {
+  // Theorem 4.1: every PSJ warehouse is update independent — no verdict
+  // may be SOURCE, though join views generally need W = V ∪ C.
+  ScriptContext context = MustRun(testing::Figure1Script(true));
+  Result<WarehouseSpec> spec = SpecifyWarehouse(context.catalog,
+                                                context.views);
+  ASSERT_TRUE(spec.ok());
+  SelfMaintReport report = AnalyzeSelfMaintenance(*spec);
+  for (const SelfMaintCertificate& cert : report.certificates) {
+    EXPECT_NE(cert.verdict, MaintVerdict::kSource) << cert.ToString();
+  }
+  // Deleting from Sale can shrink Sold; the maintenance is warehouse-local.
+  const SelfMaintCertificate* cert =
+      report.Find("Sold", "Sale", DeltaKind::kDelete);
+  ASSERT_NE(cert, nullptr);
+  EXPECT_LE(static_cast<int>(cert->verdict),
+            static_cast<int>(MaintVerdict::kComplement));
+}
+
+TEST(SelfMaintTest, OverallIsWorstVerdictAcrossRelations) {
+  ScriptContext context = MustRun(testing::Figure1Script(true));
+  Result<WarehouseSpec> spec = SpecifyWarehouse(context.catalog,
+                                                context.views);
+  ASSERT_TRUE(spec.ok());
+  SelfMaintReport report = AnalyzeSelfMaintenance(*spec);
+  MaintVerdict overall = report.Overall("Sale", DeltaKind::kDelete);
+  for (const SelfMaintCertificate& cert : report.certificates) {
+    if (cert.base == "Sale" && cert.kind == DeltaKind::kDelete) {
+      EXPECT_LE(static_cast<int>(cert.verdict), static_cast<int>(overall));
+    }
+  }
+}
+
+TEST(SelfMaintTest, CertificateToStringNamesTheVerdict) {
+  SelfMaintReport report = AnalyzeScript(
+      "CREATE TABLE Emp(id INT, salary INT, KEY(id));\n"
+      "VIEW HighPaid AS SELECT[salary >= 100](Emp);\n");
+  const SelfMaintCertificate* cert =
+      report.Find("HighPaid", "Emp", DeltaKind::kInsert);
+  ASSERT_NE(cert, nullptr);
+  std::string text = cert->ToString();
+  EXPECT_NE(text.find("SELF"), std::string::npos) << text;
+  EXPECT_NE(text.find("HighPaid"), std::string::npos) << text;
+  EXPECT_NE(text.find("insert"), std::string::npos) << text;
+}
+
+}  // namespace
+}  // namespace dwc

@@ -77,11 +77,11 @@ const LintCase kLintCases[] = {
     {"unknown_projection_attribute",
      "CREATE TABLE R(a INT, KEY(a));\n"
      "VIEW V AS PROJECT[z](R);",
-     "DWC-E003", LintSeverity::kError, 2, 11},
+     "DWC-E003", LintSeverity::kError, 2, 19},
     {"unknown_predicate_attribute",
      "CREATE TABLE R(a INT, KEY(a));\n"
      "VIEW V AS SELECT[z = 1](R);",
-     "DWC-E003", LintSeverity::kError, 2, 11},
+     "DWC-E003", LintSeverity::kError, 2, 18},
     {"unknown_key_attribute", "CREATE TABLE R(a INT, KEY(b));", "DWC-E003",
      LintSeverity::kError, 1, 1},
     {"union_is_not_psj",
@@ -132,11 +132,11 @@ const LintCase kLintCases[] = {
     {"unsatisfiable_selection",
      "CREATE TABLE R(a INT, KEY(a));\n"
      "VIEW V AS SELECT[a > 5 AND a < 3](R);",
-     "DWC-W001", LintSeverity::kWarning, 2, 11},
+     "DWC-W001", LintSeverity::kWarning, 2, 18},
     {"tautological_selection",
      "CREATE TABLE R(a INT, KEY(a));\n"
      "VIEW V AS SELECT[a = 1 OR a <> 1](R);",
-     "DWC-W002", LintSeverity::kWarning, 2, 11},
+     "DWC-W002", LintSeverity::kWarning, 2, 18},
     {"key_projected_away",
      "CREATE TABLE R(a INT, b INT, KEY(a));\n"
      "VIEW V AS PROJECT[b](R);",
@@ -153,11 +153,26 @@ const LintCase kLintCases[] = {
     {"noop_projection",
      "CREATE TABLE R(a INT, b INT, KEY(a));\n"
      "VIEW V AS PROJECT[a, b](R);",
-     "DWC-W006", LintSeverity::kWarning, 2, 11},
+     "DWC-W006", LintSeverity::kWarning, 2, 19},
     {"stacked_projections",
      "CREATE TABLE R(a INT, b INT, KEY(a));\n"
      "VIEW V AS PROJECT[a](PROJECT[a, b](R));",
-     "DWC-W006", LintSeverity::kWarning, 2, 22},
+     "DWC-W006", LintSeverity::kWarning, 2, 30},
+    {"multiline_projection_anchors_at_attr_list",
+     // The diagnostic must point at the projection list on line 3, not at
+     // the VIEW keyword on line 2 (regression: clause-level SourceMap
+     // anchors for multi-line view definitions).
+     "CREATE TABLE R(a INT, b INT, KEY(a));\n"
+     "VIEW V AS\n"
+     "  PROJECT[z](\n"
+     "    R);",
+     "DWC-E003", LintSeverity::kError, 3, 11},
+    {"multiline_predicate_anchors_at_predicate",
+     "CREATE TABLE R(a INT, KEY(a));\n"
+     "VIEW V AS\n"
+     "  SELECT[a > 5 AND\n"
+     "         a < 3](R);",
+     "DWC-W001", LintSeverity::kWarning, 3, 10},
     {"view_over_view",
      "CREATE TABLE R(a INT, KEY(a));\n"
      "VIEW V AS R;\n"
@@ -186,6 +201,31 @@ const LintCase kLintCases[] = {
      "VIEW Small AS SELECT[b > 0](R);\n"
      "VIEW Big AS SELECT[b > 0](R) JOIN S;",
      "DWC-N004", LintSeverity::kNote, 3, 1},
+    // Semantic pass (DWC-S*): verdicts from the src/analysis/ engines.
+    {"lossy_claimed_complement",
+     // C_Sale projects `price` away, so W = {CheapSales, C_Sale} cannot
+     // reconstruct Sale: S002 with the missing-attribute witness.
+     "CREATE TABLE Sale(item INT, clerk STRING, price INT, KEY(item));\n"
+     "VIEW CheapSales AS SELECT[price < 100](Sale);\n"
+     "VIEW C_Sale AS PROJECT[item, clerk](SELECT[price >= 100](Sale));",
+     "DWC-S002", LintSeverity::kWarning, 3, 1},
+    {"unverified_claimed_complement",
+     // Full width, but the subtracted part is not the Equation (3)
+     // construction: the residual store is unverified.
+     "CREATE TABLE Sale(item INT, clerk STRING, price INT, KEY(item));\n"
+     "VIEW CheapSales AS SELECT[price < 100](Sale);\n"
+     "VIEW C_Sale AS SELECT[price >= 50](Sale);",
+     "DWC-S003", LintSeverity::kWarning, 3, 1},
+    {"attributes_recoverable_only_through_complement",
+     "CREATE TABLE R(a INT, b INT, KEY(a));\n"
+     "VIEW V AS PROJECT[a](R);",
+     "DWC-S004", LintSeverity::kNote, 2, 19},
+    {"over_complement_for_selection_views",
+     // A sigma-view is self-maintainable (Section 4 closing remark): its
+     // complement is never read by any maintenance expression.
+     "CREATE TABLE Emp(id INT, dept STRING, KEY(id));\n"
+     "VIEW HighPaid AS SELECT[id >= 10](Emp);",
+     "DWC-S006", LintSeverity::kNote, 1, 1},
 };
 
 INSTANTIATE_TEST_SUITE_P(Cases, LintTableTest, ::testing::ValuesIn(kLintCases),

@@ -1,0 +1,95 @@
+// SARIF 2.1.0 output: structural checks on the log the tools emit for
+// GitHub code-scanning upload.
+
+#include "lint/sarif.h"
+
+#include <gtest/gtest.h>
+
+#include "lint/linter.h"
+
+namespace dwc {
+namespace {
+
+TEST(SarifTest, EmitsSchemaVersionAndDriver) {
+  std::string log = FormatDiagnosticsSarif({}, "spec.dwc", "dwc_lint");
+  EXPECT_NE(log.find("\"version\": \"2.1.0\""), std::string::npos) << log;
+  EXPECT_NE(log.find("sarif-2.1.0.json"), std::string::npos) << log;
+  EXPECT_NE(log.find("\"name\": \"dwc_lint\""), std::string::npos) << log;
+  EXPECT_NE(log.find("\"results\": []"), std::string::npos) << log;
+}
+
+TEST(SarifTest, ResultCarriesRuleLevelMessageAndLocation) {
+  LintReport report = LintScript(
+      "CREATE TABLE R(a INT);\n"
+      "VIEW V AS R JOIN Missing;\n");
+  std::string log =
+      FormatDiagnosticsSarif(report.diagnostics, "spec.dwc", "dwc_lint");
+  EXPECT_NE(log.find("\"ruleId\": \"DWC-E002\""), std::string::npos) << log;
+  EXPECT_NE(log.find("\"level\": \"error\""), std::string::npos) << log;
+  EXPECT_NE(log.find("\"uri\": \"spec.dwc\""), std::string::npos) << log;
+  EXPECT_NE(log.find("\"startLine\": 2"), std::string::npos) << log;
+  // W004 (keyless base) rides along as a warning.
+  EXPECT_NE(log.find("\"level\": \"warning\""), std::string::npos) << log;
+}
+
+TEST(SarifTest, RuleCatalogListsOnlyRulesThatFired) {
+  LintReport report = LintScript(
+      "CREATE TABLE R(a INT, KEY(a));\n"
+      "VIEW V AS R JOIN Missing;\n");
+  std::string log =
+      FormatDiagnosticsSarif(report.diagnostics, "spec.dwc", "dwc_lint");
+  EXPECT_NE(log.find("\"id\": \"DWC-E002\""), std::string::npos) << log;
+  // A rule that did not fire must not bloat the catalog.
+  EXPECT_EQ(log.find("\"id\": \"DWC-E006\""), std::string::npos) << log;
+  // Fired rules carry their paper reference as help text.
+  EXPECT_NE(log.find("\"help\""), std::string::npos) << log;
+}
+
+TEST(SarifTest, MultiFileLogKeepsPerFileUris) {
+  LintReport first = LintScript("VIEW V AS Nope;");
+  LintReport second = LintScript(
+      "CREATE TABLE R(a INT);\n"
+      "VIEW W AS R;\n");
+  std::string log = FormatSarif(
+      {
+          {"a.dwc", first.diagnostics},
+          {"b.dwc", second.diagnostics},
+      },
+      "dwc_lint");
+  EXPECT_NE(log.find("\"uri\": \"a.dwc\""), std::string::npos) << log;
+  EXPECT_NE(log.find("\"uri\": \"b.dwc\""), std::string::npos) << log;
+  // One run, one driver: the header appears exactly once.
+  size_t count = 0;
+  for (size_t pos = log.find("\"driver\""); pos != std::string::npos;
+       pos = log.find("\"driver\"", pos + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 1u);
+}
+
+TEST(SarifTest, EscapesQuotesAndNewlines) {
+  Diagnostic diagnostic;
+  diagnostic.rule = "DWC-E001";
+  diagnostic.severity = LintSeverity::kError;
+  diagnostic.message = "bad \"thing\"\nsecond line";
+  std::string log =
+      FormatDiagnosticsSarif({diagnostic}, "a\"b.dwc", "dwc_lint");
+  EXPECT_NE(log.find("bad \\\"thing\\\"\\nsecond line"), std::string::npos)
+      << log;
+  EXPECT_NE(log.find("a\\\"b.dwc"), std::string::npos) << log;
+}
+
+TEST(SarifTest, SemanticRulesRoundTrip) {
+  LintReport report = LintScript(
+      "CREATE TABLE Sale(item INT, clerk STRING, price INT, KEY(item));\n"
+      "VIEW CheapSales AS SELECT[price < 100](Sale);\n"
+      "VIEW C_Sale AS PROJECT[item, clerk](SELECT[price >= 100](Sale));\n");
+  std::string log =
+      FormatDiagnosticsSarif(report.diagnostics, "spec.dwc", "dwc_analyze");
+  EXPECT_NE(log.find("\"ruleId\": \"DWC-S002\""), std::string::npos) << log;
+  EXPECT_NE(log.find("\"name\": \"dwc_analyze\""), std::string::npos) << log;
+  EXPECT_NE(log.find("missing-attribute witness"), std::string::npos) << log;
+}
+
+}  // namespace
+}  // namespace dwc

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Diagnostic regression gate for the examples corpus.
+
+Compares the JSON output of dwc_lint / dwc_analyze (--format=json) against
+a committed baseline and fails when any (script, rule) pair reports MORE
+diagnostics than the baseline records — i.e. a new finding crept into the
+corpus. Fewer diagnostics than the baseline is progress: the gate prints a
+reminder to re-bless the baseline but does not fail.
+
+Usage:
+  dwc_lint --format=json examples/scripts/*.dwc > current.json
+  check_diag_regression.py tools/diag_baseline.json current.json
+
+Re-bless after intentional changes:
+  dwc_lint --format=json examples/scripts/*.dwc > tools/diag_baseline.json
+File paths are reduced to basenames so build/checkout locations don't
+matter.
+"""
+
+import collections
+import json
+import os
+import sys
+
+
+def counts(path):
+    """(basename, rule) -> number of diagnostics, from tool JSON output."""
+    with open(path) as f:
+        data = json.load(f)
+    # dwc_lint emits a flat array of per-file objects; dwc_analyze nests
+    # the same object under "diagnostics".
+    out = collections.Counter()
+    for entry in data:
+        report = entry.get("diagnostics", entry)
+        if isinstance(report, dict) and "diagnostics" in report:
+            report = report["diagnostics"]
+        name = os.path.basename(entry.get("file", "?"))
+        for diag in report:
+            out[(name, diag["rule"])] += 1
+    return out
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    baseline = counts(argv[1])
+    current = counts(argv[2])
+
+    regressions = []
+    for key, n in sorted(current.items()):
+        if n > baseline.get(key, 0):
+            regressions.append((key, baseline.get(key, 0), n))
+    improvements = [
+        (key, n, current.get(key, 0))
+        for key, n in sorted(baseline.items())
+        if current.get(key, 0) < n
+    ]
+
+    for (name, rule), old, new in regressions:
+        print(f"REGRESSION {name}: {rule} {old} -> {new}")
+    for (name, rule), old, new in improvements:
+        print(f"improved {name}: {rule} {old} -> {new} "
+              "(re-bless the baseline to lock it in)")
+    if regressions:
+        print(f"{len(regressions)} diagnostic regression(s) vs {argv[1]}")
+        return 1
+    print(f"no diagnostic regressions vs {argv[1]} "
+          f"({sum(current.values())} finding(s) across "
+          f"{len({k[0] for k in current})} script(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -9,8 +9,11 @@
 // failure.
 //
 // Options:
-//   --format=text|json  Output format (default text). JSON output is one
-//                       array with one object per input file.
+//   --format=text|json|sarif  Output format (default text). JSON output is
+//                       one array with one object per input file; SARIF
+//                       output is a single 2.1.0 log covering every file
+//                       (for GitHub code-scanning upload). --sarif is an
+//                       alias for --format=sarif.
 //   --werror            Treat warnings as errors for the exit status.
 //   --no-notes          Suppress note-severity findings.
 //   --list-rules        Print the rule catalog and exit.
@@ -24,19 +27,22 @@
 
 #include "lint/diagnostic.h"
 #include "lint/linter.h"
+#include "lint/sarif.h"
 
 namespace {
 
+enum class Format { kText, kJson, kSarif };
+
 struct Options {
-  bool json = false;
+  Format format = Format::kText;
   bool werror = false;
   bool notes = true;
   std::vector<std::string> files;
 };
 
 void PrintUsage(std::ostream& out) {
-  out << "usage: dwc_lint [--format=text|json] [--werror] [--no-notes] "
-         "[--list-rules] <script.dwc>...\n";
+  out << "usage: dwc_lint [--format=text|json|sarif] [--werror] "
+         "[--no-notes] [--list-rules] <script.dwc>...\n";
 }
 
 void PrintRules(std::ostream& out) {
@@ -74,9 +80,11 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--format=text") {
-      options.json = false;
+      options.format = Format::kText;
     } else if (arg == "--format=json") {
-      options.json = true;
+      options.format = Format::kJson;
+    } else if (arg == "--format=sarif" || arg == "--sarif") {
+      options.format = Format::kSarif;
     } else if (arg == "--werror") {
       options.werror = true;
     } else if (arg == "--no-notes") {
@@ -102,6 +110,7 @@ int main(int argc, char** argv) {
 
   bool failed = false;
   std::string json_out = "[";
+  std::vector<dwc::SarifFileResults> sarif_files;
   for (size_t i = 0; i < options.files.size(); ++i) {
     const std::string& file = options.files[i];
     std::string source;
@@ -119,19 +128,27 @@ int main(int argc, char** argv) {
       shown.push_back(diagnostic);
     }
     std::string label = file == "-" ? "<stdin>" : file;
-    if (options.json) {
-      if (i > 0) {
-        json_out += ", ";
-      }
-      json_out += dwc::FormatDiagnosticsJson(shown, label);
-    } else {
-      std::cout << dwc::FormatDiagnosticsText(shown, label);
+    switch (options.format) {
+      case Format::kJson:
+        if (i > 0) {
+          json_out += ", ";
+        }
+        json_out += dwc::FormatDiagnosticsJson(shown, label);
+        break;
+      case Format::kSarif:
+        sarif_files.push_back(dwc::SarifFileResults{label, shown});
+        break;
+      case Format::kText:
+        std::cout << dwc::FormatDiagnosticsText(shown, label);
+        break;
     }
     failed = failed || report.has_errors() ||
              (options.werror && report.warnings > 0);
   }
-  if (options.json) {
+  if (options.format == Format::kJson) {
     std::cout << json_out << "]\n";
+  } else if (options.format == Format::kSarif) {
+    std::cout << dwc::FormatSarif(sarif_files, "dwc_lint") << "\n";
   }
   return failed ? 1 : 0;
 }
