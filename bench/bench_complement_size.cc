@@ -13,6 +13,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
 #include "algebra/environment.h"
 #include "algebra/evaluator.h"
 #include "bench/bench_common.h"
@@ -62,7 +64,7 @@ void ReportSizes(benchmark::State& state, const Scenario& scenario,
   size_t trivial_tuples = 0;
   for (const auto& [name, rel] : scenario.db.relations()) {
     (void)name;
-    trivial_tuples += rel.size();
+    trivial_tuples += rel->size();
   }
   state.counters["complement_tuples"] =
       static_cast<double>(complement_tuples);
@@ -116,8 +118,93 @@ BENCHMARK(BM_Figure1_WithReferentialIntegrity)
 BENCHMARK(BM_Star_NoConstraints)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_Star_WithConstraints)->Unit(benchmark::kMicrosecond);
 
+// --json: fixed-iteration timings of ComputeComplement per scenario plus
+// the size counters, written to BENCH_complement_size.json.
+void JsonRow(const char* label, const Scenario& scenario,
+             bool use_constraints, std::vector<BenchRow>* rows) {
+  ComplementOptions options;
+  options.use_constraints = use_constraints;
+  ComplementResult complement = Unwrap(
+      ComputeComplement(scenario.views, *scenario.catalog, options),
+      "warmup");
+  std::vector<double> latencies;
+  for (size_t i = 0; i < 20; ++i) {
+    auto start = std::chrono::steady_clock::now();
+    complement = Unwrap(
+        ComputeComplement(scenario.views, *scenario.catalog, options),
+        "complement");
+    latencies.push_back(std::chrono::duration<double, std::micro>(
+                            std::chrono::steady_clock::now() - start)
+                            .count());
+  }
+
+  Environment env = Environment::FromDatabase(scenario.db);
+  std::vector<std::unique_ptr<Relation>> owned;
+  for (const ViewDef& view : scenario.views) {
+    owned.push_back(std::make_unique<Relation>(
+        Unwrap(EvalExpr(*view.expr, env), "view")));
+    env.Bind(view.name, owned.back().get());
+  }
+  size_t complement_tuples =
+      Unwrap(TotalTuples(complement.complements, env), "sizes");
+  size_t trivial_tuples = 0;
+  for (const auto& [name, rel] : scenario.db.relations()) {
+    (void)name;
+    trivial_tuples += rel->size();
+  }
+
+  BenchRow row;
+  row.name = label;
+  row.threads = 1;
+  row.latency = SummarizeLatencies(std::move(latencies));
+  row.counters["complement_tuples"] =
+      static_cast<double>(complement_tuples);
+  row.counters["trivial_tuples"] = static_cast<double>(trivial_tuples);
+  row.counters["stored_views"] =
+      static_cast<double>(complement.complements.size());
+  row.counters["ratio_pct"] =
+      trivial_tuples == 0
+          ? 0.0
+          : 100.0 * static_cast<double>(complement_tuples) /
+                static_cast<double>(trivial_tuples);
+  rows->push_back(std::move(row));
+}
+
+int Main(int argc, char** argv) {
+  if (!JsonRequested(argc, argv)) {
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+      return 1;
+    }
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+  }
+  std::vector<BenchRow> rows;
+  {
+    Scenario scenario = MakeFigure1(/*referential=*/false);
+    JsonRow("figure1/no_constraints", scenario, /*use_constraints=*/false,
+            &rows);
+  }
+  {
+    Scenario scenario = MakeFigure1(/*referential=*/true);
+    JsonRow("figure1/referential_integrity", scenario,
+            /*use_constraints=*/true, &rows);
+  }
+  {
+    Scenario scenario = MakeStar();
+    JsonRow("star/no_constraints", scenario, /*use_constraints=*/false,
+            &rows);
+    JsonRow("star/with_constraints", scenario, /*use_constraints=*/true,
+            &rows);
+  }
+  PrintBenchRows(rows);
+  WriteBenchJson("complement_size", rows);
+  return 0;
+}
+
 }  // namespace
 }  // namespace bench
 }  // namespace dwc
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return dwc::bench::Main(argc, argv); }

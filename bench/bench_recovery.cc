@@ -14,12 +14,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <memory>
 
 #include "bench/bench_common.h"
 #include "storage/durable.h"
 #include "storage/fault_vfs.h"
 #include "storage/recovery.h"
+#include "util/string_util.h"
 #include "warehouse/source.h"
 
 namespace dwc {
@@ -116,8 +118,65 @@ BENCHMARK(BM_PolicyBoundedRecovery)
     ->Arg(512)
     ->Unit(benchmark::kMillisecond);
 
+// --json: fixed-iteration recovery timings over the same grids, written to
+// BENCH_recovery.json. The 1024-record replay point is dropped from the
+// sweep to keep the perf-smoke job fast; the trend is visible from the
+// remaining points.
+void JsonRow(const char* label, size_t arg, size_t deltas,
+             size_t policy_max_records, size_t iterations,
+             std::vector<BenchRow>* rows) {
+  PreparedDirectory prepared(deltas, policy_max_records);
+  uint64_t replayed = 0;
+  std::vector<double> latencies;
+  for (size_t i = 0; i < iterations; ++i) {
+    RecoveryManager manager(&prepared.vfs, "wh");
+    auto start = std::chrono::steady_clock::now();
+    RecoveredStorage recovered =
+        Unwrap(manager.Recover(/*repair=*/false), "recover");
+    latencies.push_back(std::chrono::duration<double, std::micro>(
+                            std::chrono::steady_clock::now() - start)
+                            .count());
+    replayed = recovered.report.records_replayed;
+    benchmark::DoNotOptimize(recovered.restored.warehouse);
+  }
+  BenchRow row;
+  row.name = StrCat(label, "=", arg);
+  row.threads = 1;
+  row.latency = SummarizeLatencies(std::move(latencies));
+  row.counters["wal_records"] = static_cast<double>(replayed);
+  if (policy_max_records > 0) {
+    row.counters["checkpoints"] =
+        static_cast<double>(prepared.durable->stats().checkpoints);
+  }
+  rows->push_back(std::move(row));
+}
+
+int Main(int argc, char** argv) {
+  if (!JsonRequested(argc, argv)) {
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+      return 1;
+    }
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+  }
+  std::vector<BenchRow> rows;
+  for (size_t deltas : {size_t{16}, size_t{64}, size_t{256}}) {
+    JsonRow("replay/wal", deltas, deltas, /*policy_max_records=*/0,
+            /*iterations=*/5, &rows);
+  }
+  for (size_t cadence : {size_t{32}, size_t{128}, size_t{512}}) {
+    JsonRow("policy_bounded/cadence", cadence, 512 + cadence - 1, cadence,
+            /*iterations=*/5, &rows);
+  }
+  PrintBenchRows(rows);
+  WriteBenchJson("recovery", rows);
+  return 0;
+}
+
 }  // namespace
 }  // namespace bench
 }  // namespace dwc
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return dwc::bench::Main(argc, argv); }

@@ -10,7 +10,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
 #include "bench/bench_common.h"
+#include "util/string_util.h"
 
 namespace dwc {
 namespace bench {
@@ -89,8 +92,80 @@ BENCHMARK(BM_SequentialIntegration)
     ->Arg(128)
     ->Unit(benchmark::kMicrosecond);
 
+// --json: fixed-iteration sweep over the same (mode, batch) grid, written
+// to BENCH_transactions.json for CI's perf-smoke gate.
+void JsonRow(bool atomic, size_t batch, size_t iterations,
+             std::vector<BenchRow>* rows) {
+  ScaledFigure1 scenario(1000, 8000, /*referential=*/false, 7);
+  ComplementOptions options;
+  options.use_constraints = false;
+  auto spec = std::make_shared<WarehouseSpec>(Unwrap(
+      SpecifyWarehouse(scenario.catalog, scenario.views, options), "spec"));
+  Source source(scenario.db);
+  Warehouse warehouse = Unwrap(Warehouse::Load(spec, source.db()), "load");
+
+  Rng rng(11);
+  auto round = [&](bool timed, std::vector<double>* latencies) {
+    std::vector<UpdateOp> ops = MakeOps(scenario, batch, &rng);
+    std::vector<CanonicalDelta> deltas =
+        Unwrap(source.ApplyTransaction(ops), "apply");
+    auto start = std::chrono::steady_clock::now();
+    if (atomic) {
+      Check(warehouse.IntegrateTransaction(deltas), "txn");
+    } else {
+      for (const CanonicalDelta& delta : deltas) {
+        Check(warehouse.Integrate(delta), "seq");
+      }
+    }
+    if (timed) {
+      latencies->push_back(std::chrono::duration<double, std::micro>(
+                               std::chrono::steady_clock::now() - start)
+                               .count());
+    }
+    std::vector<UpdateOp> undo;
+    for (const UpdateOp& op : ops) {
+      undo.push_back(UpdateOp{op.relation, {}, op.inserts});
+    }
+    std::vector<CanonicalDelta> undo_deltas =
+        Unwrap(source.ApplyTransaction(undo), "undo");
+    Check(warehouse.IntegrateTransaction(undo_deltas), "undo txn");
+  };
+  round(/*timed=*/false, nullptr);  // Warmup.
+  std::vector<double> latencies;
+  for (size_t i = 0; i < iterations; ++i) {
+    round(/*timed=*/true, &latencies);
+  }
+  BenchRow row;
+  row.name = StrCat(atomic ? "atomic" : "sequential", "/batch=", batch);
+  row.threads = 1;
+  row.latency = SummarizeLatencies(std::move(latencies));
+  row.counters["src_queries"] = static_cast<double>(source.query_count());
+  rows->push_back(std::move(row));
+}
+
+int Main(int argc, char** argv) {
+  if (!JsonRequested(argc, argv)) {
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+      return 1;
+    }
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+  }
+  std::vector<BenchRow> rows;
+  for (bool atomic : {true, false}) {
+    for (size_t batch : {size_t{1}, size_t{16}, size_t{128}}) {
+      JsonRow(atomic, batch, /*iterations=*/10, &rows);
+    }
+  }
+  PrintBenchRows(rows);
+  WriteBenchJson("transactions", rows);
+  return 0;
+}
+
 }  // namespace
 }  // namespace bench
 }  // namespace dwc
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return dwc::bench::Main(argc, argv); }

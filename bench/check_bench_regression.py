@@ -3,12 +3,15 @@
 
 Usage:
     check_bench_regression.py BASELINE.json FRESH.json [--threshold 0.25]
+                              [--metric ops_per_sec|p50_us|p99_us]
 
 Compares rows by name: the check fails if any baseline row is missing
-from the fresh run, or if a fresh row's ops_per_sec dropped more than
-`threshold` (fraction) below the baseline's. Rows present only in the
-fresh run are reported but never fail the check, so adding a
-configuration does not require regenerating the baseline first.
+from the fresh run, or if a fresh row's metric regressed more than
+`threshold` (fraction) relative to the baseline's. Direction follows the
+metric: ops_per_sec is higher-is-better (fail on drops), the latency
+percentiles p50_us/p99_us are lower-is-better (fail on rises). Rows
+present only in the fresh run are reported but never fail the check, so
+adding a configuration does not require regenerating the baseline first.
 
 Stdlib only — CI runs this straight from the checkout.
 """
@@ -17,13 +20,20 @@ import argparse
 import json
 import sys
 
+# Metric name -> True when larger values are better.
+METRICS = {
+    "ops_per_sec": True,
+    "p50_us": False,
+    "p99_us": False,
+}
 
-def load_rows(path):
+
+def load_rows(path, metric):
     with open(path) as f:
         doc = json.load(f)
     rows = {}
     for row in doc.get("rows", []):
-        rows[row["name"]] = float(row.get("ops_per_sec", 0.0))
+        rows[row["name"]] = float(row.get(metric, 0.0))
     if not rows:
         sys.exit(f"error: {path} contains no benchmark rows")
     return rows
@@ -37,32 +47,50 @@ def main():
         "--threshold",
         type=float,
         default=0.25,
-        help="allowed fractional ops/sec drop before failing (default 0.25)",
+        help="allowed fractional regression before failing (default 0.25)",
+    )
+    parser.add_argument(
+        "--metric",
+        choices=sorted(METRICS),
+        default="ops_per_sec",
+        help="row field to compare (default ops_per_sec; the *_us latency "
+        "percentiles gate in the lower-is-better direction)",
     )
     args = parser.parse_args()
 
-    baseline = load_rows(args.baseline)
-    fresh = load_rows(args.fresh)
+    higher_is_better = METRICS[args.metric]
+    baseline = load_rows(args.baseline, args.metric)
+    fresh = load_rows(args.fresh, args.metric)
 
     failures = []
+    print(
+        f"metric: {args.metric} "
+        f"({'higher' if higher_is_better else 'lower'} is better)"
+    )
     print(f"{'configuration':<44} {'baseline':>12} {'fresh':>12} {'ratio':>7}")
-    for name, base_ops in sorted(baseline.items()):
+    for name, base_value in sorted(baseline.items()):
         if name not in fresh:
             failures.append(f"row missing from fresh run: {name}")
-            print(f"{name:<44} {base_ops:>12.1f} {'MISSING':>12}")
+            print(f"{name:<44} {base_value:>12.1f} {'MISSING':>12}")
             continue
-        fresh_ops = fresh[name]
-        ratio = fresh_ops / base_ops if base_ops > 0 else float("inf")
+        fresh_value = fresh[name]
+        ratio = fresh_value / base_value if base_value > 0 else float("inf")
+        if higher_is_better:
+            regressed = fresh_value < base_value * (1.0 - args.threshold)
+            delta = f"fell {1.0 - ratio:.1%}"
+        else:
+            regressed = fresh_value > base_value * (1.0 + args.threshold)
+            delta = f"rose {ratio - 1.0:.1%}"
         flag = ""
-        if fresh_ops < base_ops * (1.0 - args.threshold):
+        if regressed:
             failures.append(
-                f"{name}: ops/sec fell {1.0 - ratio:.1%} "
-                f"({base_ops:.1f} -> {fresh_ops:.1f}), "
+                f"{name}: {args.metric} {delta} "
+                f"({base_value:.1f} -> {fresh_value:.1f}), "
                 f"threshold is {args.threshold:.0%}"
             )
             flag = "  REGRESSED"
         print(
-            f"{name:<44} {base_ops:>12.1f} {fresh_ops:>12.1f} "
+            f"{name:<44} {base_value:>12.1f} {fresh_value:>12.1f} "
             f"{ratio:>6.2f}x{flag}"
         )
     for name in sorted(set(fresh) - set(baseline)):

@@ -106,8 +106,19 @@ class Repl {
           "  QUERY R JOIN S;\n"
           "commands: warehouse, spec, plan, state, sources, check, save,\n"
           "          faults <drop> <dup> <reorder> <corrupt> [seed],\n"
-          "          faults off, stats, storage <dir>, storage stats,\n"
-          "          checkpoint, recover <dir>, quit\n";
+          "          faults off, stats, epochs, storage <dir>,\n"
+          "          storage stats, checkpoint, recover <dir>, quit\n";
+      return true;
+    }
+    if (lower == "epochs") {
+      if (RequireWarehouse()) {
+        // Snapshot-epoch observability: which state version queries pin,
+        // how many readers hold pins, and what the reclamation sweep has
+        // retired vs reclaimed (DESIGN.md §12).
+        std::cout << "current epoch: " << warehouse_->current_epoch() << "\n"
+                  << "epoch stats:   "
+                  << warehouse_->epoch_stats().ToString() << "\n";
+      }
       return true;
     }
     if (lower == "stats") {

@@ -77,8 +77,15 @@ Result<AggregateView> AggregateView::Create(AggregateViewDef def,
   }
   DWC_ASSIGN_OR_RETURN(Schema out_schema, Schema::Create(std::move(out_attrs)));
   view.def_ = std::move(def);
-  view.materialized_ = Relation(std::move(out_schema));
+  view.materialized_ = std::make_shared<Relation>(std::move(out_schema));
   return view;
+}
+
+void AggregateView::CopyFrom(const AggregateView& other) {
+  def_ = other.def_;
+  source_schema_ = other.source_schema_;
+  materialized_ = std::make_shared<Relation>(*other.materialized_);
+  groups_ = other.groups_;
 }
 
 Result<std::vector<size_t>> AggregateView::GroupIndices(
@@ -129,7 +136,9 @@ Value ZeroOf(ValueType type) {
 
 Status AggregateView::Initialize(const Environment& env) {
   groups_.clear();
-  materialized_.Clear();
+  // Fresh slot, not Clear(): a pinned epoch snapshot may still reference
+  // the previous table.
+  materialized_ = std::make_shared<Relation>(materialized_->schema());
   Evaluator evaluator(&env);
   Result<std::shared_ptr<const Relation>> source = evaluator.Eval(*def_.source);
   if (!source.ok()) {
@@ -256,12 +265,12 @@ Status AggregateView::RecomputeGroup(const Tuple& group,
 
 void AggregateView::EmitRow(const Tuple& group) {
   // Drop any stale row for this group, then write the fresh one.
-  const Relation::Index& index = materialized_.GetIndex(def_.group_by);
+  const Relation::Index& index = materialized_->GetIndex(def_.group_by);
   auto bucket = index.find(group);
   if (bucket != index.end() && !bucket->second.empty()) {
     // Copy first: Erase invalidates the bucket.
     Tuple stale = *bucket->second.front();
-    materialized_.Erase(stale);
+    materialized_->Erase(stale);
   }
   auto it = groups_.find(group);
   if (it == groups_.end() || it->second.count <= 0) {
@@ -276,7 +285,7 @@ void AggregateView::EmitRow(const Tuple& group) {
       row.push_back(it->second.accums[i]);
     }
   }
-  materialized_.Insert(Tuple(std::move(row)));
+  materialized_->Insert(Tuple(std::move(row)));
 }
 
 Status AggregateView::ApplyDelta(const Relation& plus, const Relation& minus,

@@ -2,6 +2,7 @@
 #define DWC_AGGREGATE_AGGREGATE_VIEW_H_
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -61,11 +62,31 @@ class AggregateView {
   static Result<AggregateView> Create(AggregateViewDef def,
                                       const SchemaResolver& resolver);
 
+  // The materialized table lives behind a shared slot so the warehouse's
+  // epoch snapshots can keep an old version alive after the view moves on
+  // (warehouse/epoch.h). Copying a view deep-copies the table — a copy
+  // never aliases storage with the original, which is what makes
+  // copy-then-swap folding safe.
+  AggregateView(const AggregateView& other) { CopyFrom(other); }
+  AggregateView& operator=(const AggregateView& other) {
+    if (this != &other) {
+      CopyFrom(other);
+    }
+    return *this;
+  }
+  AggregateView(AggregateView&&) noexcept = default;
+  AggregateView& operator=(AggregateView&&) noexcept = default;
+
   const AggregateViewDef& def() const { return def_; }
-  const Schema& schema() const { return materialized_.schema(); }
-  const Relation& materialized() const { return materialized_; }
+  const Schema& schema() const { return materialized_->schema(); }
+  const Relation& materialized() const { return *materialized_; }
+  std::shared_ptr<const Relation> shared_materialized() const {
+    return materialized_;
+  }
 
   // Recomputes from scratch: evaluates `source` on `env` and folds it.
+  // Installs a fresh storage slot, leaving any snapshot-held old version
+  // untouched.
   Status Initialize(const Environment& env);
 
   // Folds an exact source delta. `plus`/`minus` carry the source schema
@@ -81,7 +102,9 @@ class AggregateView {
     bool dirty = false;         // MIN/MAX needs re-aggregation.
   };
 
-  AggregateView() = default;
+  AggregateView() : materialized_(std::make_shared<Relation>()) {}
+
+  void CopyFrom(const AggregateView& other);
 
   Status FoldInsert(const Tuple& tuple, const Schema& schema);
   Status FoldDelete(const Tuple& tuple, const Schema& schema);
@@ -96,7 +119,7 @@ class AggregateView {
 
   AggregateViewDef def_;
   Schema source_schema_;
-  Relation materialized_;
+  std::shared_ptr<Relation> materialized_;
   std::map<Tuple, GroupState> groups_;
 };
 

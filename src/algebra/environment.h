@@ -28,7 +28,7 @@ class Environment {
   // Binds every relation of `db` under its own name.
   void BindDatabase(const Database& db) {
     for (const auto& [name, relation] : db.relations()) {
-      bindings_[name] = &relation;
+      bindings_[name] = relation.get();
     }
   }
 

@@ -79,11 +79,11 @@ std::string CatalogToScript(const Catalog& catalog) {
 std::string DatabaseToScript(const Database& db) {
   std::string out;
   for (const auto& [name, rel] : db.relations()) {
-    if (rel.empty()) {
+    if (rel->empty()) {
       continue;
     }
     std::vector<std::string> rows;
-    for (const Tuple& tuple : rel.SortedTuples()) {
+    for (const Tuple& tuple : rel->SortedTuples()) {
       rows.push_back(StrCat("(", Join(tuple.values(), ", "), ")"));
     }
     out += StrCat("INSERT INTO ", name, " VALUES ", Join(rows, ", "), ";\n");

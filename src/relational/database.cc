@@ -11,6 +11,14 @@ Database::Database(std::shared_ptr<const Catalog> catalog)
   }
 }
 
+void Database::CopyFrom(const Database& other) {
+  catalog_ = other.catalog_;
+  relations_.clear();
+  for (const auto& [name, rel] : other.relations_) {
+    relations_.emplace(name, std::make_shared<Relation>(*rel));
+  }
+}
+
 Status Database::AddRelation(const std::string& name, Relation relation) {
   if (HasRelation(name)) {
     return Status::AlreadyExists(StrCat("relation '", name, "' already present"));
@@ -21,7 +29,7 @@ Status Database::AddRelation(const std::string& name, Relation relation) {
         StrCat("relation '", name, "' schema ", relation.schema().ToString(),
                " does not match declared ", declared->ToString()));
   }
-  relations_.emplace(name, std::move(relation));
+  relations_.emplace(name, std::make_shared<Relation>(std::move(relation)));
   return Status::Ok();
 }
 
@@ -31,12 +39,33 @@ Status Database::AddEmptyRelation(const std::string& name, Schema schema) {
 
 const Relation* Database::FindRelation(const std::string& name) const {
   auto it = relations_.find(name);
-  return it == relations_.end() ? nullptr : &it->second;
+  return it == relations_.end() ? nullptr : it->second.get();
 }
 
 Relation* Database::FindMutableRelation(const std::string& name) {
   auto it = relations_.find(name);
-  return it == relations_.end() ? nullptr : &it->second;
+  return it == relations_.end() ? nullptr : it->second.get();
+}
+
+std::shared_ptr<const Relation> Database::ShareRelation(
+    const std::string& name) const {
+  auto it = relations_.find(name);
+  return it == relations_.end() ? nullptr : it->second;
+}
+
+Status Database::ReplaceRelation(const std::string& name,
+                                 std::shared_ptr<Relation> relation) {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound(
+        StrCat("cannot replace unknown relation '", name, "'"));
+  }
+  if (relation == nullptr) {
+    return Status::InvalidArgument(
+        StrCat("replacement for '", name, "' must not be null"));
+  }
+  it->second = std::move(relation);
+  return Status::Ok();
 }
 
 Status Database::ValidateConstraints() const {
@@ -91,7 +120,7 @@ bool Database::SameStateAs(const Database& other) const {
   }
   for (const auto& [name, rel] : relations_) {
     const Relation* other_rel = other.FindRelation(name);
-    if (other_rel == nullptr || !rel.SameContentAs(*other_rel)) {
+    if (other_rel == nullptr || !rel->SameContentAs(*other_rel)) {
       return false;
     }
   }
@@ -101,7 +130,7 @@ bool Database::SameStateAs(const Database& other) const {
 std::string Database::ToString() const {
   std::string out;
   for (const auto& [name, rel] : relations_) {
-    out += StrCat(name, " = ", rel.ToString(), "\n");
+    out += StrCat(name, " = ", rel->ToString(), "\n");
   }
   return out;
 }

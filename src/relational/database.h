@@ -4,6 +4,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 
 #include "relational/catalog.h"
 #include "relational/relation.h"
@@ -15,10 +16,26 @@ namespace dwc {
 // A database state d = <r1, ..., rn> over a Catalog: one Relation per
 // declared base schema. Also used for arbitrary named relation stores (e.g.
 // warehouse states), in which case the catalog can be empty.
+//
+// Relations are held through shared_ptr slots so a snapshot layer (see
+// warehouse/epoch.h) can keep an old relation version alive after the
+// database replaces or drops the slot. The Database itself still has deep
+// value semantics: copying a Database copies every relation (fresh uids),
+// never aliases storage with the original.
 class Database {
  public:
   Database() : catalog_(std::make_shared<Catalog>()) {}
   explicit Database(std::shared_ptr<const Catalog> catalog);
+
+  Database(const Database& other) { CopyFrom(other); }
+  Database& operator=(const Database& other) {
+    if (this != &other) {
+      CopyFrom(other);
+    }
+    return *this;
+  }
+  Database(Database&&) noexcept = default;
+  Database& operator=(Database&&) noexcept = default;
 
   const Catalog& catalog() const { return *catalog_; }
   std::shared_ptr<const Catalog> catalog_ptr() const { return catalog_; }
@@ -35,7 +52,20 @@ class Database {
   const Relation* FindRelation(const std::string& name) const;
   Relation* FindMutableRelation(const std::string& name);
 
-  const std::map<std::string, Relation>& relations() const {
+  // The shared slot under `name` (nullptr when absent). Callers that hold
+  // the returned pointer see a frozen relation only for as long as nobody
+  // mutates the slot in place — the warehouse's epoch protocol guarantees
+  // that by cloning before mutating whenever a snapshot is pinned.
+  std::shared_ptr<const Relation> ShareRelation(const std::string& name) const;
+
+  // Swaps the slot under `name` to `relation` (copy-on-write commit
+  // primitive). The previous slot object is untouched, so snapshots holding
+  // it continue to see the old version. Fails with NotFound for unknown
+  // names: this replaces content, it never creates relations.
+  Status ReplaceRelation(const std::string& name,
+                         std::shared_ptr<Relation> relation);
+
+  const std::map<std::string, std::shared_ptr<Relation>>& relations() const {
     return relations_;
   }
 
@@ -50,7 +80,7 @@ class Database {
     uint64_t total = 0;
     for (const auto& [name, relation] : relations_) {
       (void)name;
-      total += relation.version();
+      total += relation->version();
     }
     return total;
   }
@@ -61,8 +91,10 @@ class Database {
   std::string ToString() const;
 
  private:
+  void CopyFrom(const Database& other);
+
   std::shared_ptr<const Catalog> catalog_;
-  std::map<std::string, Relation> relations_;
+  std::map<std::string, std::shared_ptr<Relation>> relations_;
 };
 
 }  // namespace dwc

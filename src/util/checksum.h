@@ -171,7 +171,7 @@ class StateDigest {
   void Reset(const Database& db) {
     digests_.clear();
     for (const auto& [name, rel] : db.relations()) {
-      digests_[name] = RelationDigest(rel);
+      digests_[name] = RelationDigest(*rel);
     }
   }
 

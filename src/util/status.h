@@ -19,6 +19,10 @@ enum class StatusCode {
   kOutOfRange,
   kUnimplemented,
   kInternal,
+  // The operation was refused because the caller's context is no longer
+  // serviceable (e.g. a shed snapshot past the epoch-lag bound). Retrying
+  // against fresh context is expected to succeed.
+  kAborted,
 };
 
 // Returns a stable human-readable name ("OK", "InvalidArgument", ...).
@@ -53,6 +57,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

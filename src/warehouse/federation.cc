@@ -89,7 +89,7 @@ Result<Database> Federation::CombinedState() const {
   for (const auto& [name, source] : sources_) {
     (void)name;
     for (const auto& [rel_name, rel] : source->db().relations()) {
-      DWC_RETURN_IF_ERROR(combined.AddRelation(rel_name, rel));
+      DWC_RETURN_IF_ERROR(combined.AddRelation(rel_name, *rel));
     }
   }
   return combined;

@@ -1,6 +1,7 @@
 #include "warehouse/warehouse.h"
 
 #include <optional>
+#include <utility>
 
 #include "algebra/evaluator.h"
 #include "algebra/optimizer.h"
@@ -41,7 +42,52 @@ Result<Warehouse> Warehouse::Load(std::shared_ptr<const WarehouseSpec> spec,
   }
   Environment env = Environment::FromDatabase(sources);
   DWC_RETURN_IF_ERROR(warehouse.MaterializeFrom(env));
+  // Epoch 1: the loaded state. Every later committed transition publishes
+  // the next epoch; readers pin whatever is current when they arrive.
+  warehouse.epochs_->Publish(warehouse.CurrentVersions());
   return warehouse;
+}
+
+void Warehouse::CopyFrom(const Warehouse& other) {
+  spec_ = other.spec_;
+  strategy_ = other.strategy_;
+  plan_ = other.plan_;
+  state_ = other.state_;
+  aggregates_ = other.aggregates_;
+  aggregate_delta_cache_ = other.aggregate_delta_cache_;
+  transaction_plans_ = other.transaction_plans_;
+  evaluator_options_ = other.evaluator_options_;
+  subplan_cache_ = other.subplan_cache_;
+  // An independent epoch timeline: snapshots pinned on the original must
+  // not see (or delay reclamation of) the copy's state, and vice versa.
+  epochs_ = std::make_shared<EpochManager>(other.epochs_->options());
+  stats_mu_ = std::make_shared<std::mutex>();
+  {
+    std::lock_guard<std::mutex> lock(*other.stats_mu_);
+    last_integrate_stats_ = other.last_integrate_stats_;
+  }
+  last_integrate_epoch_ = 0;
+  certificates_ = other.certificates_;
+  validate_deltas_ = other.validate_deltas_;
+  integration_hook_ = other.integration_hook_;
+  hook_step_ = other.hook_step_;
+  epochs_->Publish(CurrentVersions());
+}
+
+EpochManager::VersionSet Warehouse::CurrentVersions() const {
+  EpochManager::VersionSet versions;
+  for (const auto& [name, rel] : state_.relations()) {
+    versions.emplace(name, rel);
+  }
+  for (const auto& [name, view] : aggregates_) {
+    versions.emplace(name, view.shared_materialized());
+  }
+  return versions;
+}
+
+void Warehouse::PublishCurrent() {
+  epochs_->Publish(CurrentVersions());
+  TagIntegrateEpoch(epochs_->current_epoch());
 }
 
 Status Warehouse::MaterializeFrom(const Environment& base_env) {
@@ -58,6 +104,8 @@ Status Warehouse::MaterializeFrom(const Environment& base_env) {
     DWC_RETURN_IF_ERROR(fresh.AddRelation(view.name, std::move(rel).value()));
     env.Bind(view.name, fresh.FindRelation(view.name));
   }
+  // Whole-map swap: relation objects referenced by published epochs stay
+  // alive through their shared slots, so pinned readers are unaffected.
   state_ = std::move(fresh);
   return Status::Ok();
 }
@@ -65,7 +113,7 @@ Status Warehouse::MaterializeFrom(const Environment& base_env) {
 Status Warehouse::BeginIntegration(
     const std::vector<const CanonicalDelta*>& deltas) {
   hook_step_ = 0;
-  last_integrate_stats_ = EvalStats();
+  ResetIntegrateStats();
   for (const CanonicalDelta* delta : deltas) {
     if (!spec_->catalog().HasRelation(delta->relation)) {
       return Status::NotFound(StrCat("delta targets unknown base relation '",
@@ -267,8 +315,12 @@ Status Warehouse::ApplyPlanned(
         statuses[i] = std::move(status);
         task_stats[i] = task_evaluator.stats();
       });
-  for (const EvalStats& stats : task_stats) {
-    last_integrate_stats_.MergeFrom(stats);
+  {
+    EvalStats merged;
+    for (const EvalStats& stats : task_stats) {
+      merged.MergeFrom(stats);
+    }
+    MergeIntegrateStats(merged);
   }
   for (const Status& status : statuses) {
     DWC_RETURN_IF_ERROR(status);
@@ -332,7 +384,7 @@ Status Warehouse::ApplyPlanned(
         }
         Result<Relation> minus =
             agg_evaluator.Materialize(*cached->second.minus);
-        last_integrate_stats_.MergeFrom(agg_evaluator.stats());
+        MergeIntegrateStats(agg_evaluator.stats());
         if (!minus.ok()) {
           return minus.status();
         }
@@ -342,71 +394,136 @@ Status Warehouse::ApplyPlanned(
     }
   }
 
-  // Commit phase. A failing HookStep() here simulates a crash: it returns
-  // immediately *without* rollback, leaving torn in-memory state that the
-  // caller must discard and recover via checkpoint + journal replay
-  // (persistence.h). Genuine failures (aggregate fold errors) instead roll
-  // back through the O(|delta|) undo log so the error contract stays
-  // "state unchanged".
-  struct Undo {
-    Relation* target;
-    std::vector<Tuple> inserted;
-    std::vector<Tuple> erased;
-  };
-  std::vector<Undo> undo;
-  undo.reserve(pending.size());
-  auto rollback_relations = [&undo]() {
-    for (auto it = undo.rbegin(); it != undo.rend(); ++it) {
-      for (const Tuple& tuple : it->inserted) {
-        it->target->Erase(tuple);
+  // Commit phase. The epoch manager picks the path: with zero pinned
+  // snapshots the commit mutates relations in place while holding the
+  // commit lock — no reader can pin a half-mutated state, the relations
+  // keep their lazily built indexes, and the work stays O(|delta|). With
+  // readers in flight it clones every changed relation off to the side and
+  // swaps the slots at the end (copy-on-write), so every pinned version
+  // set stays frozen. Either way the new epoch publishes as the commit's
+  // final act: a failing HookStep() (simulated crash — returns without
+  // rollback, torn in-memory state discarded by the caller via checkpoint +
+  // journal recovery, persistence.h) or a genuine fold error (rolls back,
+  // "state unchanged" contract) never publishes, so concurrent readers
+  // keep the previous epoch — never a half-epoch.
+  //
+  // Aggregate folds go copy-then-swap on both paths: folding a deep copy
+  // and installing it only after every fold succeeded means a failed fold
+  // has nothing to restore — and never dirties a table object that a
+  // published epoch still references.
+  EpochManager::Commit commit = epochs_->BeginCommit();
+  if (commit.in_place()) {
+    struct Undo {
+      Relation* target;
+      std::vector<Tuple> inserted;
+      std::vector<Tuple> erased;
+    };
+    std::vector<Undo> undo;
+    undo.reserve(pending.size());
+    auto rollback_relations = [&undo]() {
+      for (auto it = undo.rbegin(); it != undo.rend(); ++it) {
+        for (const Tuple& tuple : it->inserted) {
+          it->target->Erase(tuple);
+        }
+        for (const Tuple& tuple : it->erased) {
+          it->target->Insert(tuple);
+        }
       }
-      for (const Tuple& tuple : it->erased) {
-        it->target->Insert(tuple);
+    };
+    for (Pending& p : pending) {
+      DWC_RETURN_IF_ERROR(HookStep());
+      Undo u{p.target, {}, {}};
+      // Apply deletions before insertions: the delta pair is exact, so the
+      // two sets are disjoint and order only matters for storage churn.
+      for (const Tuple& tuple : p.minus.tuples()) {
+        if (p.target->Erase(tuple)) {
+          u.erased.push_back(tuple);
+        }
+      }
+      for (const Tuple& tuple : p.plus.tuples()) {
+        if (p.target->Insert(tuple)) {
+          u.inserted.push_back(tuple);
+        }
+      }
+      undo.push_back(std::move(u));
+    }
+    // Fold aggregate deltas against the new state (MIN/MAX group recomputes
+    // read the updated fact views).
+    if (!aggregate_pending.empty()) {
+      Environment new_env = Env();
+      std::vector<std::pair<AggregateView*, AggregateView>> folded;
+      folded.reserve(aggregate_pending.size());
+      for (AggregatePending& p : aggregate_pending) {
+        DWC_RETURN_IF_ERROR(HookStep());
+        AggregateView tmp = *p.view;
+        Status status = tmp.ApplyDelta(p.plus, p.minus, new_env);
+        if (!status.ok()) {
+          rollback_relations();
+          return status;
+        }
+        folded.emplace_back(p.view, std::move(tmp));
+      }
+      for (auto& [view, tmp] : folded) {
+        *view = std::move(tmp);
       }
     }
-  };
-  for (Pending& p : pending) {
+    // Final commit point: a crash here happens after all mutations but
+    // before the caller journals the delta, so recovery replays up to the
+    // previous refresh.
     DWC_RETURN_IF_ERROR(HookStep());
-    Undo u{p.target, {}, {}};
-    // Apply deletions before insertions: the delta pair is exact, so the
-    // two sets are disjoint and order only matters for storage churn.
-    for (const Tuple& tuple : p.minus.tuples()) {
-      if (p.target->Erase(tuple)) {
-        u.erased.push_back(tuple);
-      }
-    }
-    for (const Tuple& tuple : p.plus.tuples()) {
-      if (p.target->Insert(tuple)) {
-        u.inserted.push_back(tuple);
-      }
-    }
-    undo.push_back(std::move(u));
+    commit.Publish(CurrentVersions());
+    TagIntegrateEpoch(epochs_->current_epoch());
+    return Status::Ok();
   }
 
-  // Fold aggregate deltas against the new state (MIN/MAX group recomputes
-  // read the updated fact views). Each touched view is snapshotted first
-  // (summary tables are small) so a fold failure restores it exactly.
-  if (!aggregate_pending.empty()) {
-    std::vector<std::pair<AggregateView*, AggregateView>> saved;
-    saved.reserve(aggregate_pending.size());
-    Environment new_env = Env();
-    for (AggregatePending& p : aggregate_pending) {
-      DWC_RETURN_IF_ERROR(HookStep());
-      saved.emplace_back(p.view, *p.view);
-      Status status = p.view->ApplyDelta(p.plus, p.minus, new_env);
-      if (!status.ok()) {
-        for (auto it = saved.rbegin(); it != saved.rend(); ++it) {
-          *it->first = it->second;
-        }
-        rollback_relations();
-        return status;
-      }
+  // Copy-on-write path: pinned readers exist, so published relations are
+  // immutable. All work happens off to the side with no lock held; only
+  // the slot swap + publish at the end synchronizes with readers (through
+  // the epoch manager). A failure anywhere before the installs leaves the
+  // live state byte-identical — there is nothing to roll back.
+  struct Swap {
+    std::string name;
+    std::shared_ptr<Relation> relation;
+  };
+  std::vector<Swap> swaps;
+  swaps.reserve(pending.size());
+  // Post-update environment for the aggregate folds: live state with every
+  // changed relation's binding overridden by its updated clone.
+  Environment cow_env = Env();
+  for (Pending& p : pending) {
+    DWC_RETURN_IF_ERROR(HookStep());
+    auto clone = std::make_shared<Relation>(*p.target);
+    for (const Tuple& tuple : p.minus.tuples()) {
+      clone->Erase(tuple);
     }
+    for (const Tuple& tuple : p.plus.tuples()) {
+      clone->Insert(tuple);
+    }
+    cow_env.Bind(p.relation, clone.get());
+    swaps.push_back(Swap{p.relation, std::move(clone)});
   }
-  // Final commit point: a crash here happens after all mutations but before
-  // the caller journals the delta, so recovery replays up to the previous
-  // refresh.
-  return HookStep();
+  std::vector<std::pair<AggregateView*, AggregateView>> folded;
+  folded.reserve(aggregate_pending.size());
+  for (AggregatePending& p : aggregate_pending) {
+    DWC_RETURN_IF_ERROR(HookStep());
+    AggregateView tmp = *p.view;
+    Status status = tmp.ApplyDelta(p.plus, p.minus, cow_env);
+    if (!status.ok()) {
+      return status;
+    }
+    folded.emplace_back(p.view, std::move(tmp));
+  }
+  DWC_RETURN_IF_ERROR(HookStep());
+  for (Swap& swap : swaps) {
+    DWC_RETURN_IF_ERROR(
+        state_.ReplaceRelation(swap.name, std::move(swap.relation)));
+  }
+  for (auto& [view, tmp] : folded) {
+    *view = std::move(tmp);
+  }
+  commit.Publish(CurrentVersions());
+  TagIntegrateEpoch(epochs_->current_epoch());
+  return Status::Ok();
 }
 
 Status Warehouse::AddAggregateView(AggregateViewDef def) {
@@ -433,7 +550,15 @@ Status Warehouse::AddAggregateView(AggregateViewDef def) {
   auto [it, inserted] = aggregates_.emplace(name, std::move(view).value());
   (void)inserted;
   Environment env = Env();
-  return it->second.Initialize(env);
+  Status status = it->second.Initialize(env);
+  if (!status.ok()) {
+    // Never leave a half-initialized view registered (it would poison every
+    // later Env()/epoch publication).
+    aggregates_.erase(it);
+    return status;
+  }
+  PublishCurrent();
+  return Status::Ok();
 }
 
 const AggregateView* Warehouse::FindAggregate(const std::string& name) const {
@@ -486,15 +611,18 @@ Status Warehouse::IntegrateRecompute(
     // MaterializeFrom builds the new state fully before swapping, so a
     // failure leaves the old state in place.
     DWC_RETURN_IF_ERROR(MaterializeFrom(env));
-    return HookStep();
+    DWC_RETURN_IF_ERROR(HookStep());
+    PublishCurrent();
+    return Status::Ok();
   }
-  // Aggregate re-init mutates views in place; snapshot for rollback. The
-  // copies are acceptable on this already-O(|database|) path.
+  // Aggregate re-init installs fresh tables; snapshot live state for
+  // rollback. The copies are acceptable on this already-O(|database|) path.
   Database old_state = state_;
   std::map<std::string, AggregateView> old_aggregates = aggregates_;
   DWC_RETURN_IF_ERROR(MaterializeFrom(env));
   // A crash between the swap and aggregate re-init leaves torn state the
-  // caller discards (checkpoint + journal recovery).
+  // caller discards (checkpoint + journal recovery) — and, per the epoch
+  // contract, publishes nothing: pinned readers keep the previous epoch.
   DWC_RETURN_IF_ERROR(HookStep());
   Status status = ReinitializeAggregates();
   if (!status.ok()) {
@@ -502,13 +630,15 @@ Status Warehouse::IntegrateRecompute(
     aggregates_ = std::move(old_aggregates);
     return status;
   }
-  return HookStep();
+  DWC_RETURN_IF_ERROR(HookStep());
+  PublishCurrent();
+  return Status::Ok();
 }
 
 Status Warehouse::CheckCertificates(
     const std::vector<const CanonicalDelta*>& deltas) const {
-  if (certificates_ == nullptr ||
-      last_integrate_stats_.source_reads == 0) {
+  const EvalStats stats = last_integrate_stats();
+  if (certificates_ == nullptr || stats.source_reads == 0) {
     return Status::Ok();
   }
   // Source traffic happened. That is fine exactly when some affected
@@ -532,8 +662,7 @@ Status Warehouse::CheckCertificates(
   }
   return Status::Internal(
       StrCat("certificate violation: integration of deltas on {",
-             Join(bases, ", "), "} performed ",
-             last_integrate_stats_.source_reads,
+             Join(bases, ", "), "} performed ", stats.source_reads,
              " source read(s), but every affected (base, delta-kind) is "
              "certified SELF or COMPLEMENT"));
 }
@@ -569,7 +698,7 @@ Status Warehouse::IntegrateQuerySource(const Source& source) {
   for (const ViewDef& view : spec_->AllWarehouseViews()) {
     Evaluator evaluator = MakeEvaluator(&env);
     Result<Relation> rel = evaluator.Materialize(*view.expr);
-    last_integrate_stats_.MergeFrom(evaluator.stats());
+    MergeIntegrateStats(evaluator.stats());
     if (!rel.ok()) {
       return rel.status();
     }
@@ -579,7 +708,9 @@ Status Warehouse::IntegrateQuerySource(const Source& source) {
   DWC_RETURN_IF_ERROR(HookStep());
   if (aggregates_.empty()) {
     state_ = std::move(fresh);
-    return HookStep();
+    DWC_RETURN_IF_ERROR(HookStep());
+    PublishCurrent();
+    return Status::Ok();
   }
   Database old_state = std::move(state_);
   std::map<std::string, AggregateView> old_aggregates = aggregates_;
@@ -590,16 +721,37 @@ Status Warehouse::IntegrateQuerySource(const Source& source) {
     aggregates_ = std::move(old_aggregates);
     return status;
   }
-  return HookStep();
+  DWC_RETURN_IF_ERROR(HookStep());
+  PublishCurrent();
+  return Status::Ok();
 }
 
 Result<Relation> Warehouse::AnswerQuery(const ExprRef& query,
                                         EvalStats* stats) const {
+  return AnswerQueryAt(PinSnapshot(), query, stats);
+}
+
+Result<Relation> Warehouse::AnswerQueryAt(const SnapshotHandle& snapshot,
+                                          const ExprRef& query,
+                                          EvalStats* stats) const {
+  if (!snapshot.valid()) {
+    return Status::FailedPrecondition(
+        "snapshot handle is empty (released, moved-from, or pinned before "
+        "the warehouse published its first epoch)");
+  }
+  if (snapshot.shed()) {
+    return Status::Aborted(
+        StrCat("snapshot of epoch ", snapshot.epoch(),
+               " was shed by the epoch-lag backpressure policy (current "
+               "epoch is ", epochs_->current_epoch(), "); re-pin and retry"));
+  }
   // Like TranslateQuery, but aggregate views are additionally addressable.
+  // Name checks and schema resolution go through the snapshot (not the
+  // live aggregate map): the writer may be registering views concurrently.
   for (const std::string& name : query->ReferencedNames()) {
     if (spec_->FindInverse(name) == nullptr &&
         spec_->FindWarehouseSchema(name) == nullptr &&
-        aggregates_.count(name) == 0) {
+        snapshot.Find(name) == nullptr) {
       return Status::NotFound(
           StrCat("query references '", name,
                  "', which is neither a base relation, a warehouse view, "
@@ -608,23 +760,28 @@ Result<Relation> Warehouse::AnswerQuery(const ExprRef& query,
   }
   ExprRef translated = SubstituteNames(query, spec_->inverses());
   SchemaResolver warehouse_resolver = spec_->WarehouseResolver();
-  auto resolver = [this, &warehouse_resolver](
+  auto resolver = [&snapshot, &warehouse_resolver](
                       const std::string& name) -> const Schema* {
     const Schema* schema = warehouse_resolver(name);
     if (schema != nullptr) {
       return schema;
     }
-    auto it = aggregates_.find(name);
-    return it == aggregates_.end() ? nullptr : &it->second.schema();
+    const Relation* rel = snapshot.Find(name);
+    return rel == nullptr ? nullptr : &rel->schema();
   };
   SchemaResolver resolver_fn = resolver;
   translated = Simplify(translated, &resolver_fn);
   translated = PushDownSelections(translated, resolver_fn);
   translated = Simplify(translated, &resolver_fn);
   // Canonicalize the optimized plan: a repeated query against an unchanged
-  // warehouse recycles every one of its subplans from the cache.
+  // warehouse recycles every one of its subplans from the cache (the
+  // (uid, version) snapshot keys make cached results epoch-correct: a hit
+  // can only come from the exact relation versions this snapshot pinned).
   translated = spec_->interner()->Intern(translated);
-  Environment env = Env();
+  Environment env;
+  for (const auto& [name, rel] : snapshot.relations()) {
+    env.Bind(name, rel.get());
+  }
   Evaluator evaluator = MakeEvaluator(&env);
   Result<Relation> result = evaluator.Materialize(*translated);
   if (stats != nullptr) {
@@ -636,7 +793,9 @@ Result<Relation> Warehouse::AnswerQuery(const ExprRef& query,
 Status Warehouse::ResetFromSources(const Database& sources) {
   Environment env = Environment::FromDatabase(sources);
   if (aggregates_.empty()) {
-    return MaterializeFrom(env);
+    DWC_RETURN_IF_ERROR(MaterializeFrom(env));
+    PublishCurrent();
+    return Status::Ok();
   }
   Database old_state = state_;
   std::map<std::string, AggregateView> old_aggregates = aggregates_;
@@ -647,6 +806,7 @@ Status Warehouse::ResetFromSources(const Database& sources) {
     aggregates_ = std::move(old_aggregates);
     return status;
   }
+  PublishCurrent();
   return Status::Ok();
 }
 

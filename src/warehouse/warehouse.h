@@ -4,7 +4,9 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <vector>
 
 #include "aggregate/aggregate_view.h"
 #include "algebra/environment.h"
@@ -15,6 +17,7 @@
 #include "maintenance/plan.h"
 #include "relational/database.h"
 #include "util/result.h"
+#include "warehouse/epoch.h"
 #include "warehouse/source.h"
 #include "warehouse/update.h"
 
@@ -42,6 +45,18 @@ const char* MaintenanceStrategyName(MaintenanceStrategy strategy);
 
 // A running warehouse: the materialized state of W = V ∪ C plus the machinery
 // to answer translated queries and integrate reported source deltas.
+//
+// Concurrency model (see warehouse/epoch.h and DESIGN.md §12): one writer —
+// whoever drives Integrate/IntegrateTransaction/ResetFromSources/
+// AddAggregateView — plus any number of concurrent reader threads going
+// through PinSnapshot/AnswerQuery/AnswerQueryAt. Every successful state
+// transition publishes a new snapshot epoch as its final act; readers
+// evaluate against the pinned epoch's frozen version set and never observe a
+// half-applied integration. Configuration setters (SetEvaluatorOptions,
+// SetEpochOptions, set_validate_deltas, ...) are writer-side: call them
+// before concurrent serving starts. All other accessors that touch `state()`
+// directly (FindRelation, Env, ReconstructSources, ...) read the writer's
+// live state and are not synchronized against it.
 class Warehouse {
  public:
   // Materializes all warehouse relations from the initial source state and
@@ -50,6 +65,22 @@ class Warehouse {
                                 const Database& sources,
                                 MaintenanceStrategy strategy =
                                     MaintenanceStrategy::kIncremental);
+
+  // A copied warehouse is an independent store: deep-copied state (fresh
+  // relation uids), its own epoch timeline starting at 1, shared subplan
+  // cache (safe: fresh uids can never falsely hit the original's entries).
+  Warehouse(const Warehouse& other)
+      : spec_(other.spec_), strategy_(other.strategy_) {
+    CopyFrom(other);
+  }
+  Warehouse& operator=(const Warehouse& other) {
+    if (this != &other) {
+      CopyFrom(other);
+    }
+    return *this;
+  }
+  Warehouse(Warehouse&&) noexcept = default;
+  Warehouse& operator=(Warehouse&&) noexcept = default;
 
   const WarehouseSpec& spec() const { return *spec_; }
   MaintenanceStrategy strategy() const { return strategy_; }
@@ -84,12 +115,41 @@ class Warehouse {
   // nullptr when absent.
   const AggregateView* FindAggregate(const std::string& name) const;
 
+  // Pins the current snapshot epoch. The handle's version set (all
+  // warehouse relations + aggregate views) stays frozen and readable for
+  // the handle's lifetime, no matter how many integrations commit
+  // meanwhile. Readers on other threads use this + AnswerQueryAt.
+  SnapshotHandle PinSnapshot() const { return epochs_->Pin(); }
+
   // Answers a query over the *base* relations using warehouse data only
   // (Theorem 3.1: translate through W^-1, evaluate locally). Queries may
   // also reference warehouse views and aggregate views by name. When
   // `stats` is non-null it receives the evaluator's EXPLAIN counters.
+  // Pins the current epoch for the duration of the call; safe to invoke
+  // from any thread concurrently with an in-flight integration.
   Result<Relation> AnswerQuery(const ExprRef& query,
                                EvalStats* stats = nullptr) const;
+
+  // AnswerQuery against an explicitly pinned epoch: the result reflects
+  // exactly that epoch's committed state. Fails with Status::Aborted once
+  // the snapshot has been shed by the epoch-lag backpressure policy.
+  Result<Relation> AnswerQueryAt(const SnapshotHandle& snapshot,
+                                 const ExprRef& query,
+                                 EvalStats* stats = nullptr) const;
+
+  // Snapshot-epoch observability. current_epoch() is the number of the
+  // most recently published epoch (1 right after Load; +1 per committed
+  // state transition; distinct from the *delivery* epochs on
+  // CanonicalDelta envelopes).
+  uint64_t current_epoch() const { return epochs_->current_epoch(); }
+  EpochStats epoch_stats() const { return epochs_->stats(); }
+  // Reclamation/backpressure knobs (writer-side; see EpochOptions).
+  void SetEpochOptions(const EpochOptions& options) {
+    epochs_->set_options(options);
+  }
+  void SetShedCallback(EpochManager::ShedCallback callback) {
+    epochs_->set_shed_callback(std::move(callback));
+  }
 
   // Rebuilds the full base database state through W^-1 (Proposition 2.1's
   // one-to-one mapping, inverted). Used by consistency checks and tests.
@@ -130,9 +190,19 @@ class Warehouse {
 
   // Evaluator counters accumulated during the most recent
   // Integrate/IntegrateTransaction call, with every parallel task's stats
-  // merged in (EvalStats::MergeFrom).
-  const EvalStats& last_integrate_stats() const {
+  // merged in (EvalStats::MergeFrom). Returns a copy taken under the stats
+  // mutex, so it is safe to call from any thread while an integration is
+  // in flight (the copy is the last *finished* integration's view).
+  EvalStats last_integrate_stats() const {
+    std::lock_guard<std::mutex> lock(*stats_mu_);
     return last_integrate_stats_;
+  }
+  // The snapshot epoch published by that integration (0 when the last
+  // integration didn't publish — e.g. it failed — or none ran yet). Lets a
+  // monitor correlate the counters with exactly one committed state.
+  uint64_t last_integrate_epoch() const {
+    std::lock_guard<std::mutex> lock(*stats_mu_);
+    return last_integrate_epoch_;
   }
 
   // Debug cross-check of the static analyzer (src/analysis/): after each
@@ -163,7 +233,8 @@ class Warehouse {
   }
 
   // An evaluation environment over the warehouse state (including
-  // materialized aggregate views).
+  // materialized aggregate views). Writer-side: binds the live state, not
+  // a snapshot.
   Environment Env() const {
     Environment env = Environment::FromDatabase(state_);
     for (const auto& [name, view] : aggregates_) {
@@ -176,6 +247,8 @@ class Warehouse {
   Warehouse(std::shared_ptr<const WarehouseSpec> spec,
             MaintenanceStrategy strategy)
       : spec_(std::move(spec)), strategy_(strategy) {}
+
+  void CopyFrom(const Warehouse& other);
 
   Status IntegrateIncremental(const CanonicalDelta& delta);
   Status IntegrateRecompute(const std::vector<const CanonicalDelta*>& deltas);
@@ -198,7 +271,30 @@ class Warehouse {
 
   // Materializes all warehouse relations from an environment that binds the
   // base relations, writing into `state_` (replacing existing relations).
+  // Does not publish: callers publish on overall success.
   Status MaterializeFrom(const Environment& base_env);
+
+  // The frozen version set of the current live state (relations +
+  // aggregate tables), ready to publish as an epoch.
+  EpochManager::VersionSet CurrentVersions() const;
+  // Publishes the live state as the next snapshot epoch and tags the
+  // last-integrate stats with it. Every successful state transition ends
+  // here (or in ApplyPlanned's Commit::Publish).
+  void PublishCurrent();
+
+  void ResetIntegrateStats() {
+    std::lock_guard<std::mutex> lock(*stats_mu_);
+    last_integrate_stats_ = EvalStats();
+    last_integrate_epoch_ = 0;
+  }
+  void MergeIntegrateStats(const EvalStats& stats) {
+    std::lock_guard<std::mutex> lock(*stats_mu_);
+    last_integrate_stats_.MergeFrom(stats);
+  }
+  void TagIntegrateEpoch(uint64_t epoch) {
+    std::lock_guard<std::mutex> lock(*stats_mu_);
+    last_integrate_epoch_ = epoch;
+  }
 
   // Every evaluator the warehouse runs is wired to the spec's interner and
   // this warehouse's subplan cache (a no-op while the budget is 0).
@@ -227,7 +323,16 @@ class Warehouse {
   // but still recycle (and populate) cached subplans.
   std::shared_ptr<SubplanCache> subplan_cache_ =
       std::make_shared<SubplanCache>();
+  // Snapshot-epoch timeline (warehouse/epoch.h). shared_ptr: snapshot
+  // handles keep the manager alive even past the warehouse, and the
+  // warehouse stays movable.
+  std::shared_ptr<EpochManager> epochs_ = std::make_shared<EpochManager>();
+  // Guards last_integrate_stats_/last_integrate_epoch_ against concurrent
+  // monitor reads while the writer integrates. Heap-held so the warehouse
+  // stays movable.
+  std::shared_ptr<std::mutex> stats_mu_ = std::make_shared<std::mutex>();
   EvalStats last_integrate_stats_;
+  uint64_t last_integrate_epoch_ = 0;
   std::shared_ptr<const SelfMaintReport> certificates_;
   bool validate_deltas_ = false;
   std::function<Status(int)> integration_hook_;

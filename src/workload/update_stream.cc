@@ -65,7 +65,7 @@ Result<UpdateOp> GenerateRandomUpdate(const Database& current,
   if (want_inserts > 0) {
     Database scratch(current.catalog_ptr());
     for (const auto& [name, r] : current.relations()) {
-      DWC_RETURN_IF_ERROR(scratch.AddRelation(name, r));
+      DWC_RETURN_IF_ERROR(scratch.AddRelation(name, *r));
     }
     Relation* scratch_rel = scratch.FindMutableRelation(relation);
     for (size_t i = 0; i < want_inserts; ++i) {
@@ -89,7 +89,7 @@ Result<UpdateOp> GenerateInsertBatch(const Database& current,
   op.relation = relation;
   Database scratch(current.catalog_ptr());
   for (const auto& [name, r] : current.relations()) {
-    DWC_RETURN_IF_ERROR(scratch.AddRelation(name, r));
+    DWC_RETURN_IF_ERROR(scratch.AddRelation(name, *r));
   }
   Relation* scratch_rel = scratch.FindMutableRelation(relation);
   if (scratch_rel == nullptr) {

@@ -74,6 +74,12 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::cout << *report;
+    // Resume-epoch preview. Snapshot epochs are process-local: whatever
+    // delivery stamp the journal carries, a warehouse resumed from this
+    // directory publishes its single recovered state as snapshot epoch 1
+    // and counts upward from there (DESIGN.md §12).
+    std::cout << "resume preview: recovered state would publish as snapshot "
+                 "epoch 1\n";
     return 0;
   }
 
@@ -84,6 +90,11 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::cout << recovered->report.ToString() << "\n";
+  std::cout << "snapshot epoch after resume: "
+            << recovered->restored.warehouse->current_epoch() << "\n"
+            << "epoch stats: "
+            << recovered->restored.warehouse->epoch_stats().ToString()
+            << "\n";
   std::cout << "recovered state fingerprint: "
             << dwc::DigestToHex(
                    dwc::StateDigest(recovered->restored.warehouse->state())
