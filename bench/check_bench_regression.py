@@ -3,7 +3,7 @@
 
 Usage:
     check_bench_regression.py BASELINE.json FRESH.json [--threshold 0.25]
-                              [--metric ops_per_sec|p50_us|p99_us]
+                              [--metric ops_per_sec|p50_us|p99_us ...]
 
 Compares rows by name: the check fails if any baseline row is missing
 from the fresh run, or if a fresh row's metric regressed more than
@@ -12,6 +12,13 @@ metric: ops_per_sec is higher-is-better (fail on drops), the latency
 percentiles p50_us/p99_us are lower-is-better (fail on rises). Rows
 present only in the fresh run are reported but never fail the check, so
 adding a configuration does not require regenerating the baseline first.
+
+`--metric` may repeat to gate several metrics of the same suite in one
+invocation (e.g. `--metric ops_per_sec --metric p99_us` for a serving
+benchmark where both throughput collapses and tail-latency blowups are
+regressions); every metric uses the same threshold, and a single missing
+row is reported once per metric. Omitting the flag gates ops_per_sec
+only, exactly as before.
 
 Stdlib only — CI runs this straight from the checkout.
 """
@@ -39,32 +46,15 @@ def load_rows(path, metric):
     return rows
 
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("baseline")
-    parser.add_argument("fresh")
-    parser.add_argument(
-        "--threshold",
-        type=float,
-        default=0.25,
-        help="allowed fractional regression before failing (default 0.25)",
-    )
-    parser.add_argument(
-        "--metric",
-        choices=sorted(METRICS),
-        default="ops_per_sec",
-        help="row field to compare (default ops_per_sec; the *_us latency "
-        "percentiles gate in the lower-is-better direction)",
-    )
-    args = parser.parse_args()
-
-    higher_is_better = METRICS[args.metric]
-    baseline = load_rows(args.baseline, args.metric)
-    fresh = load_rows(args.fresh, args.metric)
+def check_metric(args, metric):
+    """Prints the comparison table for one metric; returns its failures."""
+    higher_is_better = METRICS[metric]
+    baseline = load_rows(args.baseline, metric)
+    fresh = load_rows(args.fresh, metric)
 
     failures = []
     print(
-        f"metric: {args.metric} "
+        f"metric: {metric} "
         f"({'higher' if higher_is_better else 'lower'} is better)"
     )
     print(f"{'configuration':<44} {'baseline':>12} {'fresh':>12} {'ratio':>7}")
@@ -84,7 +74,7 @@ def main():
         flag = ""
         if regressed:
             failures.append(
-                f"{name}: {args.metric} {delta} "
+                f"{name}: {metric} {delta} "
                 f"({base_value:.1f} -> {fresh_value:.1f}), "
                 f"threshold is {args.threshold:.0%}"
             )
@@ -95,6 +85,36 @@ def main():
         )
     for name in sorted(set(fresh) - set(baseline)):
         print(f"{name:<44} {'(new)':>12} {fresh[name]:>12.1f}")
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="allowed fractional regression before failing (default 0.25)",
+    )
+    parser.add_argument(
+        "--metric",
+        action="append",
+        choices=sorted(METRICS),
+        default=None,
+        help="row field to compare; repeatable to gate several metrics at "
+        "once (default ops_per_sec; the *_us latency percentiles gate in "
+        "the lower-is-better direction)",
+    )
+    args = parser.parse_args()
+    metrics = args.metric or ["ops_per_sec"]
+
+    failures = []
+    for i, metric in enumerate(metrics):
+        if i > 0:
+            print()
+        failures.extend(check_metric(args, metric))
 
     if failures:
         print(f"\n{len(failures)} regression(s):", file=sys.stderr)

@@ -12,11 +12,13 @@
 // Commands: `spec` (show W, C, W^-1), `plan` (maintenance expressions),
 // `state` (warehouse contents), `sources` (ground truth), `check`
 // (consistency), `faults` (route deltas through a fault-injecting channel
-// + recovering ingestor), `stats` (what the ingestor did about it),
-// `storage <dir>` (WAL + checkpoint durability for every integrated
-// delta), `storage stats`, `checkpoint` (force one now), `recover <dir>`
-// (resume a crashed session from its storage directory), `help`, `quit`.
-// Reads stdin; pipe a script or type.
+// + recovering ingestor), `stats` (what the ingestor did about it, plus
+// the runtime governor's admission counters), `limits` (inspect/set query
+// deadlines, tuple budgets, admission queue bounds, and circuit-breaker
+// thresholds — DESIGN.md §13), `storage <dir>` (WAL + checkpoint
+// durability for every integrated delta), `storage stats`, `checkpoint`
+// (force one now), `recover <dir>` (resume a crashed session from its
+// storage directory), `help`, `quit`. Reads stdin; pipe a script or type.
 //
 // Example session:
 //   CREATE TABLE Emp(clerk STRING, age INT, KEY(clerk));
@@ -29,6 +31,7 @@
 //   check
 //   quit
 
+#include <chrono>
 #include <iostream>
 #include <memory>
 #include <sstream>
@@ -37,6 +40,9 @@
 #include "core/warehouse_spec.h"
 #include "parser/interpreter.h"
 #include "parser/parser.h"
+#include "runtime/breaker.h"
+#include "runtime/cancel.h"
+#include "runtime/governor.h"
 #include "storage/durable.h"
 #include "storage/vfs.h"
 #include "util/string_util.h"
@@ -106,8 +112,9 @@ class Repl {
           "  QUERY R JOIN S;\n"
           "commands: warehouse, spec, plan, state, sources, check, save,\n"
           "          faults <drop> <dup> <reorder> <corrupt> [seed],\n"
-          "          faults off, stats, epochs, storage <dir>,\n"
-          "          storage stats, checkpoint, recover <dir>, quit\n";
+          "          faults off, stats, epochs, limits [<knob> <value>],\n"
+          "          storage <dir>, storage stats, checkpoint,\n"
+          "          recover <dir>, quit\n";
       return true;
     }
     if (lower == "epochs") {
@@ -123,11 +130,20 @@ class Repl {
     }
     if (lower == "stats") {
       if (ingestor_ != nullptr) {
+        const dwc::CircuitBreaker& breaker = ingestor_->breaker();
         std::cout << "ingestor: " << ingestor_->stats().ToString() << "\n"
-                  << "channel:  " << channel_->stats().ToString() << "\n";
+                  << "channel:  " << channel_->stats().ToString() << "\n"
+                  << "breaker:  state=" << dwc::BreakerStateName(breaker.state())
+                  << " trips=" << breaker.trips()
+                  << " probes=" << breaker.probes() << "\n";
       } else {
         std::cout << "no faulty channel attached; see `faults`\n";
       }
+      std::cout << "governor: " << governor_.stats().ToString() << "\n";
+      return true;
+    }
+    if (lower == "limits" || lower.rfind("limits ", 0) == 0) {
+      HandleLimits(lower);
       return true;
     }
     if (lower == "faults" || lower.rfind("faults ", 0) == 0) {
@@ -261,7 +277,7 @@ class Repl {
     in >> profile.seed;
     channel_ = std::make_unique<dwc::DeltaChannel>(profile);
     ingestor_ = std::make_unique<dwc::DeltaIngestor>(
-        warehouse_.get(), source_.get(), channel_.get());
+        warehouse_.get(), source_.get(), channel_.get(), retry_policy_);
     if (durable_ != nullptr) {
       durable_->Attach(ingestor_.get());
     }
@@ -270,6 +286,68 @@ class Repl {
               << " reorder=" << profile.reorder_rate
               << " corrupt=" << profile.corrupt_rate
               << " seed=" << profile.seed << "); see `stats`\n";
+  }
+
+  // `limits` prints the runtime-governor knobs; `limits <knob> <value>`
+  // sets one. deadline_ms/budget bound each QUERY statement (0 = off);
+  // reads/maintenance/read_queue/maintenance_queue reconfigure admission
+  // live; breaker_threshold/breaker_open_ticks shape the ingest circuit
+  // breaker at the *next* `faults` attachment.
+  void HandleLimits(const std::string& line) {
+    std::istringstream in(line);
+    std::string command, knob;
+    in >> command >> knob;
+    if (knob.empty()) {
+      dwc::GovernorOptions opts = governor_.options();
+      std::cout << "query:    deadline_ms=" << deadline_ms_
+                << " budget=" << budget_tuples_ << " (0 = unbounded)\n"
+                << "governor: reads=" << opts.max_concurrent_reads
+                << " maintenance=" << opts.max_concurrent_maintenance
+                << " read_queue=" << opts.max_read_queue
+                << " maintenance_queue=" << opts.max_maintenance_queue
+                << " level=" << dwc::LoadLevelName(governor_.level()) << "\n"
+                << "breaker:  breaker_threshold="
+                << retry_policy_.breaker.failure_threshold
+                << " breaker_open_ticks=" << retry_policy_.breaker.open_ticks
+                << "\n";
+      return;
+    }
+    uint64_t value = 0;
+    if (!(in >> value)) {
+      std::cout << "usage: limits [deadline_ms|budget|reads|maintenance|"
+                   "read_queue|maintenance_queue|breaker_threshold|"
+                   "breaker_open_ticks <value>]\n";
+      return;
+    }
+    dwc::GovernorOptions opts = governor_.options();
+    if (knob == "deadline_ms") {
+      deadline_ms_ = value;
+    } else if (knob == "budget") {
+      budget_tuples_ = value;
+    } else if (knob == "reads") {
+      opts.max_concurrent_reads = value;
+    } else if (knob == "maintenance") {
+      opts.max_concurrent_maintenance = value;
+    } else if (knob == "read_queue") {
+      opts.max_read_queue = value;
+    } else if (knob == "maintenance_queue") {
+      opts.max_maintenance_queue = value;
+    } else if (knob == "breaker_threshold") {
+      retry_policy_.breaker.failure_threshold = static_cast<int>(value);
+      if (ingestor_ != nullptr) {
+        std::cout << "note: applies when `faults` next attaches a channel\n";
+      }
+    } else if (knob == "breaker_open_ticks") {
+      retry_policy_.breaker.open_ticks = value;
+      if (ingestor_ != nullptr) {
+        std::cout << "note: applies when `faults` next attaches a channel\n";
+      }
+    } else {
+      std::cout << "unknown knob '" << knob << "'; see `limits`\n";
+      return;
+    }
+    governor_.set_options(opts);
+    std::cout << knob << " = " << value << "\n";
   }
 
   // `storage <dir>`: bootstrap WAL + checkpoint durability into `dir`.
@@ -397,9 +475,29 @@ class Repl {
       return ApplyUpdate(del->relation, {}, del->tuples);
     }
     if (auto* query = std::get_if<dwc::QueryStmt>(&statement)) {
+      // Governed read: admission first (a single-threaded shell never
+      // queues, but epoch lag can still shed), then a per-query token
+      // carrying the configured deadline/budget (see `limits`).
+      std::shared_ptr<dwc::CancelToken> token;
+      if (deadline_ms_ > 0 || budget_tuples_ > 0) {
+        token = std::make_shared<dwc::CancelToken>();
+        if (deadline_ms_ > 0) {
+          token->set_deadline(dwc::CancelToken::Clock::now() +
+                              std::chrono::milliseconds(deadline_ms_));
+        }
+        if (budget_tuples_ > 0) {
+          token->set_budget_tuples(budget_tuples_);
+        }
+      }
+      governor_.ReportEpochLag(warehouse_->epoch_stats().retired_epochs);
+      dwc::Result<dwc::Governor::Ticket> ticket =
+          governor_.AdmitRead(token.get());
+      if (!ticket.ok()) {
+        return ticket.status();
+      }
       dwc::EvalStats stats;
       dwc::Result<dwc::Relation> answer =
-          warehouse_->AnswerQuery(query->expr, &stats);
+          warehouse_->AnswerQuery(query->expr, &stats, token.get());
       if (!answer.ok()) {
         return answer.status();
       }
@@ -513,6 +611,10 @@ class Repl {
   std::unique_ptr<dwc::DeltaIngestor> ingestor_;
   dwc::PosixVfs vfs_;
   std::unique_ptr<dwc::DurableWarehouse> durable_;
+  dwc::Governor governor_;
+  dwc::RetryPolicy retry_policy_;
+  uint64_t deadline_ms_ = 0;   // 0 = no per-query deadline.
+  size_t budget_tuples_ = 0;   // 0 = no per-query tuple budget.
   bool quit_ = false;
 };
 

@@ -221,16 +221,35 @@ Result<Relation> Evaluator::HashJoin(const Relation& left,
   Relation out(std::move(out_schema));
 
   if (join_attrs.empty()) {
-    out.Reserve(left.size() * right.size());
+    // Cross-product-shaped join (no common attributes) — the pathological
+    // translated-query shape the governor exists to bound. Clamp the
+    // up-front reservation to the remaining tuple budget, then check the
+    // token and charge the budget every morsel_size emitted tuples, so a
+    // deadline/budget fires mid-product instead of after |L|x|R| work.
+    const size_t product = left.size() * right.size();
+    size_t reserve = product;
+    if (options_.cancel != nullptr) {
+      reserve = std::min(product, options_.cancel->RemainingBudget());
+    }
+    out.Reserve(reserve);
+    const size_t chunk = options_.morsel_size == 0 ? 1024 : options_.morsel_size;
+    size_t emitted = 0;
     for (const Tuple& lt : left.tuples()) {
       for (const Tuple& rt : right.tuples()) {
+        if (emitted >= chunk) {
+          DWC_RETURN_IF_ERROR(ChargeTuples(emitted));
+          DWC_RETURN_IF_ERROR(CheckCancel());
+          emitted = 0;
+        }
         std::vector<Value> values = lt.values();
         for (size_t idx : right_extra) {
           values.push_back(rt.at(idx));
         }
         out.Insert(Tuple(std::move(values)));
+        ++emitted;
       }
     }
+    DWC_RETURN_IF_ERROR(ChargeTuples(emitted));
     return out;
   }
 
@@ -246,7 +265,13 @@ Result<Relation> Evaluator::HashJoin(const Relation& left,
     const Relation::Index& index = build.GetIndex(join_attrs);
     // Key/foreign-key joins emit about one output row per probe row.
     out.Reserve(probe.size());
+    const size_t chunk = exec.morsel_size == 0 ? 1024 : exec.morsel_size;
+    size_t since_check = 0;
     for (const Tuple& pt : probe.tuples()) {
+      if (++since_check >= chunk) {
+        DWC_RETURN_IF_ERROR(CheckCancel());
+        since_check = 0;
+      }
       auto bucket = index.find(pt.Project(probe_key));
       if (bucket == index.end()) {
         continue;
@@ -255,6 +280,7 @@ Result<Relation> Evaluator::HashJoin(const Relation& left,
         out.Insert(ConcatMatch(pt, *bt, build_right, right_extra));
       }
     }
+    DWC_RETURN_IF_ERROR(ChargeTuples(out.size()));
     return out;
   }
 
@@ -367,6 +393,7 @@ Result<Relation> Evaluator::SubtractInto(const Relation& left,
         out.Erase(tuple);
       }
     }
+    DWC_RETURN_IF_ERROR(ChargeTuples(out.size()));
     return out;
   }
 
@@ -523,6 +550,10 @@ Result<Evaluator::EvalOut> Evaluator::EvalInternal(const Expr& expr) {
 }
 
 Result<Evaluator::EvalOut> Evaluator::EvalNode(const Expr& expr) {
+  // Per-operator cancellation point: every node of the plan re-checks the
+  // token before doing its work, bounding overrun to one operator (or one
+  // morsel, inside the kernels) past the deadline.
+  DWC_RETURN_IF_ERROR(CheckCancel());
   switch (expr.kind()) {
     case Expr::Kind::kBase: {
       const Relation* rel = env_->Find(expr.base_name());
@@ -565,6 +596,7 @@ Result<Evaluator::EvalOut> Evaluator::EvalNode(const Expr& expr) {
                 }
               }
             }
+            DWC_RETURN_IF_ERROR(ChargeTuples(out.size()));
             return EvalOut{Own(std::move(out)), false};
           }
         }
@@ -613,6 +645,7 @@ Result<Evaluator::EvalOut> Evaluator::EvalNode(const Expr& expr) {
       for (const Tuple& tuple : child.rel->tuples()) {
         out.Insert(tuple);
       }
+      DWC_RETURN_IF_ERROR(ChargeTuples(out.size()));
       return EvalOut{Own(std::move(out)), false};
     }
     case Expr::Kind::kJoin:
@@ -623,6 +656,7 @@ Result<Evaluator::EvalOut> Evaluator::EvalNode(const Expr& expr) {
       DWC_ASSIGN_OR_RETURN(EvalOut left, EvalInternal(*expr.left()));
       DWC_ASSIGN_OR_RETURN(EvalOut right, EvalInternal(*expr.right()));
       DWC_ASSIGN_OR_RETURN(Relation out, UnionInto(*left.rel, *right.rel));
+      DWC_RETURN_IF_ERROR(ChargeTuples(out.size()));
       return EvalOut{Own(std::move(out)), false};
     }
   }
@@ -746,6 +780,7 @@ Result<Evaluator::EvalOut> Evaluator::EvalJoin(const Expr& expr) {
 
 Result<Evaluator::EvalOut> Evaluator::EvalWithFilter(const Expr& expr,
                                                      const KeyFilter& filter) {
+  DWC_RETURN_IF_ERROR(CheckCancel());
   switch (expr.kind()) {
     case Expr::Kind::kBase: {
       const Relation* rel = env_->Find(expr.base_name());
@@ -769,6 +804,7 @@ Result<Evaluator::EvalOut> Evaluator::EvalWithFilter(const Expr& expr,
           out.Insert(*tuple);
         }
       }
+      DWC_RETURN_IF_ERROR(ChargeTuples(out.size()));
       return EvalOut{Own(std::move(out)), false};
     }
     case Expr::Kind::kEmpty:
@@ -826,6 +862,7 @@ Result<Evaluator::EvalOut> Evaluator::EvalWithFilter(const Expr& expr,
       for (const Tuple& tuple : child.rel->tuples()) {
         out.Insert(tuple);
       }
+      DWC_RETURN_IF_ERROR(ChargeTuples(out.size()));
       return EvalOut{Own(std::move(out)), false};
     }
     case Expr::Kind::kUnion: {
@@ -833,6 +870,7 @@ Result<Evaluator::EvalOut> Evaluator::EvalWithFilter(const Expr& expr,
       DWC_ASSIGN_OR_RETURN(EvalOut right,
                            EvalWithFilter(*expr.right(), filter));
       DWC_ASSIGN_OR_RETURN(Relation out, UnionInto(*left.rel, *right.rel));
+      DWC_RETURN_IF_ERROR(ChargeTuples(out.size()));
       return EvalOut{Own(std::move(out)), false};
     }
     case Expr::Kind::kDifference: {
@@ -888,6 +926,7 @@ Result<Evaluator::EvalOut> Evaluator::EvalWithFilter(const Expr& expr,
           out.Insert(tuple);
         }
       }
+      DWC_RETURN_IF_ERROR(ChargeTuples(out.size()));
       return EvalOut{Own(std::move(out)), false};
     }
   }

@@ -51,12 +51,23 @@ struct EvaluatorOptions {
   // eviction once the cached results exceed the budget.
   size_t cache_budget_tuples = 0;
 
+  // Cooperative cancellation context (borrowed; may be null — the default,
+  // which is exactly the ungoverned pipeline). The evaluator checks it at
+  // every operator entry and charges every operator's materialized output
+  // tuples against its budget; the morsel kernels it drives check it at
+  // morsel boundaries (ExecOptions::cancel). A fired token surfaces as
+  // DeadlineExceeded / ResourceExhausted / Aborted from Eval/Materialize;
+  // no partial result is ever returned or cached (the subplan cache only
+  // ever sees successful evaluations).
+  const CancelToken* cancel = nullptr;
+
   // The kernel-layer view of these knobs.
   ExecOptions exec() const {
     ExecOptions exec_options;
     exec_options.num_threads = num_threads;
     exec_options.morsel_size = morsel_size;
     exec_options.min_parallel_tuples = min_parallel_tuples;
+    exec_options.cancel = cancel;
     return exec_options;
   }
 };
@@ -153,6 +164,17 @@ class Evaluator {
   // enough relative to the other operand's `estimate` that index probing
   // beats a scan (thresholds from options_).
   bool WorthPushdown(size_t actual, size_t estimate) const;
+
+  // Per-operator cancellation point / budget accounting; Ok when no token
+  // is wired (options_.cancel == nullptr).
+  Status CheckCancel() const {
+    return options_.cancel == nullptr ? Status::Ok()
+                                      : options_.cancel->Check();
+  }
+  Status ChargeTuples(size_t tuples) const {
+    return options_.cancel == nullptr ? Status::Ok()
+                                      : options_.cancel->Charge(tuples);
+  }
 
   // Morsel-driven kernels; each falls back to the serial path for small
   // inputs or num_threads == 1. In HashJoin, `prefer_build_right` marks the

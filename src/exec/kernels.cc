@@ -20,7 +20,21 @@ Status ParallelProduce(
     Relation* out) {
   if (!options.ShouldParallelize(n)) {
     std::vector<Tuple> buffer;
-    DWC_RETURN_IF_ERROR(produce(MorselRange{0, n}, &buffer));
+    if (options.cancel == nullptr) {
+      DWC_RETURN_IF_ERROR(produce(MorselRange{0, n}, &buffer));
+    } else {
+      // Cancellable serial path: chunk into morsels so the token is still
+      // checked every morsel_size tuples — a deadline or budget can never
+      // be overrun by more than one morsel's worth of work.
+      const size_t morsels = MorselCount(n, options.morsel_size);
+      for (size_t m = 0; m < morsels; ++m) {
+        DWC_RETURN_IF_ERROR(options.CheckCancel());
+        const size_t before = buffer.size();
+        DWC_RETURN_IF_ERROR(
+            produce(MorselAt(n, options.morsel_size, m), &buffer));
+        DWC_RETURN_IF_ERROR(options.ChargeTuples(buffer.size() - before));
+      }
+    }
     out->Reserve(buffer.size());
     for (Tuple& tuple : buffer) {
       out->Insert(std::move(tuple));
@@ -33,8 +47,17 @@ Status ParallelProduce(
   std::vector<Status> statuses(morsels);
   ThreadPool::Shared().ParallelFor(
       morsels, options.ResolvedThreads(), [&](size_t m) {
+        // Morsel-boundary cancellation point: once the token fires, the
+        // remaining queued morsels all fail fast instead of producing.
+        statuses[m] = options.CheckCancel();
+        if (!statuses[m].ok()) {
+          return;
+        }
         statuses[m] =
             produce(MorselAt(n, options.morsel_size, m), &buffers[m]);
+        if (statuses[m].ok()) {
+          statuses[m] = options.ChargeTuples(buffers[m].size());
+        }
       });
   size_t total = 0;
   for (size_t m = 0; m < morsels; ++m) {

@@ -8,6 +8,7 @@
 #include "exec/thread_pool.h"
 #include "relational/relation.h"
 #include "relational/tuple.h"
+#include "runtime/cancel.h"
 #include "util/result.h"
 
 namespace dwc {
@@ -22,6 +23,11 @@ struct ExecOptions {
   // Inputs smaller than this run serially: below it, fan-out overhead
   // (snapshotting, buffer merging) beats any speedup.
   size_t min_parallel_tuples = 4096;
+  // Cooperative cancellation context (borrowed; may be null). Kernels check
+  // it at every morsel boundary — serial paths chunk into morsels too when
+  // a token is present, so a deadline is never overrun by more than one
+  // morsel's worth of work — and charge produced tuples against its budget.
+  const CancelToken* cancel = nullptr;
 
   size_t ResolvedThreads() const {
     return ThreadPool::ResolveThreads(num_threads);
@@ -29,6 +35,14 @@ struct ExecOptions {
   // True when an input of `n` tuples should take the parallel path.
   bool ShouldParallelize(size_t n) const {
     return ResolvedThreads() > 1 && n >= min_parallel_tuples;
+  }
+  // The morsel-boundary cancellation point; Ok when no token is wired.
+  Status CheckCancel() const {
+    return cancel == nullptr ? Status::Ok() : cancel->Check();
+  }
+  // Budget accounting for `tuples` freshly materialized output tuples.
+  Status ChargeTuples(size_t tuples) const {
+    return cancel == nullptr ? Status::Ok() : cancel->Charge(tuples);
   }
 };
 

@@ -1,0 +1,84 @@
+#include "runtime/breaker.h"
+
+#include <algorithm>
+
+namespace dwc {
+
+const char* BreakerStateName(CircuitBreaker::State state) {
+  switch (state) {
+    case CircuitBreaker::State::kClosed:
+      return "closed";
+    case CircuitBreaker::State::kOpen:
+      return "open";
+    case CircuitBreaker::State::kHalfOpen:
+      return "half-open";
+  }
+  return "unknown";
+}
+
+void CircuitBreaker::Tick(uint64_t ticks) {
+  if (!enabled() || state_ != State::kOpen) {
+    return;
+  }
+  if (ticks >= open_remaining_) {
+    open_remaining_ = 0;
+    state_ = State::kHalfOpen;
+    ++probes_;
+  } else {
+    open_remaining_ -= ticks;
+  }
+}
+
+void CircuitBreaker::TripOpen() {
+  state_ = State::kOpen;
+  ++trips_;
+  uint64_t window = options_.open_ticks;
+  // Saturating shift-left, then cap: the window grows 2x per failed probe.
+  for (unsigned i = 0; i < backoff_exponent_ && window < options_.max_open_ticks;
+       ++i) {
+    window <<= 1;
+  }
+  window = std::min(window, options_.max_open_ticks);
+  if (options_.open_ticks > 0) {
+    window += rng_.Below(options_.open_ticks);
+  }
+  open_remaining_ = window;
+  if (backoff_exponent_ < 32) {
+    ++backoff_exponent_;
+  }
+}
+
+void CircuitBreaker::RecordSuccess() {
+  if (!enabled()) {
+    return;
+  }
+  failures_ = 0;
+  if (state_ == State::kHalfOpen) {
+    state_ = State::kClosed;
+    backoff_exponent_ = 0;
+  }
+}
+
+void CircuitBreaker::RecordFailure() {
+  if (!enabled()) {
+    return;
+  }
+  switch (state_) {
+    case State::kClosed:
+      if (++failures_ >= options_.failure_threshold) {
+        TripOpen();
+      }
+      break;
+    case State::kHalfOpen:
+      // The probe failed: back off harder.
+      ++failures_;
+      TripOpen();
+      break;
+    case State::kOpen:
+      // A failure while open means a caller raced a Tick into half-open
+      // territory conceptually; just extend nothing — stay open.
+      break;
+  }
+}
+
+}  // namespace dwc

@@ -1,0 +1,95 @@
+#ifndef DWC_RUNTIME_BREAKER_H_
+#define DWC_RUNTIME_BREAKER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/rng.h"
+
+namespace dwc {
+
+// Tuning for a CircuitBreaker. The open window is measured in *ticks* — the
+// caller's logical clock (the ingestor ticks once per Receive/Drain call) —
+// not wall time, so chaos runs replay exactly. The jitter is drawn from a
+// seeded PRNG for the same reason: deterministic per (seed, trip sequence),
+// but de-synchronized across breakers with different seeds, which is all
+// thundering-herd avoidance needs.
+struct BreakerOptions {
+  // Consecutive failures (while closed) that trip the breaker. <= 0
+  // disables the breaker entirely: AllowProbe() is always true and
+  // failures never trip.
+  int failure_threshold = 3;
+  // Base open window; doubles per consecutive re-trip (half-open probe
+  // failed), capped at max_open_ticks, plus jitter in [0, open_ticks).
+  uint64_t open_ticks = 8;
+  uint64_t max_open_ticks = 128;
+  uint64_t jitter_seed = 0x9E3779B97F4A7C15ULL;
+};
+
+// A per-source circuit breaker (closed → open → half-open → closed):
+//
+//   closed     normal operation; consecutive failures count up, and at
+//              failure_threshold the breaker trips open.
+//   open       the protected resource is not called at all (AllowProbe()
+//              is false); Tick() counts the open window down.
+//   half-open  the window elapsed: exactly the next protected call runs as
+//              a probe. Success closes the breaker (and resets the backoff
+//              exponent); failure re-opens it with a doubled, jittered
+//              window.
+//
+// Single-threaded by design: the DeltaIngestor that owns it is the
+// warehouse's one writer. See DESIGN.md §13 for the state machine.
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  explicit CircuitBreaker(BreakerOptions options = BreakerOptions())
+      : options_(options), rng_(options.jitter_seed) {}
+
+  // Advances the logical clock; an elapsed open window moves to half-open.
+  void Tick(uint64_t ticks = 1);
+
+  // True when a protected call may proceed (closed, half-open, or the
+  // breaker is disabled).
+  bool AllowProbe() const {
+    return options_.failure_threshold <= 0 || state_ != State::kOpen;
+  }
+
+  // Outcome of a protected call. A half-open success closes the breaker and
+  // replaying any deferred backlog is the caller's next move.
+  void RecordSuccess();
+  void RecordFailure();
+
+  State state() const {
+    return options_.failure_threshold <= 0 ? State::kClosed : state_;
+  }
+  bool enabled() const { return options_.failure_threshold > 0; }
+  int consecutive_failures() const { return failures_; }
+  uint64_t open_ticks_remaining() const { return open_remaining_; }
+  // Times the breaker tripped (closed→open and half-open→open both count).
+  size_t trips() const { return trips_; }
+  // Half-open probes granted (successful or not).
+  size_t probes() const { return probes_; }
+
+  const BreakerOptions& options() const { return options_; }
+
+ private:
+  void TripOpen();
+
+  BreakerOptions options_;
+  Rng rng_;
+  State state_ = State::kClosed;
+  int failures_ = 0;
+  uint64_t open_remaining_ = 0;
+  // Backoff doubling exponent; grows per re-trip out of half-open.
+  unsigned backoff_exponent_ = 0;
+  size_t trips_ = 0;
+  size_t probes_ = 0;
+};
+
+// Stable names ("closed", "open", "half-open") for stats and the REPL.
+const char* BreakerStateName(CircuitBreaker::State state);
+
+}  // namespace dwc
+
+#endif  // DWC_RUNTIME_BREAKER_H_

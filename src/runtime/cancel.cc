@@ -1,0 +1,13 @@
+#include "runtime/cancel.h"
+
+#include "util/string_util.h"
+
+namespace dwc {
+
+Status CancelToken::BudgetExhausted(size_t charged) const {
+  return Status::ResourceExhausted(
+      StrCat("tuple budget exhausted: materialized ", charged,
+             " tuples against a budget of ", budget_tuples_));
+}
+
+}  // namespace dwc

@@ -22,6 +22,10 @@ const char* StatusCodeName(StatusCode code) {
       return "Internal";
     case StatusCode::kAborted:
       return "Aborted";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
 }

@@ -23,6 +23,13 @@ enum class StatusCode {
   // serviceable (e.g. a shed snapshot past the epoch-lag bound). Retrying
   // against fresh context is expected to succeed.
   kAborted,
+  // The operation's deadline passed before it finished. Partial work was
+  // discarded; retrying with a larger (or no) deadline may succeed.
+  kDeadlineExceeded,
+  // A resource budget was exhausted (tuple/memory budget, admission queue
+  // capacity, or a load-shedding decision). Retrying later — or with a
+  // larger budget — may succeed.
+  kResourceExhausted,
 };
 
 // Returns a stable human-readable name ("OK", "InvalidArgument", ...).
@@ -60,6 +67,12 @@ class Status {
   }
   static Status Aborted(std::string msg) {
     return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

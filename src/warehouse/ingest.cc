@@ -13,7 +13,9 @@ std::string IntegrationStats::ToString() const {
                 " retransmit_attempts=", retransmit_attempts,
                 " retransmits=", retransmits, " backoff_ticks=", backoff_ticks,
                 " base_resyncs=", base_resyncs, " full_resyncs=", full_resyncs,
-                " source_queries=", source_queries);
+                " source_queries=", source_queries,
+                " resync_failures=", resync_failures,
+                " breaker_deferred=", breaker_deferred);
 }
 
 DeltaIngestor::DeltaIngestor(Warehouse* warehouse, Source* source,
@@ -24,7 +26,8 @@ DeltaIngestor::DeltaIngestor(Warehouse* warehouse, Source* source,
       policy_(policy),
       epoch_(source->epoch()),
       next_seq_(source->last_sequence() + 1),
-      digest_(source->digest()) {}
+      digest_(source->digest()),
+      breaker_(policy_.breaker) {}
 
 uint64_t DeltaIngestor::FloorFor(const std::string& relation) const {
   auto it = floor_.find(relation);
@@ -55,7 +58,34 @@ void DeltaIngestor::AdvancePast(uint64_t watermark) {
   }
 }
 
+Status DeltaIngestor::GuardedRepair(const std::function<Status()>& rung,
+                                    bool* deferred) {
+  *deferred = false;
+  if (!breaker_.AllowProbe()) {
+    ++stats_.breaker_deferred;
+    *deferred = true;
+    return Status::Ok();
+  }
+  source_query_failed_ = false;
+  Status status = rung();
+  if (status.ok()) {
+    breaker_.RecordSuccess();
+    return Status::Ok();
+  }
+  if (source_query_failed_) {
+    // The source itself refused or failed: breaker fodder, not fatal. The
+    // repair defers exactly as if the breaker had been open.
+    ++stats_.resync_failures;
+    breaker_.RecordFailure();
+    ++stats_.breaker_deferred;
+    *deferred = true;
+    return Status::Ok();
+  }
+  return status;
+}
+
 Status DeltaIngestor::Receive(const CanonicalDelta& delta) {
+  breaker_.Tick();
   if (!delta.sequenced()) {
     return Status::InvalidArgument(
         "the ingestor only accepts sequenced deltas (Source stamps them)");
@@ -99,10 +129,14 @@ Status DeltaIngestor::Receive(const CanonicalDelta& delta) {
     return Status::Ok();
   }
   DWC_RETURN_IF_ERROR(TryApply(delta, /*from_buffer=*/false));
+  if (apply_deferred_) {
+    return Status::Ok();
+  }
   return DrainBuffer();
 }
 
 Status DeltaIngestor::Drain() {
+  breaker_.Tick();
   for (std::optional<CanonicalDelta> delta = channel_->Poll(); delta;
        delta = channel_->Poll()) {
     DWC_RETURN_IF_ERROR(Receive(*delta));
@@ -110,16 +144,22 @@ Status DeltaIngestor::Drain() {
   // End-of-stream reconciliation. The source's sequence watermark is the
   // protocol's ack frame: every sequence at or below it was reported, so
   // anything not yet consumed is a confirmed gap (a trailing drop leaves no
-  // other trace). RecoverMissing always advances next_seq_, so this
-  // terminates.
+  // other trace). RecoverMissing advances next_seq_ except when a repair is
+  // deferred behind the open breaker — then stop and let a later Drain
+  // (after the half-open probe) pick the backlog up.
   while (epoch_ == source_->epoch() && next_seq_ <= source_->last_sequence()) {
+    const uint64_t before = next_seq_;
     DWC_RETURN_IF_ERROR(RecoverMissing());
+    if (next_seq_ == before) {
+      break;
+    }
   }
   return Status::Ok();
 }
 
 Status DeltaIngestor::TryApply(const CanonicalDelta& delta, bool from_buffer) {
   // Invariant: delta.sequence == next_seq_, payload intact, current epoch.
+  apply_deferred_ = false;
   if (delta.sequence <= FloorFor(delta.relation)) {
     // A resync already folded this delta's effect in; consume the sequence
     // number without re-applying.
@@ -141,27 +181,47 @@ Status DeltaIngestor::TryApply(const CanonicalDelta& delta, bool from_buffer) {
   }
   if (candidate != delta.state_digest) {
     ++stats_.divergences;
-    Status status = ResyncBase(delta.relation);
-    if (!status.ok()) {
-      DWC_RETURN_IF_ERROR(FullResync());
+    // A diverged belief for this base means others may be diverged too
+    // (one storm drops deltas for many relations); repair them together —
+    // Resync sweeps every differing base in one atomic correction.
+    bool deferred = false;
+    DWC_RETURN_IF_ERROR(GuardedRepair([this] { return Resync(); },
+                                      &deferred));
+    if (deferred) {
+      // Park the delta back in the reorder buffer: the sequence is *not*
+      // consumed, integration of other sources/relations proceeds, and the
+      // backlog replays once the half-open probe restores the source.
+      apply_deferred_ = true;
+      buffer_.emplace(delta.sequence, delta);
+      return Status::Ok();
     }
-    // The resync brought the base to source-now, which includes this
-    // delta's effect; its floor (or the full-resync watermark) now covers
-    // it, so consume the sequence.
-    ++next_seq_;
-    return FireCommit(CommitEvent::Kind::kSkip, nullptr, delta.sequence);
+    // The resync brought every diverged base to source-now and advanced
+    // the watermark past everything the source has stamped — including
+    // this delta. Consume the sequence only if the jump somehow missed it.
+    if (next_seq_ <= delta.sequence) {
+      ++next_seq_;
+      return FireCommit(CommitEvent::Kind::kSkip, nullptr, delta.sequence);
+    }
+    return Status::Ok();
   }
   Status status = warehouse_->Integrate(delta, source_);
   if (!status.ok()) {
     // In-order, intact, digest-matched deltas should integrate; treat a
     // refusal as divergence and repair through the ladder.
     ++stats_.divergences;
-    Status resync = ResyncBase(delta.relation);
-    if (!resync.ok()) {
-      DWC_RETURN_IF_ERROR(FullResync());
+    bool deferred = false;
+    DWC_RETURN_IF_ERROR(GuardedRepair([this] { return Resync(); },
+                                      &deferred));
+    if (deferred) {
+      apply_deferred_ = true;
+      buffer_.emplace(delta.sequence, delta);
+      return Status::Ok();
     }
-    ++next_seq_;
-    return FireCommit(CommitEvent::Kind::kSkip, nullptr, delta.sequence);
+    if (next_seq_ <= delta.sequence) {
+      ++next_seq_;
+      return FireCommit(CommitEvent::Kind::kSkip, nullptr, delta.sequence);
+    }
+    return Status::Ok();
   }
   digest_.Apply(delta.relation, delta.inserts, delta.deletes);
   ++stats_.applied;
@@ -186,6 +246,11 @@ Status DeltaIngestor::DrainBuffer() {
     CanonicalDelta delta = std::move(it->second);
     buffer_.erase(it);
     DWC_RETURN_IF_ERROR(TryApply(delta, /*from_buffer=*/true));
+    if (apply_deferred_) {
+      // The delta went back into the buffer; applying it needs a repair the
+      // open breaker is deferring. Stop — retrying now would spin.
+      break;
+    }
   }
   return Status::Ok();
 }
@@ -209,19 +274,34 @@ Status DeltaIngestor::RecoverMissing() {
     }
     ++stats_.retransmits;
     DWC_RETURN_IF_ERROR(TryApply(*again, /*from_buffer=*/false));
+    if (apply_deferred_) {
+      return Status::Ok();
+    }
     return DrainBuffer();
   }
   // Rungs 2/3: the lost delta's relation is unknown, so reconcile digests
   // against the source and repair exactly what differs.
-  DWC_RETURN_IF_ERROR(Resync());
+  bool deferred = false;
+  DWC_RETURN_IF_ERROR(GuardedRepair([this] { return Resync(); }, &deferred));
+  if (deferred) {
+    return Status::Ok();
+  }
   return DrainBuffer();
 }
 
-Status DeltaIngestor::ResyncBase(const std::string& relation) {
-  ++stats_.base_resyncs;
+Result<Relation> DeltaIngestor::QuerySource(const std::string& relation) {
   ++stats_.source_queries;
-  DWC_ASSIGN_OR_RETURN(Relation actual,
-                       source_->AnswerQuery(Expr::Base(relation)));
+  Result<Relation> result = source_->AnswerQuery(Expr::Base(relation));
+  if (!result.ok()) {
+    source_query_failed_ = true;
+  }
+  return result;
+}
+
+Result<DeltaIngestor::BaseCorrection> DeltaIngestor::ComputeCorrection(
+    const std::string& relation) {
+  ++stats_.base_resyncs;
+  DWC_ASSIGN_OR_RETURN(Relation actual, QuerySource(relation));
   DWC_ASSIGN_OR_RETURN(Relation mine, warehouse_->ReconstructBase(relation));
   DWC_ASSIGN_OR_RETURN(Relation truth, actual.AlignTo(mine.schema()));
   // Corrective canonical delta: what the source has that we don't, minus
@@ -240,24 +320,14 @@ Status DeltaIngestor::ResyncBase(const std::string& relation) {
       corrective.deletes.Insert(tuple);
     }
   }
-  if (!corrective.empty()) {
-    DWC_RETURN_IF_ERROR(warehouse_->Integrate(corrective, source_));
-    // The corrective delta is ordinary replayable history: logged
-    // unsequenced (the watermark jump it enables is reported separately).
-    DWC_RETURN_IF_ERROR(
-        FireCommit(CommitEvent::Kind::kDelta, &corrective, 0));
-  }
-  digest_.SetRelation(relation, truth);
-  // Everything the source ever reported for this base is now folded in;
-  // in-flight deltas at or below the watermark are superseded.
-  floor_[relation] = source_->last_sequence_for(relation);
-  return Status::Ok();
+  return BaseCorrection{relation, std::move(corrective), std::move(truth)};
 }
 
 Status DeltaIngestor::Resync() {
   // Cheap out-of-band digest exchange (the Merkle-handshake of the
   // protocol), then per-base corrections for exactly the differing bases.
   const StateDigest& truth = source_->digest();
+  std::vector<BaseCorrection> corrections;
   for (const auto& [name, theirs] : truth.digests()) {
     if (!warehouse_->spec().catalog().HasRelation(name)) {
       continue;  // Source relations outside this warehouse's scope.
@@ -265,10 +335,50 @@ Status DeltaIngestor::Resync() {
     if (digest_.Get(name) == theirs) {
       continue;
     }
-    Status status = ResyncBase(name);
+    Result<BaseCorrection> correction = ComputeCorrection(name);
+    if (!correction.ok()) {
+      return FullResync();
+    }
+    corrections.push_back(std::move(correction).value());
+  }
+  // Fold every corrective in as ONE state transition. Integrating them
+  // base-by-base would pick an arbitrary order, and a corrective for a
+  // referencing base can carry tuples whose dimension rows arrive only in
+  // a later corrective; the maintenance plans assume the spec's inclusion
+  // dependencies, so those transiently dangling tuples would be silently
+  // lost even though the joint post-resync state is consistent.
+  std::vector<CanonicalDelta> correctives;
+  for (const BaseCorrection& correction : corrections) {
+    if (!correction.corrective.empty()) {
+      correctives.push_back(correction.corrective);
+    }
+  }
+  if (!correctives.empty()) {
+    Status status = warehouse_->IntegrateTransaction(correctives, source_);
     if (!status.ok()) {
       return FullResync();
     }
+    if (correctives.size() == 1) {
+      // A lone corrective is ordinary replayable history: logged
+      // unsequenced (the watermark jump it enables is reported
+      // separately).
+      DWC_RETURN_IF_ERROR(
+          FireCommit(CommitEvent::Kind::kDelta, &correctives[0], 0));
+    } else {
+      // The journal has no transaction record, so a multi-base corrective
+      // group cannot be replayed delta-by-delta without re-creating the
+      // ordering hazard above. Report it as a reset: the storage layer
+      // takes a fresh checkpoint of the (consistent) post-sweep state.
+      DWC_RETURN_IF_ERROR(
+          FireCommit(CommitEvent::Kind::kReset, nullptr, next_seq_ - 1));
+    }
+  }
+  for (const BaseCorrection& correction : corrections) {
+    digest_.SetRelation(correction.relation, correction.truth);
+    // Everything the source ever reported for this base is now folded in;
+    // in-flight deltas at or below the watermark are superseded.
+    floor_[correction.relation] =
+        source_->last_sequence_for(correction.relation);
   }
   AdvancePast(source_->last_sequence());
   return FireCommit(CommitEvent::Kind::kResync, nullptr, next_seq_ - 1);
@@ -282,8 +392,7 @@ Status DeltaIngestor::FullResync() {
     if (!warehouse_->spec().catalog().HasRelation(name)) {
       continue;
     }
-    ++stats_.source_queries;
-    DWC_ASSIGN_OR_RETURN(Relation copy, source_->AnswerQuery(Expr::Base(name)));
+    DWC_ASSIGN_OR_RETURN(Relation copy, QuerySource(name));
     digest_.SetRelation(name, copy);
     DWC_RETURN_IF_ERROR(fresh.AddRelation(name, std::move(copy)));
     floor_[name] = source_->last_sequence_for(name);

@@ -6,6 +6,7 @@
 #include <map>
 #include <string>
 
+#include "runtime/breaker.h"
 #include "util/checksum.h"
 #include "util/result.h"
 #include "warehouse/channel.h"
@@ -30,6 +31,13 @@ struct RetryPolicy {
   // undersized slack is safe but causes premature (successful)
   // retransmissions.
   uint64_t reorder_slack = 8;
+  // Circuit breaker over the ladder's source-backed rungs (2 and 3): after
+  // `breaker.failure_threshold` consecutive resync failures the source is
+  // declared down, repairs are deferred instead of retried, and a
+  // jittered-backoff half-open probe restores service. Rung 1 (channel
+  // retransmission) is never gated — it does not touch the source. Set
+  // failure_threshold <= 0 to disable.
+  BreakerOptions breaker;
 };
 
 // Everything the ingestor did and detected, for tests, the REPL `stats`
@@ -48,6 +56,8 @@ struct IntegrationStats {
   size_t base_resyncs = 0;       // Ladder rung 2: single-base corrections.
   size_t full_resyncs = 0;       // Ladder rung 3: full fallback rebuilds.
   size_t source_queries = 0;     // Source queries issued by the ladder.
+  size_t resync_failures = 0;    // Source-backed rungs that failed outright.
+  size_t breaker_deferred = 0;   // Repairs deferred behind an open breaker.
 
   std::string ToString() const;
 };
@@ -129,6 +139,15 @@ class DeltaIngestor {
   uint64_t next_expected() const { return next_seq_; }
   size_t buffered() const { return buffer_.size(); }
 
+  // The per-source circuit breaker guarding the ladder's resync rungs.
+  // While it is open, repairs are deferred: deltas that cannot be applied
+  // stay in (or return to) the reorder buffer, integration of healthy
+  // traffic continues, and the watermark simply stops advancing past the
+  // damage. Each Receive/Drain call ticks the breaker's logical clock, so
+  // a half-open probe fires after a deterministic (seeded-jitter) number
+  // of calls and — on success — the buffered backlog replays.
+  const CircuitBreaker& breaker() const { return breaker_; }
+
   // Installs the durability hook (see CommitEvent). Pass an empty function
   // to detach.
   void set_commit_hook(CommitHook hook) { commit_hook_ = std::move(hook); }
@@ -143,15 +162,37 @@ class DeltaIngestor {
   Status DrainBuffer();
   // The ladder, for the missing sequence next_seq_.
   Status RecoverMissing();
+  // One base's computed repair: the corrective delta that takes the
+  // warehouse's reconstruction of `relation` to `truth`, the source's
+  // current state aligned to the warehouse schema.
+  struct BaseCorrection {
+    std::string relation;
+    CanonicalDelta corrective;
+    Relation truth;
+  };
   // Rung 2 for one base: source query + diff against the reconstructed
-  // base + corrective delta.
-  Status ResyncBase(const std::string& relation);
-  // Rung 2 sweep when the lost delta's relation is unknown: digest
-  // reconciliation against the source, resyncing exactly the differing
-  // bases; escalates to FullResync when a base resync fails.
+  // base. Computes only — Resync integrates every diverged base's
+  // corrective as one transaction.
+  Result<BaseCorrection> ComputeCorrection(const std::string& relation);
+  // Rung 2 sweep: digest reconciliation against the source, folding the
+  // correctives for exactly the differing bases into the warehouse as a
+  // single transaction (per-base application could order a referencing
+  // base ahead of the dimension it references and silently lose tuples
+  // that are dangling mid-sweep but valid in the joint state); escalates
+  // to FullResync when a correction cannot be computed or the transaction
+  // is refused.
   Status Resync();
   // Rung 3.
   Status FullResync();
+  // One counted base pull from the source; flags source_query_failed_ on
+  // error so GuardedRepair can attribute the failure.
+  Result<Relation> QuerySource(const std::string& relation);
+  // Runs one source-backed repair rung under the breaker. Breaker open →
+  // defer (*deferred = true, Ok returned, no state change). Source failure
+  // inside the rung → breaker records it and the repair defers likewise.
+  // Non-source errors (integration, commit hook) propagate: they mean the
+  // *warehouse* is in trouble, and deferring would hide corruption.
+  Status GuardedRepair(const std::function<Status()>& rung, bool* deferred);
   // Advances next_seq_ past a resync watermark, dropping superseded
   // buffered deltas.
   void AdvancePast(uint64_t watermark);
@@ -177,6 +218,13 @@ class DeltaIngestor {
   std::map<std::string, uint64_t> floor_;
   IntegrationStats stats_;
   CommitHook commit_hook_;
+  CircuitBreaker breaker_;
+  // Set by TryApply when a needed repair was deferred behind the breaker:
+  // the sequence was *not* consumed and the caller must stop draining.
+  bool apply_deferred_ = false;
+  // Set whenever a ladder source query fails; GuardedRepair uses it to
+  // distinguish source outages (breaker fodder) from fatal local errors.
+  bool source_query_failed_ = false;
 };
 
 }  // namespace dwc

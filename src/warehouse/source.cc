@@ -178,6 +178,9 @@ Result<std::vector<CanonicalDelta>> Source::ApplyTransaction(
 
 Result<Relation> Source::AnswerQuery(const ExprRef& query) const {
   query_count_.fetch_add(1, std::memory_order_relaxed);
+  if (outage_hook_) {
+    DWC_RETURN_IF_ERROR(outage_hook_());
+  }
   Environment env = Environment::FromDatabase(db_);
   return EvalExpr(*query, env);
 }

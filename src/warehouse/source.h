@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -63,6 +64,15 @@ class Source {
   }
   void ResetQueryCount() { query_count_.store(0, std::memory_order_relaxed); }
 
+  // Fault injection for outage drills: when set, every AnswerQuery call
+  // consults the hook first and propagates a non-Ok status instead of
+  // answering (the query still counts — a failed RPC is still source
+  // traffic). Pass an empty function to restore service. Toggle only from
+  // the thread driving integrations; the query path itself stays const.
+  void set_outage_hook(std::function<Status()> hook) {
+    outage_hook_ = std::move(hook);
+  }
+
   // Delivery-envelope state. `last_sequence` is the highest sequence number
   // stamped in the current epoch; `last_sequence_for` the highest one that
   // touched `relation` (the watermark a targeted resync hands back).
@@ -90,6 +100,7 @@ class Source {
   uint64_t next_sequence_ = 1;
   std::map<std::string, uint64_t> relation_watermark_;
   mutable std::atomic<size_t> query_count_ = 0;
+  std::function<Status()> outage_hook_;
 };
 
 }  // namespace dwc

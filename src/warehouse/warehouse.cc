@@ -727,13 +727,20 @@ Status Warehouse::IntegrateQuerySource(const Source& source) {
 }
 
 Result<Relation> Warehouse::AnswerQuery(const ExprRef& query,
-                                        EvalStats* stats) const {
-  return AnswerQueryAt(PinSnapshot(), query, stats);
+                                        EvalStats* stats,
+                                        const CancelToken* cancel) const {
+  return AnswerQueryAt(PinSnapshot(), query, stats, cancel);
 }
 
 Result<Relation> Warehouse::AnswerQueryAt(const SnapshotHandle& snapshot,
                                           const ExprRef& query,
-                                          EvalStats* stats) const {
+                                          EvalStats* stats,
+                                          const CancelToken* cancel) const {
+  // Fail before rewriting or binding anything when the token has already
+  // fired (e.g. the deadline elapsed while queued for admission).
+  if (cancel != nullptr) {
+    DWC_RETURN_IF_ERROR(cancel->Check());
+  }
   if (!snapshot.valid()) {
     return Status::FailedPrecondition(
         "snapshot handle is empty (released, moved-from, or pinned before "
@@ -782,7 +789,11 @@ Result<Relation> Warehouse::AnswerQueryAt(const SnapshotHandle& snapshot,
   for (const auto& [name, rel] : snapshot.relations()) {
     env.Bind(name, rel.get());
   }
-  Evaluator evaluator = MakeEvaluator(&env);
+  // On a token-triggered failure everything unwinds cleanly: the snapshot
+  // pin is RAII-released by the caller's handle, the partial Relation is
+  // destroyed here, and the subplan cache saw only completed subplans
+  // (EvalInternal inserts strictly after a successful evaluation).
+  Evaluator evaluator = MakeEvaluator(&env, cancel);
   Result<Relation> result = evaluator.Materialize(*translated);
   if (stats != nullptr) {
     *stats = evaluator.stats();

@@ -127,15 +127,23 @@ class Warehouse {
   // `stats` is non-null it receives the evaluator's EXPLAIN counters.
   // Pins the current epoch for the duration of the call; safe to invoke
   // from any thread concurrently with an in-flight integration.
+  //
+  // `cancel` (borrowed; may be null) makes the evaluation deadline-,
+  // budget- and cancel-bounded: a fired token surfaces as DeadlineExceeded
+  // / ResourceExhausted / Aborted, the partial result is discarded, the
+  // snapshot pin is released (RAII), and the subplan cache is untouched
+  // (only successful evaluations are ever inserted). See DESIGN.md §13.
   Result<Relation> AnswerQuery(const ExprRef& query,
-                               EvalStats* stats = nullptr) const;
+                               EvalStats* stats = nullptr,
+                               const CancelToken* cancel = nullptr) const;
 
   // AnswerQuery against an explicitly pinned epoch: the result reflects
   // exactly that epoch's committed state. Fails with Status::Aborted once
   // the snapshot has been shed by the epoch-lag backpressure policy.
   Result<Relation> AnswerQueryAt(const SnapshotHandle& snapshot,
                                  const ExprRef& query,
-                                 EvalStats* stats = nullptr) const;
+                                 EvalStats* stats = nullptr,
+                                 const CancelToken* cancel = nullptr) const;
 
   // Snapshot-epoch observability. current_epoch() is the number of the
   // most recently published epoch (1 right after Load; +1 per committed
@@ -300,6 +308,16 @@ class Warehouse {
   // this warehouse's subplan cache (a no-op while the budget is 0).
   Evaluator MakeEvaluator(const Environment* env) const {
     return Evaluator(env, evaluator_options_, spec_->interner().get(),
+                     subplan_cache_.get());
+  }
+  // Same, with a per-operation cancellation token layered onto the
+  // warehouse-wide options (the query path; integrations stay ungoverned
+  // here — admission control bounds them before they start).
+  Evaluator MakeEvaluator(const Environment* env,
+                          const CancelToken* cancel) const {
+    EvaluatorOptions options = evaluator_options_;
+    options.cancel = cancel;
+    return Evaluator(env, options, spec_->interner().get(),
                      subplan_cache_.get());
   }
   // Rebuilds every aggregate view from the current state.

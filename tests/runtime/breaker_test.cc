@@ -1,0 +1,147 @@
+#include "runtime/breaker.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace dwc {
+namespace {
+
+BreakerOptions FastOptions() {
+  BreakerOptions options;
+  options.failure_threshold = 2;
+  options.open_ticks = 4;
+  options.max_open_ticks = 16;
+  options.jitter_seed = 7;
+  return options;
+}
+
+// Ticks until the breaker leaves kOpen; bounded so a stuck window fails the
+// test instead of hanging it.
+void TickUntilHalfOpen(CircuitBreaker* breaker) {
+  for (int i = 0; i < 1000 && breaker->state() == CircuitBreaker::State::kOpen;
+       ++i) {
+    breaker->Tick();
+  }
+  ASSERT_EQ(breaker->state(), CircuitBreaker::State::kHalfOpen);
+}
+
+TEST(CircuitBreakerTest, StartsClosedAndAllowsProbes) {
+  CircuitBreaker breaker(FastOptions());
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.AllowProbe());
+  EXPECT_EQ(breaker.trips(), 0u);
+}
+
+TEST(CircuitBreakerTest, TripsAtThresholdAndBlocks) {
+  CircuitBreaker breaker(FastOptions());
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.AllowProbe());
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(breaker.AllowProbe());
+  EXPECT_EQ(breaker.trips(), 1u);
+  EXPECT_GT(breaker.open_ticks_remaining(), 0u);
+}
+
+TEST(CircuitBreakerTest, SuccessWhileClosedResetsTheFailureStreak) {
+  CircuitBreaker breaker(FastOptions());
+  breaker.RecordFailure();
+  breaker.RecordSuccess();
+  breaker.RecordFailure();
+  // Two failures total, but never two *consecutive*: still closed.
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+}
+
+TEST(CircuitBreakerTest, OpenToHalfOpenToClosedRecovery) {
+  CircuitBreaker breaker(FastOptions());
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  ASSERT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  TickUntilHalfOpen(&breaker);
+  EXPECT_TRUE(breaker.AllowProbe());
+  EXPECT_EQ(breaker.probes(), 1u);
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(breaker.consecutive_failures(), 0);
+}
+
+TEST(CircuitBreakerTest, FailedProbeReopensWithLongerWindow) {
+  BreakerOptions options = FastOptions();
+  CircuitBreaker breaker(options);
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  TickUntilHalfOpen(&breaker);
+  breaker.RecordFailure();  // Probe failed.
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.trips(), 2u);
+  // Doubled base window: at least 2*open_ticks (jitter only adds).
+  EXPECT_GE(breaker.open_ticks_remaining(), 2 * options.open_ticks);
+  // And the backoff is capped: after many failed probes the window never
+  // exceeds max_open_ticks + jitter.
+  for (int round = 0; round < 10; ++round) {
+    TickUntilHalfOpen(&breaker);
+    breaker.RecordFailure();
+  }
+  EXPECT_LE(breaker.open_ticks_remaining(),
+            options.max_open_ticks + options.open_ticks);
+}
+
+TEST(CircuitBreakerTest, SuccessfulProbeResetsTheBackoffExponent) {
+  BreakerOptions options = FastOptions();
+  CircuitBreaker breaker(options);
+  // Trip, fail a probe (doubling the window), then recover.
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  TickUntilHalfOpen(&breaker);
+  breaker.RecordFailure();
+  TickUntilHalfOpen(&breaker);
+  breaker.RecordSuccess();
+  ASSERT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  // A fresh trip starts from the base window again.
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  EXPECT_LE(breaker.open_ticks_remaining(), 2 * options.open_ticks - 1);
+}
+
+TEST(CircuitBreakerTest, DeterministicForAFixedSeed) {
+  CircuitBreaker a(FastOptions());
+  CircuitBreaker b(FastOptions());
+  for (int round = 0; round < 5; ++round) {
+    a.RecordFailure();
+    b.RecordFailure();
+    a.RecordFailure();
+    b.RecordFailure();
+    EXPECT_EQ(a.open_ticks_remaining(), b.open_ticks_remaining());
+    TickUntilHalfOpen(&a);
+    TickUntilHalfOpen(&b);
+    a.RecordSuccess();
+    b.RecordSuccess();
+  }
+}
+
+TEST(CircuitBreakerTest, DisabledBreakerNeverTrips) {
+  BreakerOptions options = FastOptions();
+  options.failure_threshold = 0;
+  CircuitBreaker breaker(options);
+  EXPECT_FALSE(breaker.enabled());
+  for (int i = 0; i < 20; ++i) {
+    breaker.RecordFailure();
+  }
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.AllowProbe());
+  EXPECT_EQ(breaker.trips(), 0u);
+}
+
+TEST(CircuitBreakerTest, StateNamesAreStable) {
+  EXPECT_EQ(std::string(BreakerStateName(CircuitBreaker::State::kClosed)),
+            "closed");
+  EXPECT_EQ(std::string(BreakerStateName(CircuitBreaker::State::kOpen)),
+            "open");
+  EXPECT_EQ(std::string(BreakerStateName(CircuitBreaker::State::kHalfOpen)),
+            "half-open");
+}
+
+}  // namespace
+}  // namespace dwc

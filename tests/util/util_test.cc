@@ -29,9 +29,24 @@ TEST(StatusTest, AllCodesHaveNames) {
        {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
         StatusCode::kAlreadyExists, StatusCode::kFailedPrecondition,
         StatusCode::kOutOfRange, StatusCode::kUnimplemented,
-        StatusCode::kInternal}) {
+        StatusCode::kInternal, StatusCode::kAborted,
+        StatusCode::kDeadlineExceeded, StatusCode::kResourceExhausted}) {
     EXPECT_STRNE(StatusCodeName(code), "Unknown");
   }
+}
+
+TEST(StatusTest, GovernorCodes) {
+  Status deadline = Status::DeadlineExceeded("query ran past 5ms");
+  EXPECT_FALSE(deadline.ok());
+  EXPECT_EQ(deadline.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_STREQ(StatusCodeName(deadline.code()), "DeadlineExceeded");
+  EXPECT_EQ(deadline.ToString(), "DeadlineExceeded: query ran past 5ms");
+
+  Status budget = Status::ResourceExhausted("tuple budget spent");
+  EXPECT_FALSE(budget.ok());
+  EXPECT_EQ(budget.code(), StatusCode::kResourceExhausted);
+  EXPECT_STREQ(StatusCodeName(budget.code()), "ResourceExhausted");
+  EXPECT_EQ(budget.ToString(), "ResourceExhausted: tuple budget spent");
 }
 
 Status FailsThrough() {
